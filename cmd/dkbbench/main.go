@@ -1,0 +1,70 @@
+// Command dkbbench regenerates the paper's experimental tables and
+// figures (§5.3) over the testbed's workload generators, printing each
+// as the rows/series the paper reports.
+//
+// Usage:
+//
+//	dkbbench                 # run every experiment at full scale
+//	dkbbench -exp fig13      # one experiment
+//	dkbbench -exp fig7,fig8  # a subset
+//	dkbbench -quick          # shrunken inputs (seconds, for smoke runs)
+//	dkbbench -list           # list experiment IDs
+//	dkbbench -reps 5         # repetitions per measured point
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dkbms/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		quick = flag.Bool("quick", false, "shrunken inputs for a fast smoke run")
+		reps  = flag.Int("reps", 3, "repetitions per measured point (minimum reported)")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range bench.Runners() {
+			fmt.Printf("%-18s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+
+	cfg := bench.DefaultConfig()
+	cfg.Quick = *quick
+	cfg.Reps = *reps
+
+	var runners []bench.Runner
+	if *exp == "all" {
+		runners = bench.Runners()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(id)
+			r := bench.Find(id)
+			if r == nil {
+				fmt.Fprintf(os.Stderr, "dkbbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			runners = append(runners, *r)
+		}
+	}
+
+	for _, r := range runners {
+		start := time.Now()
+		rep, err := r.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dkbbench: %s: %v\n", r.ID, err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Format())
+		fmt.Printf("(%s in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

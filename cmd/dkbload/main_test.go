@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dkbms"
+	"dkbms/internal/rel"
+)
+
+func TestLoadCSV(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "facts.csv")
+	if err := os.WriteFile(csvPath, []byte("john,mary,35\nmary,ann,12\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tb, err := dkbms.Open(filepath.Join(dir, "kb.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	n, err := loadCSV(tb, "rec", csvPath)
+	if err != nil || n != 2 {
+		t.Fatalf("loaded %d, %v", n, err)
+	}
+	res, err := tb.Query("?- rec(john, W, A).", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Str != "mary" || res.Rows[0][1].Int != 35 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestLoadCSVTypeMismatch(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "bad.csv")
+	// First row fixes column 1 as integer; second row violates it.
+	if err := os.WriteFile(csvPath, []byte("a,1\nb,notanint\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tb, err := dkbms.Open(filepath.Join(dir, "kb.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	if _, err := loadCSV(tb, "bad", csvPath); err == nil {
+		t.Fatal("type drift accepted")
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	cases := []struct {
+		spec string
+		want int
+	}{
+		{"tree:5", (1 << 5) - 2},
+		{"list:2:10", 2 * 9},
+		{"dag:4:3:2", 2 * 4 * 2},
+		{"cyclic:2:3:1", 2*3 + 1},
+	}
+	for _, c := range cases {
+		tuples, err := generate(c.spec, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", c.spec, err)
+		}
+		if len(tuples) != c.want {
+			t.Fatalf("%s: %d tuples, want %d", c.spec, len(tuples), c.want)
+		}
+		for _, tu := range tuples {
+			if len(tu) != 2 || tu[0].Kind != rel.TypeString {
+				t.Fatalf("%s: bad tuple %v", c.spec, tu)
+			}
+		}
+	}
+	if _, err := generate("bogus:1", 1); err == nil {
+		t.Fatal("unknown generator accepted")
+	}
+}
+
+func TestEndToEndGenAndQuery(t *testing.T) {
+	dir := t.TempDir()
+	tb, err := dkbms.Open(filepath.Join(dir, "kb.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	tuples, err := generate("tree:6", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AssertTuples("parent", tuples); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.CreateFactIndex("parent", 0); err != nil {
+		t.Fatal(err)
+	}
+	tb.MustLoad(`
+anc(X, Y) :- parent(X, Y).
+anc(X, Y) :- parent(X, Z), anc(Z, Y).
+`)
+	res, err := tb.Query("?- anc(t1, W).", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != (1<<6)-2 { // every non-root node
+		t.Fatalf("descendants = %d", len(res.Rows))
+	}
+}

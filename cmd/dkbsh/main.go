@@ -1,0 +1,247 @@
+// Command dkbsh is the testbed's User Interface (paper §3.1): an
+// interactive shell for a data/knowledge base. A typical session enters
+// rules and facts into the workspace D/KB, queries them, and commits
+// the workspace to the stored D/KB with .update.
+//
+// Usage:
+//
+//	dkbsh                # in-memory D/KB
+//	dkbsh -db family.db  # persistent D/KB
+//
+// Input:
+//
+//	parent(john, mary).                      add a fact
+//	ancestor(X, Y) :- parent(X, Y).          add a rule to the workspace
+//	?- ancestor(john, W).                    query
+//	.load family.dl                          load a program file
+//	.update                                  commit workspace rules to the stored D/KB
+//	.rules                                   show workspace rules
+//	.stored                                  stored D/KB summary
+//	.opts naive|seminaive|magic|nomagic|adaptive   evaluation options
+//	.timing on|off                           print compile/eval breakdowns
+//	.sql SELECT ...                          raw SQL against the DBMS
+//	.help / .quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"dkbms"
+	"dkbms/internal/dlog"
+)
+
+func main() {
+	dbPath := flag.String("db", "", "database file (empty = in-memory)")
+	flag.Parse()
+
+	var tb *dkbms.Testbed
+	var err error
+	if *dbPath == "" {
+		tb = dkbms.NewMemory()
+	} else {
+		tb, err = dkbms.Open(*dbPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dkbsh: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	defer tb.Close()
+
+	sh := &shell{tb: tb, opts: dkbms.QueryOptions{}, out: os.Stdout}
+	fmt.Println("dkbms testbed shell — .help for commands")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("dkb> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == ".quit" || line == ".exit" {
+			return
+		}
+		if err := sh.handle(line); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		}
+	}
+}
+
+type shell struct {
+	tb     *dkbms.Testbed
+	opts   dkbms.QueryOptions
+	timing bool
+	out    io.Writer
+}
+
+func (s *shell) handle(line string) error {
+	switch {
+	case strings.HasPrefix(line, ".help"):
+		s.help()
+		return nil
+	case strings.HasPrefix(line, ".load "):
+		path := strings.TrimSpace(strings.TrimPrefix(line, ".load "))
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return s.tb.Load(string(src))
+	case line == ".update":
+		st, err := s.tb.Update()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "committed %d rules in %v (extract %v, closure %v, store %v)\n",
+			st.NewRules, st.Total.Round(10e3), st.Extract.Round(10e3), st.TC.Round(10e3), st.Store.Round(10e3))
+		return nil
+	case line == ".rules":
+		for _, c := range s.tb.Workspace().Rules() {
+			fmt.Fprintln(s.out, c.String())
+		}
+		return nil
+	case line == ".stored":
+		fmt.Fprintf(s.out, "stored rules: %d, reachability edges: %d\n",
+			s.tb.Stored().RuleCount(), s.tb.Stored().ReachableEdges())
+		return nil
+	case strings.HasPrefix(line, ".opts "):
+		return s.setOpts(strings.Fields(strings.TrimPrefix(line, ".opts ")))
+	case strings.HasPrefix(line, ".timing"):
+		s.timing = strings.Contains(line, "on")
+		return nil
+	case strings.HasPrefix(line, ".sql "):
+		return s.rawSQL(strings.TrimPrefix(line, ".sql "))
+	case strings.HasPrefix(line, ".explain "):
+		return s.explain(strings.TrimPrefix(line, ".explain "))
+	case strings.HasPrefix(line, "."):
+		return fmt.Errorf("unknown command %q (.help)", line)
+	case strings.HasPrefix(line, "?-"):
+		return s.query(line)
+	default:
+		return s.tb.Load(line)
+	}
+}
+
+func (s *shell) query(line string) error {
+	res, err := s.tb.Query(line, &s.opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(s.out, res.Format())
+	fmt.Fprintf(s.out, "%d rows", len(res.Rows))
+	if res.Optimized {
+		fmt.Fprint(s.out, " (magic sets)")
+	}
+	fmt.Fprintf(s.out, " [%s]\n", res.Strategy)
+	if s.timing {
+		c, e := res.Compile, res.Eval
+		fmt.Fprintf(s.out, "compile %v (setup %v, extract %v, dict %v, rewrite %v, order %v, types %v, codegen %v)\n",
+			c.Total, c.Setup, c.Extract, c.ReadDict, c.Rewrite, c.EvalOrder, c.TypeCheck, c.CodeGen)
+		fmt.Fprintf(s.out, "eval %v (tables %v, rules %v, termination %v)\n",
+			e.Elapsed, e.TempTable, e.Eval, e.TermCheck)
+		for _, ns := range e.Nodes {
+			kind := "pred"
+			if ns.Recursive {
+				kind = "clique"
+			}
+			fmt.Fprintf(s.out, "  %s %v: %v in %d iterations, %d tuples\n",
+				kind, ns.Preds, ns.Elapsed, ns.Iterations, ns.Tuples)
+		}
+	}
+	return nil
+}
+
+func (s *shell) setOpts(words []string) error {
+	for _, w := range words {
+		switch w {
+		case "naive":
+			s.opts.Naive = true
+		case "seminaive", "semi-naive":
+			s.opts.Naive = false
+		case "magic":
+			s.opts.NoOptimize = false
+			s.opts.Adaptive = false
+		case "nomagic":
+			s.opts.NoOptimize = true
+			s.opts.Adaptive = false
+		case "adaptive":
+			s.opts.Adaptive = true
+			s.opts.NoOptimize = false
+		case "parallel":
+			s.opts.Parallel = true
+			s.opts.Naive = false
+		case "serial":
+			s.opts.Parallel = false
+		default:
+			return fmt.Errorf("unknown option %q", w)
+		}
+	}
+	fmt.Fprintf(s.out, "strategy=%v magic=%v adaptive=%v parallel=%v\n",
+		map[bool]string{true: "naive", false: "semi-naive"}[s.opts.Naive],
+		!s.opts.NoOptimize, s.opts.Adaptive, s.opts.Parallel)
+	return nil
+}
+
+func (s *shell) explain(q string) error {
+	query, err := dlog.ParseQuery(q)
+	if err != nil {
+		return err
+	}
+	compiled, err := s.tb.Compile(query, &s.opts)
+	if err != nil {
+		return err
+	}
+	if compiled.Optimized {
+		fmt.Fprintln(s.out, "magic-sets rewriting applied")
+	}
+	fmt.Fprint(s.out, compiled.Program.Explain())
+	return nil
+}
+
+func (s *shell) rawSQL(stmt string) error {
+	up := strings.ToUpper(strings.TrimSpace(stmt))
+	if strings.HasPrefix(up, "SELECT") {
+		rows, err := s.tb.DB().Query(stmt)
+		if err != nil {
+			return err
+		}
+		var names []string
+		for _, c := range rows.Schema.Columns() {
+			names = append(names, c.Name)
+		}
+		fmt.Fprintln(s.out, strings.Join(names, "\t"))
+		for _, tu := range rows.Tuples {
+			var cells []string
+			for _, v := range tu {
+				cells = append(cells, v.String())
+			}
+			fmt.Fprintln(s.out, strings.Join(cells, "\t"))
+		}
+		fmt.Fprintf(s.out, "%d rows\n", len(rows.Tuples))
+		return nil
+	}
+	return s.tb.DB().Exec(stmt)
+}
+
+func (s *shell) help() {
+	fmt.Fprint(s.out, `clauses:   parent(john, mary).    ancestor(X, Y) :- parent(X, Y).
+queries:   ?- ancestor(john, W).
+commands:
+  .load FILE      load a Horn-clause program
+  .update         commit workspace rules to the stored D/KB
+  .rules          list workspace rules
+  .stored         stored D/KB summary
+  .opts WORDS     naive|seminaive  magic|nomagic|adaptive  parallel|serial
+  .timing on|off  print compile/eval breakdowns per query
+  .explain Q      show the compiled evaluation program for a query
+  .sql STMT       raw SQL against the DBMS
+  .quit
+`)
+}

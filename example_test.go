@@ -1,0 +1,92 @@
+package dkbms_test
+
+import (
+	"fmt"
+	"sort"
+
+	"dkbms"
+)
+
+// Example shows the complete life of a query: facts and rules in,
+// recursive answers out.
+func Example() {
+	tb := dkbms.NewMemory()
+	defer tb.Close()
+
+	tb.MustLoad(`
+		parent(john, mary).  parent(mary, ann).
+		ancestor(X, Y) :- parent(X, Y).
+		ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).
+	`)
+
+	res, err := tb.Query("?- ancestor(john, W).", nil)
+	if err != nil {
+		panic(err)
+	}
+	var names []string
+	for _, row := range res.Rows {
+		names = append(names, row[0].Str)
+	}
+	sort.Strings(names)
+	fmt.Println(names)
+	// Output: [ann mary]
+}
+
+// ExampleTestbed_Query demonstrates the evaluation knobs the paper's
+// experiments turn: LFP strategy and magic-sets optimization.
+func ExampleTestbed_Query() {
+	tb := dkbms.NewMemory()
+	defer tb.Close()
+	tb.MustLoad(`
+		edge(a, b). edge(b, c).
+		path(X, Y) :- edge(X, Y).
+		path(X, Y) :- edge(X, Z), path(Z, Y).
+	`)
+
+	naive, _ := tb.Query("?- path(a, W).", &dkbms.QueryOptions{Naive: true, NoOptimize: true})
+	magic, _ := tb.Query("?- path(a, W).", nil)
+	fmt.Println(len(naive.Rows), naive.Optimized, naive.Strategy)
+	fmt.Println(len(magic.Rows), magic.Optimized, magic.Strategy)
+	// Output:
+	// 2 false naive
+	// 2 true semi-naive
+}
+
+// ExampleTestbed_Update commits workspace rules to the stored D/KB,
+// where later sessions (and queries) find them.
+func ExampleTestbed_Update() {
+	tb := dkbms.NewMemory()
+	defer tb.Close()
+	tb.MustLoad(`
+		parent(a, b).
+		anc(X, Y) :- parent(X, Y).
+	`)
+	st, err := tb.Update()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(st.NewRules, tb.Stored().RuleCount())
+	// Output: 1 1
+}
+
+// ExampleTestbed_Prepare caches compilation across executions.
+func ExampleTestbed_Prepare() {
+	tb := dkbms.NewMemory()
+	defer tb.Close()
+	tb.MustLoad(`
+		parent(a, b).
+		anc(X, Y) :- parent(X, Y).
+		anc(X, Y) :- parent(X, Z), anc(Z, Y).
+	`)
+	p, err := tb.Prepare("?- anc(a, W).", nil)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := p.Run(); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Println(p.Recompiles)
+	// Output: 1
+}

@@ -1,0 +1,84 @@
+// Same-generation: the canonical non-linear recursive query of the
+// magic-sets literature. Two people are same-generation cousins if they
+// are the same person at the top of the hierarchy, or their parents are
+// same-generation. This example builds a deep genealogy and compares
+// all four evaluation configurations (naive/semi-naive × magic/plain)
+// on the same bound query — the paper's Tests 5 and 7 in miniature.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dkbms"
+	"dkbms/internal/rel"
+	"dkbms/internal/workload"
+)
+
+func main() {
+	tb := dkbms.NewMemory()
+	defer tb.Close()
+
+	// up(child, parent) from a full binary tree of depth 9: node t1 is
+	// the ancestor everybody descends from.
+	tree := workload.FullBinaryTree(9)
+	up := make([]rel.Tuple, len(tree))
+	for i, e := range tree {
+		up[i] = rel.Tuple{e[1], e[0]} // child -> parent
+	}
+	if err := tb.AssertTuples("up", up); err != nil {
+		log.Fatal(err)
+	}
+	if err := tb.CreateFactIndex("up", 0); err != nil {
+		log.Fatal(err)
+	}
+	// flat: the top is same-generation with itself.
+	if err := tb.AssertTuples("flat", []rel.Tuple{
+		{rel.NewString(workload.TreeNode(1)), rel.NewString(workload.TreeNode(1))},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	tb.MustLoad(`
+down(X, Y) :- up(Y, X).
+sg(X, Y) :- flat(X, Y).
+sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+`)
+
+	// Everyone in t200's generation.
+	subject := workload.TreeNode(200)
+	query := fmt.Sprintf("?- sg(%s, W).", subject)
+
+	configs := []struct {
+		name string
+		opts dkbms.QueryOptions
+	}{
+		{"semi-naive + magic", dkbms.QueryOptions{}},
+		{"semi-naive, plain ", dkbms.QueryOptions{NoOptimize: true}},
+		{"naive + magic     ", dkbms.QueryOptions{Naive: true}},
+		{"naive, plain      ", dkbms.QueryOptions{Naive: true, NoOptimize: true}},
+	}
+	fmt.Printf("same-generation cousins of %s over %d up-edges:\n\n", subject, len(up))
+	var nRows int
+	for _, c := range configs {
+		opts := c.opts
+		res, err := tb.Query(query, &opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if nRows == 0 {
+			nRows = len(res.Rows)
+		} else if nRows != len(res.Rows) {
+			log.Fatalf("configuration %s disagrees: %d vs %d rows", c.name, len(res.Rows), nRows)
+		}
+		iters := 0
+		for _, ns := range res.Eval.Nodes {
+			if ns.Recursive && ns.Iterations > iters {
+				iters = ns.Iterations
+			}
+		}
+		fmt.Printf("  %s  %4d rows  eval %-12v  (%2d LFP iterations)\n",
+			c.name, len(res.Rows), res.Eval.Elapsed, iters)
+	}
+	fmt.Printf("\nall four configurations agree on the %d-row answer\n", nRows)
+}

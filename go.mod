@@ -1,0 +1,3 @@
+module dkbms
+
+go 1.22

@@ -1,0 +1,498 @@
+// Package catalog maintains the database schema: tables, their columns,
+// and their indexes. The catalog itself is stored in a heap file rooted
+// in the pager superblock, so a database file is self-describing. Index
+// trees are memory-resident and rebuilt from table heaps at open time.
+//
+// The catalog also owns index maintenance: all tuple traffic goes
+// through Table.Insert / Table.DeleteRID, which keep every index of the
+// table synchronized with the heap.
+package catalog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"dkbms/internal/rel"
+	"dkbms/internal/storage"
+)
+
+// Table is a named relation: schema plus heap file plus indexes.
+type Table struct {
+	Name    string
+	Schema  *rel.Schema
+	Heap    *storage.HeapFile
+	Indexes []*Index
+	// Temp marks tables that are never written to the catalog heap
+	// (the run-time library's per-iteration temporaries).
+	Temp bool
+
+	rid storage.RID // location of this table's catalog record
+	// heapHeadFromRecord carries the heap head page ID between record
+	// decode and heap open during catalog load.
+	heapHeadFromRecord storage.PageID
+	// rows is a maintained tuple count used by the planner for join
+	// ordering and build-side selection.
+	rows int
+}
+
+// Rows returns the maintained tuple count (exact; updated on every
+// insert, delete and truncate, and recounted at open).
+func (t *Table) Rows() int { return t.rows }
+
+// Index is a secondary index over a subset of a table's columns.
+type Index struct {
+	Name  string
+	Table string
+	Cols  []string
+	Ords  []int // column ordinals in the table schema
+	Tree  *indexTree
+	Temp  bool
+
+	rid storage.RID
+}
+
+// indexTree is defined in tree.go as a thin wrapper to avoid leaking the
+// index package through the catalog API surface.
+
+// Catalog is the schema manager for one database.
+type Catalog struct {
+	pager   *storage.Pager
+	heap    *storage.HeapFile // nil until Open
+	tables  map[string]*Table
+	indexes map[string]*Index
+}
+
+// Open loads (or initializes) the catalog of the database in pager.
+func Open(pager *storage.Pager) (*Catalog, error) {
+	root, err := pager.EnsureSuperblock()
+	if err != nil {
+		return nil, err
+	}
+	c := &Catalog{
+		pager:   pager,
+		tables:  make(map[string]*Table),
+		indexes: make(map[string]*Index),
+	}
+	if root == storage.InvalidPageID {
+		h, err := storage.CreateHeap(pager)
+		if err != nil {
+			return nil, err
+		}
+		if err := pager.SetRoot(h.Head()); err != nil {
+			return nil, err
+		}
+		c.heap = h
+		return c, nil
+	}
+	c.heap = storage.OpenHeap(pager, root)
+	if err := c.load(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// load replays catalog records and rebuilds index trees.
+func (c *Catalog) load() error {
+	type pendingIndex struct {
+		rec []byte
+		rid storage.RID
+	}
+	var idxRecs []pendingIndex
+	err := c.heap.Scan(func(rid storage.RID, rec []byte) error {
+		if len(rec) == 0 {
+			return fmt.Errorf("catalog: empty record at %s", rid)
+		}
+		switch rec[0] {
+		case recTable:
+			t, err := decodeTableRecord(rec)
+			if err != nil {
+				return err
+			}
+			t.rid = rid
+			t.Heap = storage.OpenHeap(c.pager, t.heapHeadFromRecord)
+			n, err := t.Heap.Count()
+			if err != nil {
+				return err
+			}
+			t.rows = n
+			c.tables[t.Name] = t
+			return nil
+		case recIndex:
+			cp := make([]byte, len(rec))
+			copy(cp, rec)
+			idxRecs = append(idxRecs, pendingIndex{rec: cp, rid: rid})
+			return nil
+		default:
+			return fmt.Errorf("catalog: unknown record kind %d at %s", rec[0], rid)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	for _, pi := range idxRecs {
+		idx, err := decodeIndexRecord(pi.rec)
+		if err != nil {
+			return err
+		}
+		idx.rid = pi.rid
+		t, ok := c.tables[idx.Table]
+		if !ok {
+			return fmt.Errorf("catalog: index %s references missing table %s", idx.Name, idx.Table)
+		}
+		if err := c.attachIndex(t, idx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// attachIndex resolves column ordinals, registers the index and builds
+// its tree from the table heap.
+func (c *Catalog) attachIndex(t *Table, idx *Index) error {
+	idx.Ords = make([]int, len(idx.Cols))
+	for i, col := range idx.Cols {
+		o := t.Schema.Ordinal(col)
+		if o < 0 {
+			return fmt.Errorf("catalog: index %s: no column %s in table %s", idx.Name, col, t.Name)
+		}
+		idx.Ords[i] = o
+	}
+	idx.Tree = newIndexTree()
+	err := t.Heap.Scan(func(rid storage.RID, rec []byte) error {
+		tu, err := rel.DecodeTuple(rec, t.Schema)
+		if err != nil {
+			return err
+		}
+		return idx.Tree.Insert(keyOf(tu, idx.Ords), rid)
+	})
+	if err != nil {
+		return err
+	}
+	t.Indexes = append(t.Indexes, idx)
+	c.indexes[idx.Name] = idx
+	return nil
+}
+
+func keyOf(tu rel.Tuple, ords []int) rel.Tuple {
+	k := make(rel.Tuple, len(ords))
+	for i, o := range ords {
+		k[i] = tu[o]
+	}
+	return k
+}
+
+// Table returns the named table, or nil.
+func (c *Catalog) Table(name string) *Table { return c.tables[name] }
+
+// Index returns the named index, or nil.
+func (c *Catalog) Index(name string) *Index { return c.indexes[name] }
+
+// Tables returns all table names in sorted order.
+func (c *Catalog) Tables() []string {
+	names := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CreateTable creates a table. temp tables are invisible to persistence.
+func (c *Catalog) CreateTable(name string, schema *rel.Schema, temp bool) (*Table, error) {
+	if name == "" {
+		return nil, fmt.Errorf("catalog: empty table name")
+	}
+	if _, exists := c.tables[name]; exists {
+		return nil, fmt.Errorf("catalog: table %s already exists", name)
+	}
+	h, err := storage.CreateHeap(c.pager)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Name: name, Schema: schema, Heap: h, Temp: temp}
+	if !temp {
+		rid, err := c.heap.Insert(encodeTableRecord(t))
+		if err != nil {
+			return nil, err
+		}
+		t.rid = rid
+	}
+	c.tables[name] = t
+	return t, nil
+}
+
+// DropTable removes a table, its indexes, and releases its pages.
+func (c *Catalog) DropTable(name string) error {
+	t, ok := c.tables[name]
+	if !ok {
+		return fmt.Errorf("catalog: no table %s", name)
+	}
+	for _, idx := range append([]*Index(nil), t.Indexes...) {
+		if err := c.DropIndex(idx.Name); err != nil {
+			return err
+		}
+	}
+	if !t.Temp {
+		if err := c.heap.Delete(t.rid); err != nil {
+			return err
+		}
+	}
+	delete(c.tables, name)
+	return t.Heap.Drop()
+}
+
+// CreateIndex creates an index on table columns and builds it.
+func (c *Catalog) CreateIndex(name, table string, cols []string, temp bool) (*Index, error) {
+	if _, exists := c.indexes[name]; exists {
+		return nil, fmt.Errorf("catalog: index %s already exists", name)
+	}
+	t, ok := c.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("catalog: no table %s", table)
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("catalog: index %s has no columns", name)
+	}
+	idx := &Index{Name: name, Table: table, Cols: cols, Temp: temp || t.Temp}
+	if err := c.attachIndex(t, idx); err != nil {
+		return nil, err
+	}
+	if !idx.Temp {
+		rid, err := c.heap.Insert(encodeIndexRecord(idx))
+		if err != nil {
+			return nil, err
+		}
+		idx.rid = rid
+	}
+	return idx, nil
+}
+
+// DropIndex removes an index.
+func (c *Catalog) DropIndex(name string) error {
+	idx, ok := c.indexes[name]
+	if !ok {
+		return fmt.Errorf("catalog: no index %s", name)
+	}
+	if !idx.Temp {
+		if err := c.heap.Delete(idx.rid); err != nil {
+			return err
+		}
+	}
+	if t := c.tables[idx.Table]; t != nil {
+		for i, ti := range t.Indexes {
+			if ti == idx {
+				t.Indexes = append(t.Indexes[:i], t.Indexes[i+1:]...)
+				break
+			}
+		}
+	}
+	delete(c.indexes, name)
+	return nil
+}
+
+// Flush persists all dirty pages.
+func (c *Catalog) Flush() error { return c.pager.Flush() }
+
+// --- Tuple traffic (index-maintaining) ---
+
+// Insert adds a tuple to the table and all its indexes.
+func (t *Table) Insert(tu rel.Tuple) (storage.RID, error) {
+	if len(tu) != t.Schema.Len() {
+		return storage.RID{}, fmt.Errorf("catalog: arity mismatch inserting into %s: got %d, want %d", t.Name, len(tu), t.Schema.Len())
+	}
+	for i := range tu {
+		if tu[i].Kind != t.Schema.Col(i).Type {
+			return storage.RID{}, fmt.Errorf("catalog: type mismatch in %s column %s: %v", t.Name, t.Schema.Col(i).Name, tu[i])
+		}
+	}
+	rid, err := t.Heap.Insert(tu.Encode(nil))
+	if err != nil {
+		return storage.RID{}, err
+	}
+	for _, idx := range t.Indexes {
+		if err := idx.Tree.Insert(keyOf(tu, idx.Ords), rid); err != nil {
+			return storage.RID{}, err
+		}
+	}
+	t.rows++
+	return rid, nil
+}
+
+// DeleteRID removes the tuple at rid from the heap and all indexes. The
+// caller supplies the decoded tuple (executors always have it in hand).
+func (t *Table) DeleteRID(rid storage.RID, tu rel.Tuple) error {
+	for _, idx := range t.Indexes {
+		if err := idx.Tree.Delete(keyOf(tu, idx.Ords), rid); err != nil {
+			return err
+		}
+	}
+	if err := t.Heap.Delete(rid); err != nil {
+		return err
+	}
+	t.rows--
+	return nil
+}
+
+// Truncate removes all tuples and clears all indexes.
+func (t *Table) Truncate() error {
+	if err := t.Heap.Truncate(); err != nil {
+		return err
+	}
+	for _, idx := range t.Indexes {
+		idx.Tree = newIndexTree()
+	}
+	t.rows = 0
+	return nil
+}
+
+// Scan decodes every tuple. The tuple passed to fn is freshly allocated
+// and may be retained.
+func (t *Table) Scan(fn func(rid storage.RID, tu rel.Tuple) error) error {
+	return t.Heap.Scan(func(rid storage.RID, rec []byte) error {
+		tu, err := rel.DecodeTuple(rec, t.Schema)
+		if err != nil {
+			return fmt.Errorf("catalog: table %s: %w", t.Name, err)
+		}
+		return fn(rid, tu)
+	})
+}
+
+// Count returns the number of tuples.
+func (t *Table) Count() (int, error) { return t.Heap.Count() }
+
+// Get decodes the tuple at rid.
+func (t *Table) Get(rid storage.RID) (rel.Tuple, error) {
+	rec, err := t.Heap.Get(rid)
+	if err != nil {
+		return nil, err
+	}
+	return rel.DecodeTuple(rec, t.Schema)
+}
+
+// IndexOn returns an index of the table whose columns start with the
+// given ordinals (exact prefix match), or nil. The planner uses this to
+// pick access paths.
+func (t *Table) IndexOn(ords []int) *Index {
+	for _, idx := range t.Indexes {
+		if len(idx.Ords) < len(ords) {
+			continue
+		}
+		ok := true
+		for i, o := range ords {
+			if idx.Ords[i] != o {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return idx
+		}
+	}
+	return nil
+}
+
+// --- Record encodings ---
+
+const (
+	recTable byte = 1
+	recIndex byte = 2
+)
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readString(buf []byte) (string, []byte, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 || int(n) > len(buf)-sz {
+		return "", nil, fmt.Errorf("catalog: corrupt string field")
+	}
+	return string(buf[sz : sz+int(n)]), buf[sz+int(n):], nil
+}
+
+func encodeTableRecord(t *Table) []byte {
+	buf := []byte{recTable}
+	buf = appendString(buf, t.Name)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(t.Heap.Head()))
+	buf = binary.AppendUvarint(buf, uint64(t.Schema.Len()))
+	for _, col := range t.Schema.Columns() {
+		buf = appendString(buf, col.Name)
+		buf = append(buf, byte(col.Type))
+	}
+	return buf
+}
+
+func decodeTableRecord(rec []byte) (*Table, error) {
+	buf := rec[1:]
+	name, buf, err := readString(buf)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("catalog: truncated table record for %s", name)
+	}
+	head := storage.PageID(binary.BigEndian.Uint32(buf))
+	buf = buf[4:]
+	ncols, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, fmt.Errorf("catalog: truncated table record for %s", name)
+	}
+	buf = buf[sz:]
+	cols := make([]rel.Column, ncols)
+	for i := range cols {
+		cn, rest, err := readString(buf)
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) < 1 {
+			return nil, fmt.Errorf("catalog: truncated column in table %s", name)
+		}
+		cols[i] = rel.Column{Name: cn, Type: rel.Type(rest[0])}
+		buf = rest[1:]
+	}
+	schema, err := rel.NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Name: name, Schema: schema}
+	t.heapHeadFromRecord = head
+	return t, nil
+}
+
+func encodeIndexRecord(idx *Index) []byte {
+	buf := []byte{recIndex}
+	buf = appendString(buf, idx.Name)
+	buf = appendString(buf, idx.Table)
+	buf = binary.AppendUvarint(buf, uint64(len(idx.Cols)))
+	for _, c := range idx.Cols {
+		buf = appendString(buf, c)
+	}
+	return buf
+}
+
+func decodeIndexRecord(rec []byte) (*Index, error) {
+	buf := rec[1:]
+	name, buf, err := readString(buf)
+	if err != nil {
+		return nil, err
+	}
+	table, buf, err := readString(buf)
+	if err != nil {
+		return nil, err
+	}
+	ncols, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, fmt.Errorf("catalog: truncated index record for %s", name)
+	}
+	buf = buf[sz:]
+	cols := make([]string, ncols)
+	for i := range cols {
+		cols[i], buf, err = readString(buf)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Index{Name: name, Table: table, Cols: cols}, nil
+}

@@ -1,0 +1,263 @@
+package catalog
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"dkbms/internal/rel"
+	"dkbms/internal/storage"
+)
+
+func memCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	c, err := Open(storage.NewMemPager(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func edgeSchema() *rel.Schema {
+	return rel.MustSchema(rel.Column{Name: "src", Type: rel.TypeString}, rel.Column{Name: "dst", Type: rel.TypeString})
+}
+
+func TestCreateDropTable(t *testing.T) {
+	c := memCatalog(t)
+	tb, err := c.CreateTable("parent", edgeSchema(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Table("parent") != tb {
+		t.Fatal("table not registered")
+	}
+	if _, err := c.CreateTable("parent", edgeSchema(), false); err == nil {
+		t.Fatal("duplicate table accepted")
+	}
+	if err := c.DropTable("parent"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Table("parent") != nil {
+		t.Fatal("dropped table still visible")
+	}
+	if err := c.DropTable("parent"); err == nil {
+		t.Fatal("double drop accepted")
+	}
+}
+
+func TestInsertScanTyped(t *testing.T) {
+	c := memCatalog(t)
+	tb, err := c.CreateTable("parent", edgeSchema(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		_, err := tb.Insert(rel.Tuple{rel.NewString(fmt.Sprintf("p%d", i)), rel.NewString(fmt.Sprintf("c%d", i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := tb.Count()
+	if err != nil || n != 100 {
+		t.Fatalf("count = %d, %v", n, err)
+	}
+	// Arity and type errors.
+	if _, err := tb.Insert(rel.Tuple{rel.NewString("x")}); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if _, err := tb.Insert(rel.Tuple{rel.NewInt(1), rel.NewString("y")}); err == nil {
+		t.Fatal("type mismatch accepted")
+	}
+}
+
+func TestIndexMaintenance(t *testing.T) {
+	c := memCatalog(t)
+	tb, err := c.CreateTable("parent", edgeSchema(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateIndex("parent_src", "parent", []string{"src"}, false); err != nil {
+		t.Fatal(err)
+	}
+	var rids []storage.RID
+	var tuples []rel.Tuple
+	for i := 0; i < 50; i++ {
+		tu := rel.Tuple{rel.NewString(fmt.Sprintf("p%d", i%10)), rel.NewString(fmt.Sprintf("c%d", i))}
+		rid, err := tb.Insert(tu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+		tuples = append(tuples, tu)
+	}
+	idx := c.Index("parent_src")
+	if idx == nil {
+		t.Fatal("index not registered")
+	}
+	got := idx.Lookup(rel.Tuple{rel.NewString("p3")})
+	if len(got) != 5 {
+		t.Fatalf("index lookup found %d, want 5", len(got))
+	}
+	// Delete updates the index.
+	if err := tb.DeleteRID(rids[3], tuples[3]); err != nil { // p3,c3
+		t.Fatal(err)
+	}
+	if got := idx.Lookup(rel.Tuple{rel.NewString("p3")}); len(got) != 4 {
+		t.Fatalf("after delete, index has %d, want 4", len(got))
+	}
+	// Truncate clears the index.
+	if err := tb.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := idx.Lookup(rel.Tuple{rel.NewString("p3")}); len(got) != 0 {
+		t.Fatalf("after truncate, index has %d entries", len(got))
+	}
+}
+
+func TestIndexOnExistingData(t *testing.T) {
+	c := memCatalog(t)
+	tb, _ := c.CreateTable("e", edgeSchema(), false)
+	for i := 0; i < 30; i++ {
+		if _, err := tb.Insert(rel.Tuple{rel.NewString("a"), rel.NewString(fmt.Sprintf("b%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Index created after the fact must be built from the heap.
+	if _, err := c.CreateIndex("e_src", "e", []string{"src"}, false); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.Index("e_src").Entries(); n != 30 {
+		t.Fatalf("built index has %d entries, want 30", n)
+	}
+}
+
+func TestIndexErrors(t *testing.T) {
+	c := memCatalog(t)
+	if _, err := c.CreateIndex("i", "nosuch", []string{"x"}, false); err == nil {
+		t.Fatal("index on missing table accepted")
+	}
+	c.CreateTable("e", edgeSchema(), false)
+	if _, err := c.CreateIndex("i", "e", []string{"nocol"}, false); err == nil {
+		t.Fatal("index on missing column accepted")
+	}
+	if _, err := c.CreateIndex("i", "e", nil, false); err == nil {
+		t.Fatal("index with no columns accepted")
+	}
+	if _, err := c.CreateIndex("ok", "e", []string{"src"}, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateIndex("ok", "e", []string{"dst"}, false); err == nil {
+		t.Fatal("duplicate index name accepted")
+	}
+	if err := c.DropIndex("nosuch"); err == nil {
+		t.Fatal("drop of missing index accepted")
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db")
+	pager, err := storage.OpenPager(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Open(pager)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := c.CreateTable("facts", rel.MustSchema(
+		rel.Column{Name: "id", Type: rel.TypeInt},
+		rel.Column{Name: "name", Type: rel.TypeString},
+	), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateIndex("facts_id", "facts", []string{"id"}, false); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := tb.Insert(rel.Tuple{rel.NewInt(int64(i)), rel.NewString(fmt.Sprintf("n%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Temp table must NOT persist.
+	if _, err := c.CreateTable("scratch", edgeSchema(), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := pager.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	pager2, err := storage.OpenPager(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pager2.Close()
+	c2, err := Open(pager2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Table("scratch") != nil {
+		t.Fatal("temp table persisted")
+	}
+	tb2 := c2.Table("facts")
+	if tb2 == nil {
+		t.Fatal("table lost across reopen")
+	}
+	if !tb2.Schema.Equal(tb.Schema) {
+		t.Fatalf("schema lost: %v", tb2.Schema)
+	}
+	n, err := tb2.Count()
+	if err != nil || n != 200 {
+		t.Fatalf("count = %d, %v", n, err)
+	}
+	// Index must be rebuilt with correct contents.
+	idx := c2.Index("facts_id")
+	if idx == nil {
+		t.Fatal("index lost across reopen")
+	}
+	rids := idx.Lookup(rel.Tuple{rel.NewInt(42)})
+	if len(rids) != 1 {
+		t.Fatalf("rebuilt index lookup = %v", rids)
+	}
+	tu, err := tb2.Get(rids[0])
+	if err != nil || tu[1].Str != "n42" {
+		t.Fatalf("lookup row = %v, %v", tu, err)
+	}
+}
+
+func TestIndexOnPrefixMatch(t *testing.T) {
+	c := memCatalog(t)
+	tb, _ := c.CreateTable("e", edgeSchema(), false)
+	c.CreateIndex("e_both", "e", []string{"src", "dst"}, false)
+	if tb.IndexOn([]int{0}) == nil {
+		t.Fatal("prefix [src] should match index (src,dst)")
+	}
+	if tb.IndexOn([]int{0, 1}) == nil {
+		t.Fatal("exact [src,dst] should match")
+	}
+	if tb.IndexOn([]int{1}) != nil {
+		t.Fatal("[dst] must not match index (src,dst)")
+	}
+}
+
+func TestTablesSorted(t *testing.T) {
+	c := memCatalog(t)
+	c.CreateTable("zeta", edgeSchema(), false)
+	c.CreateTable("alpha", edgeSchema(), false)
+	names := c.Tables()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "zeta" {
+		t.Fatalf("Tables() = %v", names)
+	}
+}
+
+func TestDropTableDropsIndexes(t *testing.T) {
+	c := memCatalog(t)
+	c.CreateTable("e", edgeSchema(), false)
+	c.CreateIndex("e_src", "e", []string{"src"}, false)
+	if err := c.DropTable("e"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Index("e_src") != nil {
+		t.Fatal("index survived table drop")
+	}
+}

@@ -1,0 +1,78 @@
+package db
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"dkbms/internal/exec"
+	"dkbms/internal/plan"
+	"dkbms/internal/rel"
+	"dkbms/internal/sql"
+)
+
+// Stmt is a prepared SELECT: parsed once, planned per execution (plans
+// bind physical table state, so they are rebuilt each Open). This is
+// the testbed's analog of the paper's embedded-SQL interface: DECLARE
+// CURSOR / OPEN / FETCH / CLOSE against the DBMS.
+type Stmt struct {
+	d   *DB
+	sel *sql.Select
+	src string
+}
+
+// Prepare parses a SELECT for repeated cursor execution.
+func (d *DB) Prepare(stmt string) (*Stmt, error) {
+	st, err := sql.Parse(stmt)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*sql.Select)
+	if !ok {
+		return nil, fmt.Errorf("db: Prepare requires a SELECT, got %T", st)
+	}
+	return &Stmt{d: d, sel: sel, src: stmt}, nil
+}
+
+// Source returns the statement text.
+func (s *Stmt) Source() string { return s.src }
+
+// Open plans the statement against current table state and opens a
+// cursor. The caller must Close it.
+func (s *Stmt) Open() (*Cursor, error) {
+	op, err := plan.BuildSelect(s.d.cat, s.sel)
+	if err != nil {
+		return nil, err
+	}
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	atomic.AddInt64(&s.d.Stats.Selects, 1)
+	return &Cursor{op: op}, nil
+}
+
+// Cursor streams a query's result tuple by tuple — unlike DB.Query,
+// nothing beyond operator state is materialized on the client side.
+type Cursor struct {
+	op     exec.Operator
+	closed bool
+}
+
+// Schema describes the cursor's rows.
+func (c *Cursor) Schema() *rel.Schema { return c.op.Schema() }
+
+// Fetch returns the next tuple, or (nil, nil) at end of results.
+func (c *Cursor) Fetch() (rel.Tuple, error) {
+	if c.closed {
+		return nil, fmt.Errorf("db: fetch on closed cursor")
+	}
+	return c.op.Next()
+}
+
+// Close releases the cursor. Closing twice is a no-op.
+func (c *Cursor) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.op.Close()
+}

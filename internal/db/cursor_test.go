@@ -1,0 +1,103 @@
+package db
+
+import (
+	"testing"
+)
+
+func TestCursorFetchLoop(t *testing.T) {
+	d := family(t)
+	stmt, err := d.Prepare("SELECT chd FROM parent WHERE par = 'john'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := stmt.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	if cur.Schema().Col(0).Name != "chd" {
+		t.Fatalf("schema %v", cur.Schema())
+	}
+	var got []string
+	for {
+		tu, err := cur.Fetch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tu == nil {
+			break
+		}
+		got = append(got, tu[0].Str)
+	}
+	if len(got) != 2 {
+		t.Fatalf("fetched %v", got)
+	}
+}
+
+func TestCursorReexecutionSeesNewData(t *testing.T) {
+	// The paper's precompiled embedded queries re-open cursors against
+	// fresh data; each Open replans against current table state.
+	d := family(t)
+	stmt, err := d.Prepare("SELECT COUNT(*) FROM parent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func() int64 {
+		cur, err := stmt.Open()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cur.Close()
+		tu, err := cur.Fetch()
+		if err != nil || tu == nil {
+			t.Fatalf("fetch: %v %v", tu, err)
+		}
+		return tu[0].Int
+	}
+	if n := count(); n != 5 {
+		t.Fatalf("count = %d", n)
+	}
+	mustExec(t, d, "INSERT INTO parent VALUES ('lea','zoe')")
+	if n := count(); n != 6 {
+		t.Fatalf("count after insert = %d", n)
+	}
+}
+
+func TestCursorErrors(t *testing.T) {
+	d := family(t)
+	if _, err := d.Prepare("DELETE FROM parent"); err == nil {
+		t.Fatal("non-SELECT prepared")
+	}
+	if _, err := d.Prepare("SELEKT x"); err == nil {
+		t.Fatal("garbage prepared")
+	}
+	stmt, err := d.Prepare("SELECT par FROM parent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := stmt.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cur.Fetch(); err == nil {
+		t.Fatal("fetch on closed cursor succeeded")
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatal("double close errored")
+	}
+	// Prepared against a table that later disappears: Open must fail
+	// cleanly.
+	stmt2, err := d.Prepare("SELECT x FROM ghost")
+	if err != nil {
+		t.Fatal(err) // parsing succeeds; planning happens at Open
+	}
+	if _, err := stmt2.Open(); err == nil {
+		t.Fatal("open against missing table succeeded")
+	}
+	if stmt.Source() == "" {
+		t.Fatal("source lost")
+	}
+}

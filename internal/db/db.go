@@ -1,0 +1,276 @@
+// Package db is the embedded relational DBMS the Knowledge Manager
+// targets — the testbed's stand-in for the paper's commercial relational
+// database with an embedded-SQL interface. It ties together the SQL
+// front-end, the planner, the executor and the storage engine behind a
+// small Exec/Query API.
+package db
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"dkbms/internal/catalog"
+	"dkbms/internal/exec"
+	"dkbms/internal/plan"
+	"dkbms/internal/rel"
+	"dkbms/internal/sql"
+	"dkbms/internal/storage"
+)
+
+// DB is one open database.
+type DB struct {
+	pager *storage.Pager
+	cat   *catalog.Catalog
+
+	// Stats counts statement traffic for the measurement harness.
+	Stats Stats
+}
+
+// Stats are cumulative statement counters. Counters are updated
+// atomically: read-only statements may run concurrently (the run-time
+// library's parallel rule evaluation does).
+type Stats struct {
+	Selects int64
+	Inserts int64
+	// InsertedRows counts rows written by INSERT statements.
+	InsertedRows int64
+	Deletes      int64
+	DDL          int64
+}
+
+// Open opens (creating if needed) a file-backed database with the
+// default buffer-pool size.
+func Open(path string) (*DB, error) { return OpenWithPool(path, 0) }
+
+// OpenWithPool opens a file-backed database with an explicit buffer
+// pool capacity in pages (0 = default). Small pools force eviction
+// traffic; tests and memory-constrained deployments use this.
+func OpenWithPool(path string, poolPages int) (*DB, error) {
+	pager, err := storage.OpenPager(path, poolPages)
+	if err != nil {
+		return nil, err
+	}
+	cat, err := catalog.Open(pager)
+	if err != nil {
+		pager.Close()
+		return nil, err
+	}
+	return &DB{pager: pager, cat: cat}, nil
+}
+
+// OpenMemory opens a fresh in-memory database.
+func OpenMemory() *DB {
+	pager := storage.NewMemPager(0)
+	cat, err := catalog.Open(pager)
+	if err != nil {
+		// A fresh memory pager cannot fail to initialize; treat as a
+		// programming error.
+		panic(fmt.Sprintf("db: init memory database: %v", err))
+	}
+	return &DB{pager: pager, cat: cat}
+}
+
+// Close flushes and closes the database.
+func (d *DB) Close() error { return d.pager.Close() }
+
+// Catalog exposes the schema manager (the KM's stored-D/KB manager uses
+// it for direct bulk loads that bypass SQL parsing).
+func (d *DB) Catalog() *catalog.Catalog { return d.cat }
+
+// Rows is a fully-materialized query result.
+type Rows struct {
+	Schema *rel.Schema
+	Tuples []rel.Tuple
+}
+
+// Exec parses and executes a statement that returns no rows (DDL, DML).
+// Executing a SELECT through Exec is an error; use Query.
+func (d *DB) Exec(stmt string) error {
+	st, err := sql.Parse(stmt)
+	if err != nil {
+		return err
+	}
+	switch s := st.(type) {
+	case *sql.Select:
+		return fmt.Errorf("db: Exec called with a SELECT; use Query")
+	case sql.CreateTable:
+		return d.execCreateTable(s)
+	case sql.DropTable:
+		return d.execDropTable(s)
+	case sql.CreateIndex:
+		return d.execCreateIndex(s)
+	case sql.DropIndex:
+		atomic.AddInt64(&d.Stats.DDL, 1)
+		return d.cat.DropIndex(s.Name)
+	case sql.Insert:
+		return d.execInsert(s)
+	case sql.Delete:
+		return d.execDelete(s)
+	default:
+		return fmt.Errorf("db: unhandled statement %T", st)
+	}
+}
+
+// Query parses, plans and fully evaluates a SELECT.
+func (d *DB) Query(stmt string) (*Rows, error) {
+	st, err := sql.Parse(stmt)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*sql.Select)
+	if !ok {
+		return nil, fmt.Errorf("db: Query called with a non-SELECT %T; use Exec", st)
+	}
+	return d.runSelect(sel)
+}
+
+// QueryCount evaluates a SELECT COUNT(*) (or any single-int-row query)
+// and returns the count.
+func (d *DB) QueryCount(stmt string) (int64, error) {
+	rows, err := d.Query(stmt)
+	if err != nil {
+		return 0, err
+	}
+	if len(rows.Tuples) != 1 || len(rows.Tuples[0]) != 1 || rows.Tuples[0][0].Kind != rel.TypeInt {
+		return 0, fmt.Errorf("db: QueryCount: result is not a single integer")
+	}
+	return rows.Tuples[0][0].Int, nil
+}
+
+func (d *DB) runSelect(sel *sql.Select) (*Rows, error) {
+	atomic.AddInt64(&d.Stats.Selects, 1)
+	op, err := plan.BuildSelect(d.cat, sel)
+	if err != nil {
+		return nil, err
+	}
+	tuples, err := exec.Collect(op)
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{Schema: op.Schema(), Tuples: tuples}, nil
+}
+
+func (d *DB) execCreateTable(s sql.CreateTable) error {
+	atomic.AddInt64(&d.Stats.DDL, 1)
+	schema, err := rel.NewSchema(s.Columns...)
+	if err != nil {
+		return err
+	}
+	_, err = d.cat.CreateTable(s.Name, schema, s.Temp)
+	return err
+}
+
+func (d *DB) execDropTable(s sql.DropTable) error {
+	atomic.AddInt64(&d.Stats.DDL, 1)
+	if d.cat.Table(s.Name) == nil && s.IfExists {
+		return nil
+	}
+	return d.cat.DropTable(s.Name)
+}
+
+func (d *DB) execCreateIndex(s sql.CreateIndex) error {
+	atomic.AddInt64(&d.Stats.DDL, 1)
+	_, err := d.cat.CreateIndex(s.Name, s.Table, s.Columns, false)
+	return err
+}
+
+func (d *DB) execInsert(s sql.Insert) error {
+	atomic.AddInt64(&d.Stats.Inserts, 1)
+	t := d.cat.Table(s.Table)
+	if t == nil {
+		return fmt.Errorf("db: no table %s", s.Table)
+	}
+	if s.Query != nil {
+		op, err := plan.BuildSelect(d.cat, s.Query)
+		if err != nil {
+			return err
+		}
+		if !op.Schema().TypesCompatible(t.Schema) {
+			return fmt.Errorf("db: INSERT INTO %s: select schema %v incompatible with table schema %v",
+				s.Table, op.Schema(), t.Schema)
+		}
+		// Materialize before writing so self-referential inserts
+		// (INSERT INTO t SELECT ... FROM t) read a stable snapshot.
+		tuples, err := exec.Collect(op)
+		if err != nil {
+			return err
+		}
+		for _, tu := range tuples {
+			if _, err := t.Insert(tu); err != nil {
+				return err
+			}
+			atomic.AddInt64(&d.Stats.InsertedRows, 1)
+		}
+		return nil
+	}
+	for _, row := range s.Rows {
+		tu := make(rel.Tuple, len(row))
+		for i, e := range row {
+			lit, ok := e.(sql.Literal)
+			if !ok {
+				return fmt.Errorf("db: non-literal in VALUES row")
+			}
+			tu[i] = lit.Value
+		}
+		if _, err := t.Insert(tu); err != nil {
+			return err
+		}
+		atomic.AddInt64(&d.Stats.InsertedRows, 1)
+	}
+	return nil
+}
+
+func (d *DB) execDelete(s sql.Delete) error {
+	atomic.AddInt64(&d.Stats.Deletes, 1)
+	t := d.cat.Table(s.Table)
+	if t == nil {
+		return fmt.Errorf("db: no table %s", s.Table)
+	}
+	if s.Where == nil {
+		return t.Truncate()
+	}
+	// Resolve the predicate against the table schema (single-table
+	// scope), collect victims, then delete.
+	pred, err := plan.BindTablePred(t, s.Where)
+	if err != nil {
+		return err
+	}
+	type victim struct {
+		rid storage.RID
+		tu  rel.Tuple
+	}
+	var victims []victim
+	err = t.Scan(func(rid storage.RID, tu rel.Tuple) error {
+		if pred.Holds(tu) {
+			victims = append(victims, victim{rid, tu})
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, v := range victims {
+		if err := t.DeleteRID(v.rid, v.tu); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TableRows returns the maintained row count of a table (0 if absent).
+func (d *DB) TableRows(name string) int {
+	t := d.cat.Table(name)
+	if t == nil {
+		return 0
+	}
+	return t.Rows()
+}
+
+// HasTable reports whether the table exists.
+func (d *DB) HasTable(name string) bool { return d.cat.Table(name) != nil }
+
+// Flush persists dirty pages (no-op cost for memory databases).
+func (d *DB) Flush() error { return d.pager.Flush() }
+
+// PagerStats returns buffer-pool counters.
+func (d *DB) PagerStats() storage.PagerStats { return d.pager.Stats }

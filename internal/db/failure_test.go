@@ -1,0 +1,175 @@
+package db
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestOpenRejectsNonDatabaseFile: a file with the wrong magic must be
+// refused, not misinterpreted.
+func TestOpenRejectsNonDatabaseFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not-a-db")
+	if err := os.WriteFile(path, make([]byte, 8192), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("zero-filled file opened as a database")
+	}
+}
+
+// TestOpenRejectsTruncatedFile: a file whose size is not a multiple of
+// the page size is corrupt.
+func TestOpenRejectsTruncatedFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trunc.db")
+	d, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, d, "CREATE TABLE t (x INTEGER)", "INSERT INTO t VALUES (1)")
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, st.Size()-100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("truncated file opened")
+	}
+}
+
+// TestSurvivesCatalogOfManyTables: churn a few hundred DDL operations
+// and reopen; the catalog heap must replay cleanly.
+func TestSurvivesCatalogOfManyTables(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "churn.db")
+	d, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		mustExec(t, d,
+			"CREATE TABLE t"+itoa(i)+" (a INTEGER, b CHAR)",
+			"CREATE INDEX ix"+itoa(i)+" ON t"+itoa(i)+" (a)",
+			"INSERT INTO t"+itoa(i)+" VALUES ("+itoa(i)+", 'v')",
+		)
+		if i%3 == 0 && i > 0 {
+			mustExec(t, d, "DROP TABLE t"+itoa(i-1))
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	// Spot checks.
+	rows := mustQuery(t, d2, "SELECT b FROM t0 WHERE a = 0")
+	if len(rows.Tuples) != 1 || rows.Tuples[0][0].Str != "v" {
+		t.Fatalf("t0 contents: %v", rows.Tuples)
+	}
+	if d2.HasTable("t2") {
+		t.Fatal("dropped table resurrected")
+	}
+	if !d2.HasTable("t99") {
+		t.Fatal("t99 lost")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// TestDeleteDuringIteration: DELETE collects victims before removing,
+// so a predicate matching everything is safe.
+func TestDeleteDuringIteration(t *testing.T) {
+	d := OpenMemory()
+	mustExec(t, d, "CREATE TABLE t (x INTEGER)")
+	for i := 0; i < 1000; i++ {
+		mustExec(t, d, "INSERT INTO t VALUES ("+itoa(i)+")")
+	}
+	mustExec(t, d, "DELETE FROM t WHERE x >= 0")
+	if n := d.TableRows("t"); n != 0 {
+		t.Fatalf("%d rows left", n)
+	}
+}
+
+// TestLargeStrings: strings spanning a good fraction of a page round-trip.
+func TestLargeStrings(t *testing.T) {
+	d := OpenMemory()
+	mustExec(t, d, "CREATE TABLE t (s CHAR)")
+	big := make([]byte, 3000)
+	for i := range big {
+		big[i] = byte('a' + i%26)
+	}
+	mustExec(t, d, "INSERT INTO t VALUES ('"+string(big)+"')")
+	rows := mustQuery(t, d, "SELECT s FROM t")
+	if len(rows.Tuples) != 1 || rows.Tuples[0][0].Str != string(big) {
+		t.Fatal("large string corrupted")
+	}
+	// Oversized record must fail cleanly, not corrupt the page.
+	huge := make([]byte, 5000)
+	for i := range huge {
+		huge[i] = 'x'
+	}
+	if err := d.Exec("INSERT INTO t VALUES ('" + string(huge) + "')"); err == nil {
+		t.Fatal("page-exceeding record accepted")
+	}
+	rows = mustQuery(t, d, "SELECT COUNT(*) FROM t")
+	if rows.Tuples[0][0].Int != 1 {
+		t.Fatal("failed insert changed row count")
+	}
+}
+
+// TestTinyBufferPoolEndToEnd runs a join workload through a pool far
+// smaller than the data, forcing eviction and write-back on every scan.
+func TestTinyBufferPoolEndToEnd(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tiny.db")
+	d, err := OpenWithPool(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, d, "CREATE TABLE e (a INTEGER, b INTEGER)", "CREATE INDEX e_a ON e (a)")
+	for i := 0; i < 3000; i++ {
+		mustExec(t, d, "INSERT INTO e VALUES ("+itoa(i%100)+", "+itoa(i)+")")
+	}
+	if d.PagerStats().Evictions == 0 {
+		t.Fatal("expected evictions with an 8-page pool")
+	}
+	n, err := d.QueryCount("SELECT COUNT(*) FROM e WHERE a = 7")
+	if err != nil || n != 30 {
+		t.Fatalf("count = %d, %v", n, err)
+	}
+	rows := mustQuery(t, d, "SELECT t0.b FROM e t0, e t1 WHERE t0.a = t1.b AND t1.a = 7")
+	if len(rows.Tuples) == 0 {
+		t.Fatal("join under eviction returned nothing")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen and verify durability through all that eviction traffic.
+	d2, err := OpenWithPool(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	n, err = d2.QueryCount("SELECT COUNT(*) FROM e")
+	if err != nil || n != 3000 {
+		t.Fatalf("rows after reopen = %d, %v", n, err)
+	}
+}

@@ -1,0 +1,259 @@
+package dlog
+
+import (
+	"strings"
+	"testing"
+
+	"dkbms/internal/rel"
+)
+
+func TestParseFact(t *testing.T) {
+	c := MustParseClause("parent(john, mary).")
+	if !c.IsFact() {
+		t.Fatal("not a fact")
+	}
+	if c.Head.Pred != "parent" || c.Head.Args[0].Val.Str != "john" {
+		t.Fatalf("%+v", c)
+	}
+}
+
+func TestParseRule(t *testing.T) {
+	c := MustParseClause("ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).")
+	if c.IsFact() || len(c.Body) != 2 {
+		t.Fatalf("%+v", c)
+	}
+	if !c.Head.Args[0].IsVar() || c.Head.Args[0].Var != "X" {
+		t.Fatalf("head arg: %+v", c.Head.Args[0])
+	}
+	if c.Body[1].Pred != "ancestor" {
+		t.Fatalf("body: %+v", c.Body)
+	}
+}
+
+func TestParseArrowSyntax(t *testing.T) {
+	c := MustParseClause("p(X) <- q(X).")
+	if len(c.Body) != 1 || c.Body[0].Pred != "q" {
+		t.Fatalf("%+v", c)
+	}
+}
+
+func TestParseTerms(t *testing.T) {
+	c := MustParseClause(`t(X, lower, "Quoted String", 42, -7, _Anon).`)
+	args := c.Head.Args
+	if !args[0].IsVar() {
+		t.Fatal("X should be a variable")
+	}
+	if args[1].IsVar() || args[1].Val.Str != "lower" {
+		t.Fatalf("lower: %+v", args[1])
+	}
+	if args[2].Val.Str != "Quoted String" {
+		t.Fatalf("quoted: %+v", args[2])
+	}
+	if args[3].Val.Int != 42 || args[4].Val.Int != -7 {
+		t.Fatalf("ints: %+v %+v", args[3], args[4])
+	}
+	if !args[5].IsVar() || args[5].Var != "_Anon" {
+		t.Fatalf("underscore var: %+v", args[5])
+	}
+}
+
+func TestParseProgramWithQueriesAndComments(t *testing.T) {
+	src := `
+% the classic example
+parent(john, mary).
+parent(mary, ann).  # trailing comment
+ancestor(X, Y) :- parent(X, Y).
+ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).
+?- ancestor(john, W).
+`
+	prog, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Clauses) != 4 || len(prog.Queries) != 1 {
+		t.Fatalf("clauses=%d queries=%d", len(prog.Clauses), len(prog.Queries))
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	q := prog.Queries[0]
+	if len(q.Goals) != 1 || q.Goals[0].Args[1].Var != "W" {
+		t.Fatalf("%+v", q)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"parent(john, mary)",  // missing period
+		"Parent(john, mary).", // upper-case predicate
+		"parent(john mary).",
+		"parent().",
+		"p(X) :- .",
+		`p("unterminated).`,
+		"p(X) :- q(X), .",
+	}
+	for _, src := range bad {
+		if _, err := ParseClause(src); err == nil {
+			t.Errorf("ParseClause(%q) unexpectedly succeeded", src)
+		}
+	}
+}
+
+func TestClauseStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		"parent(john, mary).",
+		"ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).",
+		`label(X, "Hello World") :- node(X).`,
+		"num(X, 42) :- base(X).",
+	}
+	for _, src := range srcs {
+		c := MustParseClause(src)
+		printed := c.String()
+		c2, err := ParseClause(printed)
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", printed, err)
+		}
+		if c2.String() != printed {
+			t.Fatalf("unstable print: %q vs %q", c2.String(), printed)
+		}
+	}
+}
+
+func TestRangeRestricted(t *testing.T) {
+	ok := MustParseClause("p(X, Y) :- q(X), r(Y).")
+	if !ok.RangeRestricted() {
+		t.Fatal("should be range-restricted")
+	}
+	bad := MustParseClause("p(X, Y) :- q(X).")
+	if bad.RangeRestricted() {
+		t.Fatal("Y is unbound; should fail")
+	}
+	fact := MustParseClause("p(a).")
+	if !fact.RangeRestricted() {
+		t.Fatal("ground fact is range-restricted")
+	}
+}
+
+func TestValidateArityConsistency(t *testing.T) {
+	prog, err := ParseProgram("p(a, b). p(c) :- q(c).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Validate(); err == nil {
+		t.Fatal("inconsistent arity accepted")
+	}
+	// Non-range-restricted program.
+	prog2, _ := ParseProgram("p(X, Y) :- q(X).")
+	if err := prog2.Validate(); err == nil {
+		t.Fatal("non-range-restricted program accepted")
+	}
+}
+
+func TestQueryAsClause(t *testing.T) {
+	q, err := ParseQuery("?- ancestor(john, X), person(X).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := q.AsClause()
+	if c.Head.Pred != QueryPred {
+		t.Fatalf("head pred %s", c.Head.Pred)
+	}
+	if len(c.Head.Args) != 1 || c.Head.Args[0].Var != "X" {
+		t.Fatalf("head args %+v", c.Head.Args)
+	}
+	if len(c.Body) != 2 {
+		t.Fatalf("body %+v", c.Body)
+	}
+}
+
+func TestQueryWithoutPrefix(t *testing.T) {
+	q, err := ParseQuery("ancestor(john, X).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Goals) != 1 {
+		t.Fatalf("%+v", q)
+	}
+}
+
+func TestVarsOrder(t *testing.T) {
+	c := MustParseClause("p(Y, X) :- q(X, Z), r(Z, Y).")
+	vars := c.Vars()
+	if strings.Join(vars, ",") != "Y,X,Z" {
+		t.Fatalf("vars = %v", vars)
+	}
+	q, _ := ParseQuery("?- q(B, A), r(A, C).")
+	if strings.Join(q.Vars(), ",") != "B,A,C" {
+		t.Fatalf("query vars = %v", q.Vars())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	c := MustParseClause("p(X) :- q(X).")
+	c2 := c.Clone()
+	c2.Head.Pred = "z"
+	c2.Body[0].Args[0] = CStr("k")
+	if c.Head.Pred != "p" || c.Body[0].Args[0].Var != "X" {
+		t.Fatal("clone aliases original")
+	}
+	c3 := c.Rename("renamed")
+	if c3.Head.Pred != "renamed" || c.Head.Pred != "p" {
+		t.Fatal("rename wrong")
+	}
+}
+
+func TestTermStringQuoting(t *testing.T) {
+	if CStr("john").String() != "john" {
+		t.Fatal("plain constant should be unquoted")
+	}
+	if CStr("John").String() != `"John"` {
+		t.Fatalf("capitalized constant must be quoted: %s", CStr("John").String())
+	}
+	if CStr("two words").String() != `"two words"` {
+		t.Fatal("spaces need quotes")
+	}
+	if CInt(-3).String() != "-3" {
+		t.Fatal("int term")
+	}
+	if V("Xyz").String() != "Xyz" {
+		t.Fatal("var term")
+	}
+}
+
+func TestIsGroundAndAtomVars(t *testing.T) {
+	a := NewAtom("p", CStr("a"), V("X"), V("X"), CInt(1))
+	if a.IsGround() {
+		t.Fatal("has a var")
+	}
+	if vars := a.Vars(); len(vars) != 1 || vars[0] != "X" {
+		t.Fatalf("vars = %v", vars)
+	}
+	g := NewAtom("p", CStr("a"), CInt(2))
+	if !g.IsGround() {
+		t.Fatal("ground atom misreported")
+	}
+}
+
+func TestZeroArityRejected(t *testing.T) {
+	if _, err := ParseClause("p()."); err == nil {
+		t.Fatal("zero-arity atom parsed")
+	}
+}
+
+func TestValueTypesInTerms(t *testing.T) {
+	c := MustParseClause("p(1, x).")
+	if c.Head.Args[0].Val.Kind != rel.TypeInt || c.Head.Args[1].Val.Kind != rel.TypeString {
+		t.Fatalf("%+v", c.Head.Args)
+	}
+}
+
+func BenchmarkParseClause(b *testing.B) {
+	const src = "ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y)."
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseClause(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,303 @@
+package dlog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ParseProgram parses a sequence of clauses and queries.
+func ParseProgram(src string) (*Program, error) {
+	p := &dparser{src: src}
+	prog := &Program{}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return prog, nil
+		}
+		if p.peekStr("?-") {
+			q, err := p.query()
+			if err != nil {
+				return nil, err
+			}
+			prog.Queries = append(prog.Queries, q)
+			continue
+		}
+		c, err := p.clause()
+		if err != nil {
+			return nil, err
+		}
+		prog.Clauses = append(prog.Clauses, c)
+	}
+}
+
+// ParseClause parses exactly one clause (rule or fact).
+func ParseClause(src string) (Clause, error) {
+	p := &dparser{src: src}
+	c, err := p.clause()
+	if err != nil {
+		return Clause{}, err
+	}
+	p.skipSpace()
+	if p.pos < len(p.src) {
+		return Clause{}, p.errf("trailing input after clause")
+	}
+	return c, nil
+}
+
+// ParseQuery parses exactly one query ("?- ..." with the prefix
+// optional).
+func ParseQuery(src string) (Query, error) {
+	p := &dparser{src: src}
+	p.skipSpace()
+	p.peekStr("?-") // consume if present
+	q, err := p.goals()
+	if err != nil {
+		return Query{}, err
+	}
+	p.skipSpace()
+	if p.pos < len(p.src) {
+		return Query{}, p.errf("trailing input after query")
+	}
+	return q, nil
+}
+
+// MustParseClause is ParseClause panicking on error; for tests and
+// fixture literals.
+func MustParseClause(src string) Clause {
+	c, err := ParseClause(src)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+type dparser struct {
+	src string
+	pos int
+}
+
+func (p *dparser) errf(format string, args ...any) error {
+	tail := p.src[p.pos:]
+	if len(tail) > 40 {
+		tail = tail[:40] + "..."
+	}
+	return fmt.Errorf("dlog: %s (at %q)", fmt.Sprintf(format, args...), tail)
+}
+
+func (p *dparser) skipSpace() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			p.pos++
+			continue
+		}
+		if c == '%' { // Prolog-style line comment
+			for p.pos < len(p.src) && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+			continue
+		}
+		if c == '#' { // shell-style line comment
+			for p.pos < len(p.src) && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+// peekStr consumes s if the input starts with it.
+func (p *dparser) peekStr(s string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func (p *dparser) expectByte(c byte) error {
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != c {
+		return p.errf("expected %q", string(c))
+	}
+	p.pos++
+	return nil
+}
+
+func (p *dparser) query() (Query, error) {
+	q, err := p.goals()
+	if err != nil {
+		return Query{}, err
+	}
+	return q, nil
+}
+
+func (p *dparser) goals() (Query, error) {
+	var q Query
+	for {
+		a, err := p.atom()
+		if err != nil {
+			return Query{}, err
+		}
+		q.Goals = append(q.Goals, a)
+		p.skipSpace()
+		if p.peekStr(",") {
+			continue
+		}
+		if err := p.expectByte('.'); err != nil {
+			return Query{}, err
+		}
+		return q, nil
+	}
+}
+
+func (p *dparser) clause() (Clause, error) {
+	head, err := p.atom()
+	if err != nil {
+		return Clause{}, err
+	}
+	c := Clause{Head: head}
+	p.skipSpace()
+	if p.peekStr(":-") || p.peekStr("<-") {
+		for {
+			a, err := p.atom()
+			if err != nil {
+				return Clause{}, err
+			}
+			c.Body = append(c.Body, a)
+			if p.peekStr(",") {
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectByte('.'); err != nil {
+		return Clause{}, err
+	}
+	return c, nil
+}
+
+func (p *dparser) atom() (Atom, error) {
+	p.skipSpace()
+	name, err := p.identifier()
+	if err != nil {
+		return Atom{}, err
+	}
+	if name == "" || !isPredName(name) {
+		return Atom{}, p.errf("predicate name must start with a lower-case letter or '_', got %q", name)
+	}
+	if err := p.expectByte('('); err != nil {
+		return Atom{}, err
+	}
+	a := Atom{Pred: name}
+	for {
+		t, err := p.term()
+		if err != nil {
+			return Atom{}, err
+		}
+		a.Args = append(a.Args, t)
+		if p.peekStr(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectByte(')'); err != nil {
+		return Atom{}, err
+	}
+	return a, nil
+}
+
+func (p *dparser) term() (Term, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return Term{}, p.errf("unexpected end of input in term")
+	}
+	c := p.src[p.pos]
+	switch {
+	case c == '"':
+		s, err := p.quoted()
+		if err != nil {
+			return Term{}, err
+		}
+		return CStr(s), nil
+	case c == '-' || (c >= '0' && c <= '9'):
+		start := p.pos
+		if c == '-' {
+			p.pos++
+		}
+		for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+			p.pos++
+		}
+		n, err := strconv.ParseInt(p.src[start:p.pos], 10, 64)
+		if err != nil {
+			return Term{}, p.errf("bad integer %q", p.src[start:p.pos])
+		}
+		return CInt(n), nil
+	default:
+		name, err := p.identifier()
+		if err != nil {
+			return Term{}, err
+		}
+		if name == "" {
+			return Term{}, p.errf("expected term")
+		}
+		if isLowerStart(name) {
+			return CStr(name), nil
+		}
+		return V(name), nil
+	}
+}
+
+func (p *dparser) quoted() (string, error) {
+	// p.src[p.pos] == '"'
+	p.pos++
+	var b strings.Builder
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch c {
+		case '"':
+			p.pos++
+			return b.String(), nil
+		case '\\':
+			if p.pos+1 < len(p.src) {
+				b.WriteByte(p.src[p.pos+1])
+				p.pos += 2
+				continue
+			}
+			return "", p.errf("dangling escape")
+		default:
+			b.WriteByte(c)
+			p.pos++
+		}
+	}
+	return "", p.errf("unterminated string")
+}
+
+func (p *dparser) identifier() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		r := rune(p.src[p.pos])
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return p.src[start:p.pos], nil
+}
+
+func isLowerStart(s string) bool {
+	return len(s) > 0 && s[0] >= 'a' && s[0] <= 'z'
+}
+
+// isPredName reports whether s can name a predicate: lower-case start
+// for user predicates, '_' start for reserved internal predicates (the
+// compiled query head, magic-set auxiliaries).
+func isPredName(s string) bool {
+	return isLowerStart(s) || (len(s) > 0 && s[0] == '_')
+}

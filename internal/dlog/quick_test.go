@@ -1,0 +1,110 @@
+package dlog
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dkbms/internal/rel"
+)
+
+// genTerm produces a random term from a bounded vocabulary.
+func genTerm(r *rand.Rand) Term {
+	switch r.Intn(4) {
+	case 0:
+		return V([]string{"X", "Y", "Zvar", "_W"}[r.Intn(4)])
+	case 1:
+		return CInt(int64(r.Intn(2000) - 1000))
+	case 2:
+		return CStr([]string{"alpha", "b1", "c_2"}[r.Intn(3)])
+	default:
+		// Quoted-string territory: spaces, capitals, escapes.
+		return CStr([]string{"Hello World", "Mixed Case", `quo"te`, ""}[r.Intn(4)])
+	}
+}
+
+func genAtom(r *rand.Rand, preds []string) Atom {
+	a := Atom{Pred: preds[r.Intn(len(preds))]}
+	n := 1 + r.Intn(3)
+	for i := 0; i < n; i++ {
+		a.Args = append(a.Args, genTerm(r))
+	}
+	return a
+}
+
+// TestQuickClausePrintParseRoundTrip: String() of a random clause
+// reparses to a clause that prints identically.
+func TestQuickClausePrintParseRoundTrip(t *testing.T) {
+	preds := []string{"p", "q", "edge", "_query"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := Clause{Head: genAtom(r, preds)}
+		for i := 0; i < r.Intn(3); i++ {
+			c.Body = append(c.Body, genAtom(r, preds))
+		}
+		printed := c.String()
+		c2, err := ParseClause(printed)
+		if err != nil {
+			t.Logf("unparseable print %q: %v", printed, err)
+			return false
+		}
+		return c2.String() == printed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickQueryRoundTrip does the same for queries.
+func TestQuickQueryRoundTrip(t *testing.T) {
+	preds := []string{"p", "anc"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := Query{}
+		n := 1 + r.Intn(3)
+		for i := 0; i < n; i++ {
+			q.Goals = append(q.Goals, genAtom(r, preds))
+		}
+		printed := q.String()
+		q2, err := ParseQuery(printed)
+		if err != nil {
+			return false
+		}
+		return q2.String() == printed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickValueTermTypes: constants keep their value types through a
+// print/parse cycle.
+func TestQuickValueTermTypes(t *testing.T) {
+	f := func(n int64, s string) bool {
+		c := Clause{Head: Atom{Pred: "p", Args: []Term{CInt(n), CStr(s)}}}
+		c2, err := ParseClause(c.String())
+		if err != nil {
+			return false
+		}
+		a := c2.Head.Args
+		return a[0].Val.Kind == rel.TypeInt && a[0].Val.Int == n &&
+			a[1].Val.Kind == rel.TypeString && a[1].Val.Str == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEscapeRoundTrips pins the backslash/quote escaping fix.
+func TestEscapeRoundTrips(t *testing.T) {
+	for _, s := range []string{`back\slash`, `trailing\`, `mix\"ed`, "spaces and Caps", `"`} {
+		c := Clause{Head: Atom{Pred: "p", Args: []Term{CStr(s)}}}
+		c2, err := ParseClause(c.String())
+		if err != nil {
+			t.Fatalf("%q prints unparseable %q: %v", s, c.String(), err)
+		}
+		if got := c2.Head.Args[0].Val.Str; got != s {
+			t.Fatalf("%q round-trips to %q via %q", s, got, c.String())
+		}
+	}
+}

@@ -1,0 +1,579 @@
+package exec
+
+import (
+	"fmt"
+
+	"dkbms/internal/catalog"
+	"dkbms/internal/rel"
+	"dkbms/internal/storage"
+)
+
+// Operator is a Volcano-style iterator. The contract is Open, then Next
+// until it returns a nil tuple, then Close. Operators are single-use.
+type Operator interface {
+	Schema() *rel.Schema
+	Open() error
+	Next() (rel.Tuple, error)
+	Close() error
+}
+
+// Run drains an operator, invoking fn per tuple.
+func Run(op Operator, fn func(tu rel.Tuple) error) error {
+	if err := op.Open(); err != nil {
+		return err
+	}
+	defer op.Close()
+	for {
+		tu, err := op.Next()
+		if err != nil {
+			return err
+		}
+		if tu == nil {
+			return nil
+		}
+		if err := fn(tu); err != nil {
+			return err
+		}
+	}
+}
+
+// Collect drains an operator into a slice.
+func Collect(op Operator) ([]rel.Tuple, error) {
+	var out []rel.Tuple
+	err := Run(op, func(tu rel.Tuple) error {
+		out = append(out, tu)
+		return nil
+	})
+	return out, err
+}
+
+// --- SeqScan ---
+
+// SeqScan reads every tuple of a table. The scan materializes RIDs lazily
+// page by page via the heap iterator.
+type SeqScan struct {
+	Table *catalog.Table
+
+	tuples []rel.Tuple
+	pos    int
+}
+
+// NewSeqScan returns a sequential scan of the table.
+func NewSeqScan(t *catalog.Table) *SeqScan { return &SeqScan{Table: t} }
+
+// Schema returns the table schema.
+func (s *SeqScan) Schema() *rel.Schema { return s.Table.Schema }
+
+// Open materializes the snapshot of the table. Materializing up front
+// gives statement-level snapshot semantics: a statement that reads and
+// writes the same table (INSERT INTO t SELECT ... FROM t) sees the state
+// as of Open.
+func (s *SeqScan) Open() error {
+	s.tuples = s.tuples[:0]
+	s.pos = 0
+	return s.Table.Scan(func(_ storage.RID, tu rel.Tuple) error {
+		s.tuples = append(s.tuples, tu)
+		return nil
+	})
+}
+
+// Next returns the next tuple or nil.
+func (s *SeqScan) Next() (rel.Tuple, error) {
+	if s.pos >= len(s.tuples) {
+		return nil, nil
+	}
+	tu := s.tuples[s.pos]
+	s.pos++
+	return tu, nil
+}
+
+// Close releases the snapshot.
+func (s *SeqScan) Close() error {
+	s.tuples = nil
+	return nil
+}
+
+// --- IndexScan ---
+
+// IndexScan reads tuples whose index key starts with Key (equality on a
+// prefix of the index columns).
+type IndexScan struct {
+	Table *catalog.Table
+	Index *catalog.Index
+	Key   rel.Tuple // prefix values for the leading index columns
+
+	rids []storage.RID
+	pos  int
+}
+
+// NewIndexScan returns an index-driven scan.
+func NewIndexScan(t *catalog.Table, ix *catalog.Index, key rel.Tuple) *IndexScan {
+	return &IndexScan{Table: t, Index: ix, Key: key}
+}
+
+// Schema returns the table schema.
+func (s *IndexScan) Schema() *rel.Schema { return s.Table.Schema }
+
+// Open performs the index lookup.
+func (s *IndexScan) Open() error {
+	if len(s.Key) == len(s.Index.Ords) {
+		s.rids = s.Index.Lookup(s.Key)
+	} else {
+		s.rids = s.Index.LookupPrefix(s.Key)
+	}
+	s.pos = 0
+	return nil
+}
+
+// Next fetches the next matching tuple from the heap.
+func (s *IndexScan) Next() (rel.Tuple, error) {
+	if s.pos >= len(s.rids) {
+		return nil, nil
+	}
+	rid := s.rids[s.pos]
+	s.pos++
+	tu, err := s.Table.Get(rid)
+	if err != nil {
+		return nil, fmt.Errorf("exec: index %s points at missing record %s: %w", s.Index.Name, rid, err)
+	}
+	return tu, nil
+}
+
+// Close releases the posting list.
+func (s *IndexScan) Close() error {
+	s.rids = nil
+	return nil
+}
+
+// --- Filter ---
+
+// Filter passes through tuples satisfying the predicate.
+type Filter struct {
+	Input Operator
+	Pred  Pred
+}
+
+// Schema returns the input schema.
+func (f *Filter) Schema() *rel.Schema { return f.Input.Schema() }
+
+// Open opens the input.
+func (f *Filter) Open() error { return f.Input.Open() }
+
+// Next returns the next satisfying tuple.
+func (f *Filter) Next() (rel.Tuple, error) {
+	for {
+		tu, err := f.Input.Next()
+		if err != nil || tu == nil {
+			return nil, err
+		}
+		if f.Pred.Holds(tu) {
+			return tu, nil
+		}
+	}
+}
+
+// Close closes the input.
+func (f *Filter) Close() error { return f.Input.Close() }
+
+// --- Project ---
+
+// Project evaluates scalar expressions over each input tuple.
+type Project struct {
+	Input Operator
+	Exprs []Scalar
+	Out   *rel.Schema
+}
+
+// Schema returns the projection's output schema.
+func (p *Project) Schema() *rel.Schema { return p.Out }
+
+// Open opens the input.
+func (p *Project) Open() error { return p.Input.Open() }
+
+// Next computes the next projected tuple.
+func (p *Project) Next() (rel.Tuple, error) {
+	tu, err := p.Input.Next()
+	if err != nil || tu == nil {
+		return nil, err
+	}
+	out := make(rel.Tuple, len(p.Exprs))
+	for i, e := range p.Exprs {
+		out[i] = e.Eval(tu)
+	}
+	return out, nil
+}
+
+// Close closes the input.
+func (p *Project) Close() error { return p.Input.Close() }
+
+// --- Nested-loop join (cross product with residual predicate) ---
+
+// NLJoin is a block nested-loop join: the right input is materialized
+// once, then streamed per left tuple. The predicate (possibly True for a
+// pure cross product) is applied to the concatenated tuple.
+type NLJoin struct {
+	Left, Right Operator
+	Pred        Pred
+
+	right  []rel.Tuple
+	cur    rel.Tuple
+	rpos   int
+	schema *rel.Schema
+}
+
+// Schema returns the concatenated schema.
+func (j *NLJoin) Schema() *rel.Schema {
+	if j.schema == nil {
+		j.schema = j.Left.Schema().Concat(j.Right.Schema())
+	}
+	return j.schema
+}
+
+// Open opens both inputs and materializes the right side.
+func (j *NLJoin) Open() error {
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	var err error
+	j.right, err = Collect(j.Right)
+	if err != nil {
+		return err
+	}
+	j.cur = nil
+	j.rpos = 0
+	return nil
+}
+
+// Next returns the next joined tuple.
+func (j *NLJoin) Next() (rel.Tuple, error) {
+	for {
+		if j.cur == nil {
+			tu, err := j.Left.Next()
+			if err != nil || tu == nil {
+				return nil, err
+			}
+			j.cur = tu
+			j.rpos = 0
+		}
+		for j.rpos < len(j.right) {
+			rt := j.right[j.rpos]
+			j.rpos++
+			joined := make(rel.Tuple, 0, len(j.cur)+len(rt))
+			joined = append(joined, j.cur...)
+			joined = append(joined, rt...)
+			if j.Pred.Holds(joined) {
+				return joined, nil
+			}
+		}
+		j.cur = nil
+	}
+}
+
+// Close closes the left input (the right is already drained).
+func (j *NLJoin) Close() error {
+	j.right = nil
+	return j.Left.Close()
+}
+
+// --- Hash join ---
+
+// HashJoin is an equijoin on LeftOrds = RightOrds with an optional
+// residual predicate over the concatenated tuple. The right (build) side
+// is hashed; the left (probe) side streams.
+type HashJoin struct {
+	Left, Right         Operator
+	LeftOrds, RightOrds []int
+	Residual            Pred // True when absent
+
+	table   map[string][]rel.Tuple
+	cur     rel.Tuple
+	matches []rel.Tuple
+	mpos    int
+	schema  *rel.Schema
+}
+
+// Schema returns the concatenated schema.
+func (j *HashJoin) Schema() *rel.Schema {
+	if j.schema == nil {
+		j.schema = j.Left.Schema().Concat(j.Right.Schema())
+	}
+	return j.schema
+}
+
+// Open builds the hash table from the right input.
+func (j *HashJoin) Open() error {
+	if j.Residual == nil {
+		j.Residual = True{}
+	}
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	j.table = make(map[string][]rel.Tuple)
+	err := Run(j.Right, func(tu rel.Tuple) error {
+		k := tu.KeyOf(j.RightOrds)
+		j.table[k] = append(j.table[k], tu)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	j.cur = nil
+	j.matches = nil
+	j.mpos = 0
+	return nil
+}
+
+// Next returns the next joined tuple.
+func (j *HashJoin) Next() (rel.Tuple, error) {
+	for {
+		for j.mpos < len(j.matches) {
+			rt := j.matches[j.mpos]
+			j.mpos++
+			joined := make(rel.Tuple, 0, len(j.cur)+len(rt))
+			joined = append(joined, j.cur...)
+			joined = append(joined, rt...)
+			if j.Residual.Holds(joined) {
+				return joined, nil
+			}
+		}
+		tu, err := j.Left.Next()
+		if err != nil || tu == nil {
+			return nil, err
+		}
+		j.cur = tu
+		j.matches = j.table[tu.KeyOf(j.LeftOrds)]
+		j.mpos = 0
+	}
+}
+
+// Close closes the probe input and releases the hash table.
+func (j *HashJoin) Close() error {
+	j.table = nil
+	return j.Left.Close()
+}
+
+// --- Distinct ---
+
+// Distinct removes duplicate tuples (hash-based).
+type Distinct struct {
+	Input Operator
+	seen  map[string]struct{}
+}
+
+// Schema returns the input schema.
+func (d *Distinct) Schema() *rel.Schema { return d.Input.Schema() }
+
+// Open opens the input and resets the seen set.
+func (d *Distinct) Open() error {
+	d.seen = make(map[string]struct{})
+	return d.Input.Open()
+}
+
+// Next returns the next previously-unseen tuple.
+func (d *Distinct) Next() (rel.Tuple, error) {
+	for {
+		tu, err := d.Input.Next()
+		if err != nil || tu == nil {
+			return nil, err
+		}
+		k := tu.Key()
+		if _, dup := d.seen[k]; dup {
+			continue
+		}
+		d.seen[k] = struct{}{}
+		return tu, nil
+	}
+}
+
+// Close closes the input.
+func (d *Distinct) Close() error {
+	d.seen = nil
+	return d.Input.Close()
+}
+
+// --- Set operations ---
+
+// SetOpKind selects the set operation implemented by SetOpExec.
+type SetOpKind int
+
+// Set operation kinds (bag semantics follow SQL: UNION/EXCEPT/INTERSECT
+// are duplicate-eliminating; UNION ALL concatenates).
+const (
+	OpUnion SetOpKind = iota
+	OpUnionAll
+	OpExcept
+	OpIntersect
+)
+
+// SetOpExec evaluates Left OP Right. Inputs must be type-compatible.
+type SetOpExec struct {
+	Kind        SetOpKind
+	Left, Right Operator
+
+	out []rel.Tuple
+	pos int
+}
+
+// Schema returns the left input's schema (SQL convention).
+func (s *SetOpExec) Schema() *rel.Schema { return s.Left.Schema() }
+
+// Open fully evaluates the set operation (these operators are blocking).
+func (s *SetOpExec) Open() error {
+	if !s.Left.Schema().TypesCompatible(s.Right.Schema()) {
+		return fmt.Errorf("exec: set operation over incompatible schemas %v and %v",
+			s.Left.Schema(), s.Right.Schema())
+	}
+	s.out = s.out[:0]
+	s.pos = 0
+	switch s.Kind {
+	case OpUnionAll:
+		err := Run(s.Left, func(tu rel.Tuple) error { s.out = append(s.out, tu); return nil })
+		if err != nil {
+			return err
+		}
+		return Run(s.Right, func(tu rel.Tuple) error { s.out = append(s.out, tu); return nil })
+	case OpUnion:
+		seen := make(map[string]struct{})
+		add := func(tu rel.Tuple) error {
+			k := tu.Key()
+			if _, dup := seen[k]; !dup {
+				seen[k] = struct{}{}
+				s.out = append(s.out, tu)
+			}
+			return nil
+		}
+		if err := Run(s.Left, add); err != nil {
+			return err
+		}
+		return Run(s.Right, add)
+	case OpExcept:
+		drop := make(map[string]struct{})
+		if err := Run(s.Right, func(tu rel.Tuple) error {
+			drop[tu.Key()] = struct{}{}
+			return nil
+		}); err != nil {
+			return err
+		}
+		seen := make(map[string]struct{})
+		return Run(s.Left, func(tu rel.Tuple) error {
+			k := tu.Key()
+			if _, excluded := drop[k]; excluded {
+				return nil
+			}
+			if _, dup := seen[k]; dup {
+				return nil
+			}
+			seen[k] = struct{}{}
+			s.out = append(s.out, tu)
+			return nil
+		})
+	case OpIntersect:
+		keep := make(map[string]struct{})
+		if err := Run(s.Right, func(tu rel.Tuple) error {
+			keep[tu.Key()] = struct{}{}
+			return nil
+		}); err != nil {
+			return err
+		}
+		seen := make(map[string]struct{})
+		return Run(s.Left, func(tu rel.Tuple) error {
+			k := tu.Key()
+			if _, present := keep[k]; !present {
+				return nil
+			}
+			if _, dup := seen[k]; dup {
+				return nil
+			}
+			seen[k] = struct{}{}
+			s.out = append(s.out, tu)
+			return nil
+		})
+	}
+	return fmt.Errorf("exec: unknown set operation %d", s.Kind)
+}
+
+// Next returns the next result tuple.
+func (s *SetOpExec) Next() (rel.Tuple, error) {
+	if s.pos >= len(s.out) {
+		return nil, nil
+	}
+	tu := s.out[s.pos]
+	s.pos++
+	return tu, nil
+}
+
+// Close releases the materialized result.
+func (s *SetOpExec) Close() error {
+	s.out = nil
+	return nil
+}
+
+// --- CountStar ---
+
+var countSchema = rel.MustSchema(rel.Column{Name: "count", Type: rel.TypeInt})
+
+// CountStar counts input tuples and emits a single-row result.
+type CountStar struct {
+	Input Operator
+	done  bool
+}
+
+// Schema returns the single-column count schema.
+func (c *CountStar) Schema() *rel.Schema { return countSchema }
+
+// Open opens the input.
+func (c *CountStar) Open() error {
+	c.done = false
+	return c.Input.Open()
+}
+
+// Next counts the input on first call.
+func (c *CountStar) Next() (rel.Tuple, error) {
+	if c.done {
+		return nil, nil
+	}
+	n := int64(0)
+	for {
+		tu, err := c.Input.Next()
+		if err != nil {
+			return nil, err
+		}
+		if tu == nil {
+			break
+		}
+		n++
+	}
+	c.done = true
+	return rel.Tuple{rel.NewInt(n)}, nil
+}
+
+// Close closes the input.
+func (c *CountStar) Close() error { return c.Input.Close() }
+
+// --- Values ---
+
+// Values emits a fixed list of tuples (INSERT ... VALUES source).
+type Values struct {
+	Rows []rel.Tuple
+	Out  *rel.Schema
+	pos  int
+}
+
+// Schema returns the declared schema.
+func (v *Values) Schema() *rel.Schema { return v.Out }
+
+// Open resets the cursor.
+func (v *Values) Open() error { v.pos = 0; return nil }
+
+// Next returns the next row.
+func (v *Values) Next() (rel.Tuple, error) {
+	if v.pos >= len(v.Rows) {
+		return nil, nil
+	}
+	tu := v.Rows[v.pos]
+	v.pos++
+	return tu, nil
+}
+
+// Close is a no-op.
+func (v *Values) Close() error { return nil }

@@ -1,0 +1,300 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"dkbms/internal/rel"
+	"dkbms/internal/storage"
+)
+
+func intKey(vs ...int64) rel.Tuple {
+	t := make(rel.Tuple, len(vs))
+	for i, v := range vs {
+		t[i] = rel.NewInt(v)
+	}
+	return t
+}
+
+func ridFor(i int) storage.RID {
+	return storage.RID{Page: storage.PageID(i / 100), Slot: i % 100}
+}
+
+func TestBTreeInsertLookup(t *testing.T) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		if err := tr.Insert(intKey(int64(i)), ridFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1000 || tr.DistinctKeys() != 1000 {
+		t.Fatalf("len=%d keys=%d", tr.Len(), tr.DistinctKeys())
+	}
+	if tr.Height() < 2 {
+		t.Fatal("expected splits at 1000 keys")
+	}
+	for i := 0; i < 1000; i += 17 {
+		rids := tr.Lookup(intKey(int64(i)))
+		if len(rids) != 1 || rids[0] != ridFor(i) {
+			t.Fatalf("lookup %d = %v", i, rids)
+		}
+	}
+	if tr.Lookup(intKey(5000)) != nil {
+		t.Fatal("lookup of absent key returned postings")
+	}
+}
+
+func TestBTreeDuplicatePostings(t *testing.T) {
+	tr := New()
+	key := intKey(7)
+	for i := 0; i < 50; i++ {
+		if err := tr.Insert(key, ridFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != 50 || tr.DistinctKeys() != 1 {
+		t.Fatalf("len=%d keys=%d", tr.Len(), tr.DistinctKeys())
+	}
+	if got := tr.Lookup(key); len(got) != 50 {
+		t.Fatalf("postings = %d", len(got))
+	}
+	// Exact duplicate (key, rid) rejected.
+	if err := tr.Insert(key, ridFor(3)); err == nil {
+		t.Fatal("duplicate (key,rid) accepted")
+	}
+}
+
+func TestBTreeDelete(t *testing.T) {
+	tr := New()
+	for i := 0; i < 500; i++ {
+		if err := tr.Insert(intKey(int64(i%100)), ridFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 500; i += 2 {
+		if err := tr.Delete(intKey(int64(i%100)), ridFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 250 {
+		t.Fatalf("len after deletes = %d", tr.Len())
+	}
+	if err := tr.Delete(intKey(0), ridFor(0)); err == nil {
+		t.Fatal("double delete accepted")
+	}
+	if err := tr.Delete(intKey(9999), ridFor(0)); err == nil {
+		t.Fatal("delete of absent key accepted")
+	}
+}
+
+func TestBTreeCompositePrefix(t *testing.T) {
+	tr := New()
+	n := 0
+	for a := int64(0); a < 10; a++ {
+		for b := int64(0); b < 20; b++ {
+			if err := tr.Insert(intKey(a, b), ridFor(n)); err != nil {
+				t.Fatal(err)
+			}
+			n++
+		}
+	}
+	rids := tr.LookupPrefix(intKey(3))
+	if len(rids) != 20 {
+		t.Fatalf("prefix lookup found %d, want 20", len(rids))
+	}
+	var keys []rel.Tuple
+	tr.AscendPrefix(intKey(7), func(k rel.Tuple, _ []storage.RID) bool {
+		keys = append(keys, k)
+		return true
+	})
+	if len(keys) != 20 {
+		t.Fatalf("AscendPrefix visited %d, want 20", len(keys))
+	}
+	for i, k := range keys {
+		if k[0].Int != 7 || k[1].Int != int64(i) {
+			t.Fatalf("prefix visit %d got key %v", i, k)
+		}
+	}
+	// Full lookup on composite key.
+	if got := tr.Lookup(intKey(7, 5)); len(got) != 1 {
+		t.Fatalf("composite lookup = %v", got)
+	}
+}
+
+func TestBTreeAscendRange(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		if err := tr.Insert(intKey(int64(i)), ridFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var seen []int64
+	tr.AscendRange(intKey(25), intKey(75), func(k rel.Tuple, _ []storage.RID) bool {
+		seen = append(seen, k[0].Int)
+		return true
+	})
+	if len(seen) != 50 || seen[0] != 25 || seen[len(seen)-1] != 74 {
+		t.Fatalf("range scan wrong: %d items, first %d, last %d", len(seen), seen[0], seen[len(seen)-1])
+	}
+	// Open-ended scans.
+	count := 0
+	tr.AscendRange(nil, nil, func(rel.Tuple, []storage.RID) bool { count++; return true })
+	if count != 100 {
+		t.Fatalf("full scan saw %d", count)
+	}
+	// Early stop.
+	count = 0
+	tr.AscendRange(nil, nil, func(rel.Tuple, []storage.RID) bool { count++; return count < 10 })
+	if count != 10 {
+		t.Fatalf("early-stop scan saw %d", count)
+	}
+}
+
+func TestBTreeStringKeys(t *testing.T) {
+	tr := New()
+	words := []string{"delta", "alpha", "echo", "bravo", "charlie"}
+	for i, w := range words {
+		if err := tr.Insert(rel.Tuple{rel.NewString(w)}, ridFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	tr.AscendRange(nil, nil, func(k rel.Tuple, _ []storage.RID) bool {
+		got = append(got, k[0].Str)
+		return true
+	})
+	want := append([]string(nil), words...)
+	sort.Strings(want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order: got %v want %v", got, want)
+		}
+	}
+}
+
+func TestBTreeRandomizedAgainstModel(t *testing.T) {
+	// Model-based test: tree must agree with a map[key][]rid model under
+	// random inserts and deletes, and stay structurally valid throughout.
+	tr := New()
+	model := make(map[string][]storage.RID)
+	keyOf := make(map[string]rel.Tuple)
+	r := rand.New(rand.NewSource(7))
+	nextRID := 0
+	for op := 0; op < 8000; op++ {
+		k := intKey(int64(r.Intn(200)), int64(r.Intn(5)))
+		ks := k.Key()
+		if r.Intn(3) > 0 || len(model[ks]) == 0 {
+			rid := ridFor(nextRID)
+			nextRID++
+			if err := tr.Insert(k, rid); err != nil {
+				t.Fatal(err)
+			}
+			model[ks] = append(model[ks], rid)
+			keyOf[ks] = k
+		} else {
+			rids := model[ks]
+			rid := rids[r.Intn(len(rids))]
+			if err := tr.Delete(k, rid); err != nil {
+				t.Fatal(err)
+			}
+			for j, x := range rids {
+				if x == rid {
+					model[ks] = append(rids[:j], rids[j+1:]...)
+					break
+				}
+			}
+			if len(model[ks]) == 0 {
+				delete(model, ks)
+				delete(keyOf, ks)
+			}
+		}
+		if op%500 == 0 {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.DistinctKeys() != len(model) {
+		t.Fatalf("distinct keys %d, model %d", tr.DistinctKeys(), len(model))
+	}
+	for ks, want := range model {
+		got := tr.Lookup(keyOf[ks])
+		if len(got) != len(want) {
+			t.Fatalf("key %s: %d postings, want %d", ks, len(got), len(want))
+		}
+		gotSet := make(map[storage.RID]bool, len(got))
+		for _, rid := range got {
+			gotSet[rid] = true
+		}
+		for _, rid := range want {
+			if !gotSet[rid] {
+				t.Fatalf("key %s missing rid %s", ks, rid)
+			}
+		}
+	}
+}
+
+func TestBTreeDescendingInsertOrder(t *testing.T) {
+	tr := New()
+	for i := 999; i >= 0; i-- {
+		if err := tr.Insert(intKey(int64(i)), ridFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	prev := int64(-1)
+	tr.AscendRange(nil, nil, func(k rel.Tuple, _ []storage.RID) bool {
+		if k[0].Int <= prev {
+			t.Fatalf("out of order: %d after %d", k[0].Int, prev)
+		}
+		prev = k[0].Int
+		return true
+	})
+	if prev != 999 {
+		t.Fatalf("last key %d", prev)
+	}
+}
+
+func BenchmarkBTreeInsert(b *testing.B) {
+	tr := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = tr.Insert(intKey(int64(i)), ridFor(i))
+	}
+}
+
+func BenchmarkBTreeLookup(b *testing.B) {
+	tr := New()
+	for i := 0; i < 100000; i++ {
+		_ = tr.Insert(intKey(int64(i)), ridFor(i))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = tr.Lookup(intKey(int64(i % 100000)))
+	}
+}
+
+func ExampleBTree() {
+	tr := New()
+	_ = tr.Insert(rel.Tuple{rel.NewString("ann"), rel.NewInt(1)}, storage.RID{Page: 0, Slot: 0})
+	_ = tr.Insert(rel.Tuple{rel.NewString("bob"), rel.NewInt(2)}, storage.RID{Page: 0, Slot: 1})
+	tr.AscendPrefix(rel.Tuple{rel.NewString("ann")}, func(k rel.Tuple, rids []storage.RID) bool {
+		fmt.Println(k, len(rids))
+		return true
+	})
+	// Output: (ann, 1) 1
+}

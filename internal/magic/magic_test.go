@@ -1,0 +1,246 @@
+package magic
+
+import (
+	"strings"
+	"testing"
+
+	"dkbms/internal/dlog"
+)
+
+func clauses(srcs ...string) []dlog.Clause {
+	out := make([]dlog.Clause, len(srcs))
+	for i, s := range srcs {
+		out[i] = dlog.MustParseClause(s)
+	}
+	return out
+}
+
+func derivedSet(preds ...string) func(string) bool {
+	set := make(map[string]bool)
+	for _, p := range preds {
+		set[p] = true
+	}
+	return func(p string) bool { return set[p] }
+}
+
+func ruleStrings(rs []dlog.Clause) []string {
+	out := make([]string, len(rs))
+	for i, c := range rs {
+		out[i] = c.String()
+	}
+	return out
+}
+
+func containsRule(t *testing.T, rs []dlog.Clause, want string) {
+	t.Helper()
+	for _, c := range rs {
+		if c.String() == want {
+			return
+		}
+	}
+	t.Fatalf("missing rule %q in:\n%s", want, strings.Join(ruleStrings(rs), "\n"))
+}
+
+func TestAncestorBoundFirst(t *testing.T) {
+	rules := clauses(
+		"_query(X) :- anc(john, X).",
+		"anc(X, Y) :- parent(X, Y).",
+		"anc(X, Y) :- parent(X, Z), anc(Z, Y).",
+	)
+	res, err := Rewrite(rules, "_query", derivedSet("_query", "anc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QueryPred != "_query__f" {
+		t.Fatalf("query pred %s", res.QueryPred)
+	}
+	containsRule(t, res.Rules, "_query__f(X) :- anc__bf(john, X).")
+	containsRule(t, res.Rules, "anc__bf(X, Y) :- m_anc__bf(X), parent(X, Y).")
+	containsRule(t, res.Rules, "anc__bf(X, Y) :- m_anc__bf(X), parent(X, Z), anc__bf(Z, Y).")
+	containsRule(t, res.Rules, "m_anc__bf(Z) :- m_anc__bf(X), parent(X, Z).")
+	if len(res.Seeds) != 1 || res.Seeds[0].String() != "m_anc__bf(john)" {
+		t.Fatalf("seeds = %v", res.Seeds)
+	}
+}
+
+func TestBoundSecondArgument(t *testing.T) {
+	rules := clauses(
+		"_query(X) :- anc(X, mary).",
+		"anc(X, Y) :- parent(X, Y).",
+		"anc(X, Y) :- parent(X, Z), anc(Z, Y).",
+	)
+	res, err := Rewrite(rules, "_query", derivedSet("_query", "anc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// anc is reached with adornment fb.
+	containsRule(t, res.Rules, "anc__fb(X, Y) :- m_anc__fb(Y), parent(X, Y).")
+	// In the recursive rule, left-to-right SIP marks Z bound after the
+	// parent(X, Z) atom, so the inner anc occurrence is adorned bb.
+	containsRule(t, res.Rules, "anc__fb(X, Y) :- m_anc__fb(Y), parent(X, Z), anc__bb(Z, Y).")
+	containsRule(t, res.Rules, "m_anc__bb(Z, Y) :- m_anc__fb(Y), parent(X, Z).")
+	containsRule(t, res.Rules, "anc__bb(X, Y) :- m_anc__bb(X, Y), parent(X, Y).")
+	if len(res.Seeds) != 1 || res.Seeds[0].String() != "m_anc__fb(mary)" {
+		t.Fatalf("seeds = %v", res.Seeds)
+	}
+}
+
+func TestNoBindings(t *testing.T) {
+	rules := clauses(
+		"_query(X, Y) :- anc(X, Y).",
+		"anc(X, Y) :- parent(X, Y).",
+		"anc(X, Y) :- parent(X, Z), anc(Z, Y).",
+	)
+	if _, err := Rewrite(rules, "_query", derivedSet("_query", "anc")); err != ErrNoBindings {
+		t.Fatalf("err = %v, want ErrNoBindings", err)
+	}
+}
+
+func TestSameGenerationBothBound(t *testing.T) {
+	// The classic same-generation program with a fully bound query.
+	rules := clauses(
+		"_query(X) :- sg(ann, X).",
+		"sg(X, Y) :- flat(X, Y).",
+		"sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).",
+	)
+	res, err := Rewrite(rules, "_query", derivedSet("_query", "sg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	containsRule(t, res.Rules, "sg__bf(X, Y) :- m_sg__bf(X), flat(X, Y).")
+	containsRule(t, res.Rules, "sg__bf(X, Y) :- m_sg__bf(X), up(X, U), sg__bf(U, V), down(V, Y).")
+	containsRule(t, res.Rules, "m_sg__bf(U) :- m_sg__bf(X), up(X, U).")
+	if len(res.Seeds) != 1 || res.Seeds[0].String() != "m_sg__bf(ann)" {
+		t.Fatalf("seeds = %v", res.Seeds)
+	}
+}
+
+func TestMultipleAdornments(t *testing.T) {
+	// p is used once bound-first and once bound-second.
+	rules := clauses(
+		"_query(X, Y) :- p(a, X), p(Y, b).",
+		"p(X, Y) :- e(X, Y).",
+	)
+	res, err := Rewrite(rules, "_query", derivedSet("_query", "p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	containsRule(t, res.Rules, "p__bf(X, Y) :- m_p__bf(X), e(X, Y).")
+	containsRule(t, res.Rules, "p__fb(X, Y) :- m_p__fb(Y), e(X, Y).")
+	// The first occurrence seeds directly; the second's magic rule has
+	// the first occurrence as its body (SIP prefix), so it is a rule.
+	if len(res.Seeds) != 1 || res.Seeds[0].String() != "m_p__bf(a)" {
+		t.Fatalf("seeds = %v", res.Seeds)
+	}
+	containsRule(t, res.Rules, "m_p__fb(b) :- p__bf(a, X).")
+}
+
+func TestSIPPropagationThroughEDB(t *testing.T) {
+	// After evaluating parent(X, Z) with X bound, Z becomes bound for
+	// the following derived atom.
+	rules := clauses(
+		"_query(Y) :- q(john, Y).",
+		"q(X, Y) :- parent(X, Z), r(Z, Y).",
+		"r(A, B) :- e(A, B).",
+	)
+	res, err := Rewrite(rules, "_query", derivedSet("_query", "q", "r"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	containsRule(t, res.Rules, "q__bf(X, Y) :- m_q__bf(X), parent(X, Z), r__bf(Z, Y).")
+	containsRule(t, res.Rules, "m_r__bf(Z) :- m_q__bf(X), parent(X, Z).")
+	containsRule(t, res.Rules, "r__bf(A, B) :- m_r__bf(A), e(A, B).")
+}
+
+func TestSIPPropagationThroughDerived(t *testing.T) {
+	// A derived atom also binds its variables for later atoms.
+	rules := clauses(
+		"_query(Y) :- p(john, Z), p(Z, Y).",
+		"p(X, Y) :- e(X, Y).",
+	)
+	res, err := Rewrite(rules, "_query", derivedSet("_query", "p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second p occurrence gets adornment bf with Z bound by the first.
+	containsRule(t, res.Rules, "_query__f(Y) :- p__bf(john, Z), p__bf(Z, Y).")
+	containsRule(t, res.Rules, "m_p__bf(Z) :- p__bf(john, Z).")
+}
+
+func TestConstantInRuleBodyBinds(t *testing.T) {
+	rules := clauses(
+		"_query(X) :- p(X).",
+		"p(X) :- q(a, X).",
+		"q(X, Y) :- e(X, Y).",
+	)
+	res, err := Rewrite(rules, "_query", derivedSet("_query", "p", "q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p is all-free, but q(a, X) is bf: bindings arise inside rules too.
+	containsRule(t, res.Rules, "q__bf(X, Y) :- m_q__bf(X), e(X, Y).")
+	if len(res.Seeds) != 1 || res.Seeds[0].String() != "m_q__bf(a)" {
+		t.Fatalf("seeds = %v", res.Seeds)
+	}
+}
+
+func TestMutualRecursion(t *testing.T) {
+	rules := clauses(
+		"_query(Y) :- p(a, Y).",
+		"p(X, Y) :- e(X, Y).",
+		"p(X, Y) :- q(X, Y).",
+		"q(X, Y) :- p(X, Z), e(Z, Y).",
+	)
+	res, err := Rewrite(rules, "_query", derivedSet("_query", "p", "q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	containsRule(t, res.Rules, "p__bf(X, Y) :- m_p__bf(X), q__bf(X, Y).")
+	containsRule(t, res.Rules, "q__bf(X, Y) :- m_q__bf(X), p__bf(X, Z), e(Z, Y).")
+	containsRule(t, res.Rules, "m_q__bf(X) :- m_p__bf(X).")
+	containsRule(t, res.Rules, "m_p__bf(X) :- m_q__bf(X).")
+}
+
+func TestOnlyReachableAdornmentsEmitted(t *testing.T) {
+	rules := clauses(
+		"_query(Y) :- p(a, Y).",
+		"p(X, Y) :- e(X, Y).",
+		"z(X) :- p(X, X).", // not reachable from the query
+	)
+	res, err := Rewrite(rules, "_query", derivedSet("_query", "p", "z"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Rules {
+		if strings.HasPrefix(c.Head.Pred, "z"+AdornedSep) {
+			t.Fatalf("unreachable rule rewritten: %s", c.String())
+		}
+	}
+}
+
+func TestFactsMixedWithRulesRejected(t *testing.T) {
+	rules := clauses(
+		"_query(Y) :- p(a, Y).",
+		"p(X, Y) :- e(X, Y).",
+		"p(a, b).",
+	)
+	if _, err := Rewrite(rules, "_query", derivedSet("_query", "p")); err == nil {
+		t.Fatal("facts mixed into derived predicate accepted")
+	}
+}
+
+func TestMissingQueryPred(t *testing.T) {
+	rules := clauses("p(X) :- e(X).")
+	if _, err := Rewrite(rules, "_query", derivedSet("p")); err == nil {
+		t.Fatal("missing query predicate accepted")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if AdornedName("anc", "bf") != "anc__bf" {
+		t.Fatal(AdornedName("anc", "bf"))
+	}
+	if MagicName("anc__bf") != "m_anc__bf" {
+		t.Fatal(MagicName("anc__bf"))
+	}
+}

@@ -1,0 +1,790 @@
+// Package plan turns parsed SQL SELECT statements into physical operator
+// trees. The planner is the classic textbook pipeline the paper's
+// commercial DBMS would run:
+//
+//   - predicate analysis: split the WHERE clause into per-table
+//     conjuncts (pushed below joins), equijoin conjuncts (drive hash
+//     joins) and residual predicates (applied once their tables are
+//     joined);
+//   - access-path selection: a table with equality-on-literal conjuncts
+//     matching a B+tree index prefix is read through an IndexScan,
+//     everything else through a SeqScan;
+//   - greedy join ordering on maintained row counts, preferring
+//     equijoin-connected tables (hash join) and falling back to nested
+//     loops for disconnected or non-equi predicates.
+package plan
+
+import (
+	"fmt"
+
+	"dkbms/internal/catalog"
+	"dkbms/internal/exec"
+	"dkbms/internal/rel"
+	"dkbms/internal/sql"
+)
+
+// BuildSelect plans a (possibly compound) SELECT against the catalog.
+func BuildSelect(cat *catalog.Catalog, s *sql.Select) (exec.Operator, error) {
+	left, err := buildSimple(cat, s)
+	if err != nil {
+		return nil, err
+	}
+	for cur := s; cur.SetOp != sql.SetNone; cur = cur.Next {
+		right, err := buildSimple(cat, cur.Next)
+		if err != nil {
+			return nil, err
+		}
+		var kind exec.SetOpKind
+		switch cur.SetOp {
+		case sql.SetUnion:
+			kind = exec.OpUnion
+		case sql.SetUnionAll:
+			kind = exec.OpUnionAll
+		case sql.SetExcept:
+			kind = exec.OpExcept
+		case sql.SetIntersect:
+			kind = exec.OpIntersect
+		}
+		left = &exec.SetOpExec{Kind: kind, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+// colID names a column symbolically: table position in FROM, ordinal in
+// that table's schema. Predicates are analyzed symbolically and bound to
+// physical ordinals only when attached to an operator.
+type colID struct {
+	table int
+	col   int
+}
+
+// symScalar is a column or literal leaf.
+type symScalar struct {
+	isCol bool
+	col   colID
+	ty    rel.Type
+	val   rel.Value
+}
+
+// symPred mirrors the sql predicate tree with resolved leaves.
+type symPred interface{ tables(set map[int]bool) }
+
+type symCmp struct {
+	op          sql.CmpOp
+	left, right symScalar
+}
+
+type symAnd struct{ left, right symPred }
+type symOr struct{ left, right symPred }
+type symNot struct{ inner symPred }
+
+func (c symCmp) tables(set map[int]bool) {
+	if c.left.isCol {
+		set[c.left.col.table] = true
+	}
+	if c.right.isCol {
+		set[c.right.col.table] = true
+	}
+}
+func (a symAnd) tables(set map[int]bool) { a.left.tables(set); a.right.tables(set) }
+func (o symOr) tables(set map[int]bool)  { o.left.tables(set); o.right.tables(set) }
+func (n symNot) tables(set map[int]bool) { n.inner.tables(set) }
+
+func tablesOf(p symPred) map[int]bool {
+	set := make(map[int]bool)
+	p.tables(set)
+	return set
+}
+
+// scope resolves names during planning.
+type scope struct {
+	aliases []string
+	tables  []*catalog.Table
+}
+
+func (sc *scope) resolve(c sql.ColRef) (colID, rel.Type, error) {
+	if c.Table != "" {
+		for i, a := range sc.aliases {
+			if a == c.Table {
+				o := sc.tables[i].Schema.Ordinal(c.Column)
+				if o < 0 {
+					return colID{}, 0, fmt.Errorf("plan: no column %s in %s", c.Column, c.Table)
+				}
+				return colID{table: i, col: o}, sc.tables[i].Schema.Col(o).Type, nil
+			}
+		}
+		return colID{}, 0, fmt.Errorf("plan: unknown table alias %s", c.Table)
+	}
+	found := -1
+	ord := -1
+	for i, t := range sc.tables {
+		if o := t.Schema.Ordinal(c.Column); o >= 0 {
+			if found >= 0 {
+				return colID{}, 0, fmt.Errorf("plan: ambiguous column %s", c.Column)
+			}
+			found, ord = i, o
+		}
+	}
+	if found < 0 {
+		return colID{}, 0, fmt.Errorf("plan: unknown column %s", c.Column)
+	}
+	return colID{table: found, col: ord}, sc.tables[found].Schema.Col(ord).Type, nil
+}
+
+func (sc *scope) scalar(e sql.Expr) (symScalar, error) {
+	switch v := e.(type) {
+	case sql.ColRef:
+		id, ty, err := sc.resolve(v)
+		if err != nil {
+			return symScalar{}, err
+		}
+		return symScalar{isCol: true, col: id, ty: ty}, nil
+	case sql.Literal:
+		return symScalar{val: v.Value, ty: v.Value.Kind}, nil
+	default:
+		return symScalar{}, fmt.Errorf("plan: unsupported scalar %T", e)
+	}
+}
+
+func (sc *scope) pred(e sql.Expr) (symPred, error) {
+	switch v := e.(type) {
+	case sql.Compare:
+		l, err := sc.scalar(v.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := sc.scalar(v.Right)
+		if err != nil {
+			return nil, err
+		}
+		if l.ty != r.ty {
+			return nil, fmt.Errorf("plan: type mismatch in comparison: %v vs %v", l.ty, r.ty)
+		}
+		return symCmp{op: v.Op, left: l, right: r}, nil
+	case sql.And:
+		l, err := sc.pred(v.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := sc.pred(v.Right)
+		if err != nil {
+			return nil, err
+		}
+		return symAnd{left: l, right: r}, nil
+	case sql.Or:
+		l, err := sc.pred(v.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := sc.pred(v.Right)
+		if err != nil {
+			return nil, err
+		}
+		return symOr{left: l, right: r}, nil
+	case sql.Not:
+		in, err := sc.pred(v.Inner)
+		if err != nil {
+			return nil, err
+		}
+		return symNot{inner: in}, nil
+	default:
+		return nil, fmt.Errorf("plan: unsupported predicate %T", e)
+	}
+}
+
+// splitConjuncts flattens top-level ANDs.
+func splitConjuncts(p symPred) []symPred {
+	if a, ok := p.(symAnd); ok {
+		return append(splitConjuncts(a.left), splitConjuncts(a.right)...)
+	}
+	return []symPred{p}
+}
+
+// colMap tracks where each symbolic column currently lives in the plan's
+// output tuple.
+type colMap map[colID]int
+
+// bind converts a symbolic predicate to a physical one via the map.
+func bind(p symPred, m colMap) (exec.Pred, error) {
+	switch v := p.(type) {
+	case symCmp:
+		l, err := bindScalar(v.left, m)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bindScalar(v.right, m)
+		if err != nil {
+			return nil, err
+		}
+		return exec.Cmp{Op: v.op, Left: l, Right: r}, nil
+	case symAnd:
+		l, err := bind(v.left, m)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bind(v.right, m)
+		if err != nil {
+			return nil, err
+		}
+		return exec.AndP{Preds: []exec.Pred{l, r}}, nil
+	case symOr:
+		l, err := bind(v.left, m)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bind(v.right, m)
+		if err != nil {
+			return nil, err
+		}
+		return exec.OrP{Left: l, Right: r}, nil
+	case symNot:
+		in, err := bind(v.inner, m)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NotP{Inner: in}, nil
+	default:
+		return nil, fmt.Errorf("plan: unknown symbolic predicate %T", p)
+	}
+}
+
+func bindScalar(s symScalar, m colMap) (exec.Scalar, error) {
+	if !s.isCol {
+		return exec.Const{Val: s.val}, nil
+	}
+	ord, ok := m[s.col]
+	if !ok {
+		return nil, fmt.Errorf("plan: column %v not available at this point in the plan", s.col)
+	}
+	return exec.Col{Ord: ord, Ty: s.ty}, nil
+}
+
+// equijoin detects a cross-table equality comparison.
+func equijoin(p symPred) (l, r colID, ok bool) {
+	c, isCmp := p.(symCmp)
+	if !isCmp || c.op != sql.CmpEq || !c.left.isCol || !c.right.isCol {
+		return colID{}, colID{}, false
+	}
+	if c.left.col.table == c.right.col.table {
+		return colID{}, colID{}, false
+	}
+	return c.left.col, c.right.col, true
+}
+
+func buildSimple(cat *catalog.Catalog, s *sql.Select) (exec.Operator, error) {
+	if len(s.From) == 0 {
+		return nil, fmt.Errorf("plan: empty FROM")
+	}
+	sc := &scope{}
+	seen := make(map[string]bool)
+	for _, tr := range s.From {
+		t := cat.Table(tr.Table)
+		if t == nil {
+			return nil, fmt.Errorf("plan: no table %s", tr.Table)
+		}
+		if seen[tr.Alias] {
+			return nil, fmt.Errorf("plan: duplicate alias %s", tr.Alias)
+		}
+		seen[tr.Alias] = true
+		sc.aliases = append(sc.aliases, tr.Alias)
+		sc.tables = append(sc.tables, t)
+	}
+
+	// Classify predicates.
+	var tablePreds = make([][]symPred, len(sc.tables))
+	type joinPred struct{ l, r colID }
+	var joinPreds []joinPred
+	var residuals []symPred
+	if s.Where != nil {
+		p, err := sc.pred(s.Where)
+		if err != nil {
+			return nil, err
+		}
+		for _, conj := range splitConjuncts(p) {
+			ts := tablesOf(conj)
+			switch {
+			case len(ts) <= 1:
+				ti := 0
+				for t := range ts {
+					ti = t
+				}
+				tablePreds[ti] = append(tablePreds[ti], conj)
+			default:
+				if l, r, ok := equijoin(conj); ok {
+					joinPreds = append(joinPreds, joinPred{l, r})
+				} else {
+					residuals = append(residuals, conj)
+				}
+			}
+		}
+	}
+
+	// Per-table equality-on-literal columns (for index selection) and
+	// cardinality estimates after local predicates. When an index
+	// covers the literal key the estimate is the exact posting count.
+	eqLits := make([]map[int]rel.Value, len(sc.tables))
+	estimates := make([]int, len(sc.tables))
+	for ti := range sc.tables {
+		t := sc.tables[ti]
+		eqLit := make(map[int]rel.Value)
+		for _, p := range tablePreds[ti] {
+			if c, ok := p.(symCmp); ok && c.op == sql.CmpEq {
+				if c.left.isCol && !c.right.isCol {
+					eqLit[c.left.col.col] = c.right.val
+				} else if c.right.isCol && !c.left.isCol {
+					eqLit[c.right.col.col] = c.left.val
+				}
+			}
+		}
+		eqLits[ti] = eqLit
+		estimates[ti] = t.Rows()
+		if len(eqLit) > 0 {
+			if best := pickIndex(t, eqLit); best != nil {
+				key := indexKey(best, eqLit)
+				estimates[ti] = len(best.LookupPrefix(key))
+			} else {
+				// Unindexed literal equality: assume strong filtering.
+				estimates[ti] = t.Rows()/10 + 1
+			}
+		}
+	}
+
+	// Access path per table: returns the operator and the table-local
+	// column map.
+	access := func(ti int) (exec.Operator, error) {
+		t := sc.tables[ti]
+		local := make(colMap, t.Schema.Len())
+		for c := 0; c < t.Schema.Len(); c++ {
+			local[colID{table: ti, col: c}] = c
+		}
+		eqLit := eqLits[ti]
+		var op exec.Operator
+		if len(eqLit) > 0 {
+			if best := pickIndex(t, eqLit); best != nil {
+				op = exec.NewIndexScan(t, best, indexKey(best, eqLit))
+			}
+		}
+		if op == nil {
+			op = exec.NewSeqScan(t)
+		}
+		// Attach all table predicates (the index may cover only some;
+		// re-checking the covered equalities is cheap and keeps the
+		// planner simple and the executor obviously correct).
+		if len(tablePreds[ti]) > 0 {
+			var preds []exec.Pred
+			for _, p := range tablePreds[ti] {
+				bp, err := bind(p, local)
+				if err != nil {
+					return nil, err
+				}
+				preds = append(preds, bp)
+			}
+			op = &exec.Filter{Input: op, Pred: exec.AndOf(preds)}
+		}
+		return op, nil
+	}
+
+	// Greedy join order.
+	n := len(sc.tables)
+	joined := make(map[int]bool)
+	// Start with the table estimated smallest after local predicates.
+	start := 0
+	for i := 1; i < n; i++ {
+		if estimates[i] < estimates[start] {
+			start = i
+		}
+	}
+	cur, err := access(start)
+	if err != nil {
+		return nil, err
+	}
+	joined[start] = true
+	m := make(colMap)
+	for c := 0; c < sc.tables[start].Schema.Len(); c++ {
+		m[colID{table: start, col: c}] = c
+	}
+	width := sc.tables[start].Schema.Len()
+
+	usedJoin := make([]bool, len(joinPreds))
+	usedResidual := make([]bool, len(residuals))
+
+	attachResiduals := func() error {
+		var preds []exec.Pred
+		for i, r := range residuals {
+			if usedResidual[i] {
+				continue
+			}
+			ok := true
+			for t := range tablesOf(r) {
+				if !joined[t] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			bp, err := bind(r, m)
+			if err != nil {
+				return err
+			}
+			preds = append(preds, bp)
+			usedResidual[i] = true
+		}
+		if len(preds) > 0 {
+			cur = &exec.Filter{Input: cur, Pred: exec.AndOf(preds)}
+		}
+		return nil
+	}
+	if err := attachResiduals(); err != nil {
+		return nil, err
+	}
+
+	for len(joined) < n {
+		// Candidate: unjoined table connected by an equijoin.
+		cand := -1
+		for _, jp := range joinPreds {
+			var newT int
+			switch {
+			case joined[jp.l.table] && !joined[jp.r.table]:
+				newT = jp.r.table
+			case joined[jp.r.table] && !joined[jp.l.table]:
+				newT = jp.l.table
+			default:
+				continue
+			}
+			if cand < 0 || estimates[newT] < estimates[cand] {
+				cand = newT
+			}
+		}
+		if cand >= 0 {
+			var lords, rords []int
+			for i, jp := range joinPreds {
+				if usedJoin[i] {
+					continue
+				}
+				var inner, outer colID
+				switch {
+				case joined[jp.l.table] && jp.r.table == cand:
+					inner, outer = jp.l, jp.r
+				case joined[jp.r.table] && jp.l.table == cand:
+					inner, outer = jp.r, jp.l
+				default:
+					continue
+				}
+				lords = append(lords, m[inner])
+				rords = append(rords, outer.col)
+				usedJoin[i] = true
+			}
+			op, err := buildJoin(sc, cand, cur, lords, rords, tablePreds[cand], m, width, access)
+			if err != nil {
+				return nil, err
+			}
+			cur = op
+			for c := 0; c < sc.tables[cand].Schema.Len(); c++ {
+				m[colID{table: cand, col: c}] = width + c
+			}
+			width += sc.tables[cand].Schema.Len()
+			joined[cand] = true
+		} else {
+			// No equijoin available: cross join with the smallest
+			// remaining table; residuals attach right after.
+			small := -1
+			for i := 0; i < n; i++ {
+				if !joined[i] && (small < 0 || estimates[i] < estimates[small]) {
+					small = i
+				}
+			}
+			right, err := access(small)
+			if err != nil {
+				return nil, err
+			}
+			cur = &exec.NLJoin{Left: cur, Right: right, Pred: exec.True{}}
+			for c := 0; c < sc.tables[small].Schema.Len(); c++ {
+				m[colID{table: small, col: c}] = width + c
+			}
+			width += sc.tables[small].Schema.Len()
+			joined[small] = true
+		}
+		if err := attachResiduals(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Join predicates between already-joined tables that the greedy
+	// order didn't consume become filters.
+	var lateJoin []exec.Pred
+	for i, jp := range joinPreds {
+		if usedJoin[i] {
+			continue
+		}
+		lo, lok := m[jp.l]
+		ro, rok := m[jp.r]
+		if !lok || !rok {
+			return nil, fmt.Errorf("plan: unbound join predicate")
+		}
+		lt := sc.tables[jp.l.table].Schema.Col(jp.l.col).Type
+		rt := sc.tables[jp.r.table].Schema.Col(jp.r.col).Type
+		lateJoin = append(lateJoin, exec.Cmp{Op: sql.CmpEq, Left: exec.Col{Ord: lo, Ty: lt}, Right: exec.Col{Ord: ro, Ty: rt}})
+	}
+	if len(lateJoin) > 0 {
+		cur = &exec.Filter{Input: cur, Pred: exec.AndOf(lateJoin)}
+	}
+	for i := range residuals {
+		if !usedResidual[i] {
+			return nil, fmt.Errorf("plan: residual predicate left unattached")
+		}
+	}
+
+	// COUNT(*) replaces the projection.
+	if s.CountStar {
+		return &exec.CountStar{Input: cur}, nil
+	}
+
+	// Projection.
+	proj, outSchema, err := projection(sc, s, m)
+	if err != nil {
+		return nil, err
+	}
+	if proj != nil {
+		cur = &exec.Project{Input: cur, Exprs: proj, Out: outSchema}
+	}
+	if s.Distinct {
+		cur = &exec.Distinct{Input: cur}
+	}
+	return cur, nil
+}
+
+// projection resolves the select list. A nil scalar list means the input
+// already has the right shape ('*' over a single table).
+func projection(sc *scope, s *sql.Select, m colMap) ([]exec.Scalar, *rel.Schema, error) {
+	if len(s.Items) == 0 {
+		// '*': all columns in FROM order.
+		if len(sc.tables) == 1 {
+			return nil, nil, nil // pass through
+		}
+		var exprs []exec.Scalar
+		var cols []rel.Column
+		nameCount := make(map[string]int)
+		for ti, t := range sc.tables {
+			for c := 0; c < t.Schema.Len(); c++ {
+				col := t.Schema.Col(c)
+				exprs = append(exprs, exec.Col{Ord: m[colID{table: ti, col: c}], Ty: col.Type})
+				cols = append(cols, rel.Column{Name: uniqueName(nameCount, col.Name), Type: col.Type})
+			}
+		}
+		schema, err := rel.NewSchema(cols...)
+		if err != nil {
+			return nil, nil, err
+		}
+		return exprs, schema, nil
+	}
+	var exprs []exec.Scalar
+	var cols []rel.Column
+	nameCount := make(map[string]int)
+	for _, item := range s.Items {
+		ss, err := sc.scalar(item.Expr)
+		if err != nil {
+			return nil, nil, err
+		}
+		phys, err := bindScalar(ss, m)
+		if err != nil {
+			return nil, nil, err
+		}
+		exprs = append(exprs, phys)
+		name := item.Alias
+		if name == "" {
+			if cr, ok := item.Expr.(sql.ColRef); ok {
+				name = cr.Column
+			} else {
+				name = "expr"
+			}
+		}
+		cols = append(cols, rel.Column{Name: uniqueName(nameCount, name), Type: ss.ty})
+	}
+	schema, err := rel.NewSchema(cols...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return exprs, schema, nil
+}
+
+func uniqueName(count map[string]int, name string) string {
+	count[name]++
+	if count[name] == 1 {
+		return name
+	}
+	return fmt.Sprintf("%s_%d", name, count[name])
+}
+
+// indexJoinThreshold is the inner-table size above which an index
+// nested-loop join is preferred over building a hash table on the whole
+// inner relation. Below it the hash build is cheap enough that probing
+// overhead is not worth plan complexity.
+const indexJoinThreshold = 64
+
+// buildJoin attaches the candidate table to the current plan. It
+// prefers an index nested-loop join when the inner table is large and
+// carries a B+tree whose leading columns are join columns; otherwise it
+// falls back to a hash join over the candidate's filtered access path.
+//
+// lords are probe-side ordinals in cur's output; rords are the matching
+// column ordinals in the candidate table. tPreds are the candidate's
+// single-table predicates (symbolic); m/width describe cur's output
+// before the join.
+func buildJoin(sc *scope, cand int, cur exec.Operator, lords, rords []int,
+	tPreds []symPred, m colMap, width int,
+	access func(int) (exec.Operator, error)) (exec.Operator, error) {
+
+	t := sc.tables[cand]
+	// Equality-on-literal columns disqualify the index join shortcut:
+	// the filtered access path (possibly its own IndexScan) is already
+	// selective, and the hash build is over the filtered rows only.
+	hasEqLit := false
+	for _, p := range tPreds {
+		if c, ok := p.(symCmp); ok && c.op == sql.CmpEq && (c.left.isCol != c.right.isCol) {
+			hasEqLit = true
+		}
+	}
+	if !hasEqLit && t.Rows() > indexJoinThreshold {
+		if idx, keyLords, residual := matchJoinIndex(t, lords, rords, m, width, tPreds); idx != nil {
+			return &exec.IndexNLJoin{
+				Left:     cur,
+				Right:    t,
+				Index:    idx,
+				LeftOrds: keyLords,
+				Residual: residual,
+			}, nil
+		}
+	}
+	right, err := access(cand)
+	if err != nil {
+		return nil, err
+	}
+	return &exec.HashJoin{Left: cur, Right: right, LeftOrds: lords, RightOrds: rords}, nil
+}
+
+// matchJoinIndex finds the candidate-table index whose leading columns
+// are all join columns, maximizing the covered prefix. It returns the
+// probe-key ordinals (in cur's output) aligned with the index columns,
+// and the residual predicate: uncovered join equalities plus the
+// candidate's single-table predicates, both over the concatenated
+// output.
+func matchJoinIndex(t *catalog.Table, lords, rords []int, m colMap, width int, tPreds []symPred) (*catalog.Index, []int, exec.Pred) {
+	var best *catalog.Index
+	bestLen := 0
+	for _, idx := range t.Indexes {
+		l := 0
+		for _, io := range idx.Ords {
+			found := false
+			for _, ro := range rords {
+				if ro == io {
+					found = true
+					break
+				}
+			}
+			if !found {
+				break
+			}
+			l++
+		}
+		if l > bestLen {
+			best, bestLen = idx, l
+		}
+	}
+	if best == nil {
+		return nil, nil, nil
+	}
+	keyLords := make([]int, bestLen)
+	covered := make([]bool, len(rords))
+	for i := 0; i < bestLen; i++ {
+		for k, ro := range rords {
+			if ro == best.Ords[i] && !covered[k] {
+				keyLords[i] = lords[k]
+				covered[k] = true
+				break
+			}
+		}
+	}
+	var preds []exec.Pred
+	for k, ro := range rords {
+		if covered[k] {
+			continue
+		}
+		ty := t.Schema.Col(ro).Type
+		preds = append(preds, exec.Cmp{
+			Op:    sql.CmpEq,
+			Left:  exec.Col{Ord: lords[k], Ty: ty},
+			Right: exec.Col{Ord: width + ro, Ty: ty},
+		})
+	}
+	// Candidate's single-table predicates, re-anchored to the join
+	// output (its columns start at width).
+	if len(tPreds) > 0 {
+		local := make(colMap)
+		for p := range m {
+			local[p] = m[p]
+		}
+		// The candidate's own columns are not in m yet; bind against a
+		// temporary map extended with them.
+		for c := 0; c < t.Schema.Len(); c++ {
+			// The symbolic predicates reference (candTable, col); we do
+			// not know cand's index here, so recover it from the preds
+			// themselves below.
+			_ = c
+		}
+		for _, sp := range tPreds {
+			ext := make(colMap)
+			for id, o := range local {
+				ext[id] = o
+			}
+			for ti := range tablesOf(sp) {
+				for c := 0; c < t.Schema.Len(); c++ {
+					ext[colID{table: ti, col: c}] = width + c
+				}
+			}
+			bp, err := bind(sp, ext)
+			if err != nil {
+				// Binding can only fail on planner bugs; fall back to
+				// hash join by reporting no index.
+				return nil, nil, nil
+			}
+			preds = append(preds, bp)
+		}
+	}
+	return best, keyLords, exec.AndOf(preds)
+}
+
+// indexKey builds the probe key for pickIndex's chosen index from the
+// literal equality bindings.
+func indexKey(idx *catalog.Index, eqLit map[int]rel.Value) rel.Tuple {
+	key := make(rel.Tuple, 0, len(idx.Ords))
+	for _, o := range idx.Ords {
+		v, ok := eqLit[o]
+		if !ok {
+			break
+		}
+		key = append(key, v)
+	}
+	return key
+}
+
+// pickIndex chooses the index with the longest fully-bound prefix among
+// the equality columns.
+func pickIndex(t *catalog.Table, eqLit map[int]rel.Value) *catalog.Index {
+	var best *catalog.Index
+	bestLen := 0
+	for _, idx := range t.Indexes {
+		l := 0
+		for _, o := range idx.Ords {
+			if _, ok := eqLit[o]; !ok {
+				break
+			}
+			l++
+		}
+		if l > bestLen {
+			best, bestLen = idx, l
+		}
+	}
+	return best
+}

@@ -1,0 +1,22 @@
+package plan
+
+import (
+	"dkbms/internal/catalog"
+	"dkbms/internal/exec"
+	"dkbms/internal/sql"
+)
+
+// BindTablePred resolves a predicate against a single table's schema
+// (ordinals are table-local). DELETE ... WHERE uses this.
+func BindTablePred(t *catalog.Table, e sql.Expr) (exec.Pred, error) {
+	sc := &scope{aliases: []string{t.Name}, tables: []*catalog.Table{t}}
+	p, err := sc.pred(e)
+	if err != nil {
+		return nil, err
+	}
+	m := make(colMap, t.Schema.Len())
+	for c := 0; c < t.Schema.Len(); c++ {
+		m[colID{table: 0, col: c}] = c
+	}
+	return bind(p, m)
+}

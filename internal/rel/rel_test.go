@@ -1,0 +1,247 @@
+package rel
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeString(t *testing.T) {
+	if TypeInt.String() != "INTEGER" || TypeString.String() != "CHAR" {
+		t.Fatalf("unexpected type names: %v %v", TypeInt, TypeString)
+	}
+	if TypeUnknown.String() != "UNKNOWN" {
+		t.Fatalf("unexpected zero type name: %v", TypeUnknown)
+	}
+}
+
+func TestParseType(t *testing.T) {
+	for _, s := range []string{"INTEGER", "INT", "int", "integer"} {
+		ty, err := ParseType(s)
+		if err != nil || ty != TypeInt {
+			t.Fatalf("ParseType(%q) = %v, %v", s, ty, err)
+		}
+	}
+	for _, s := range []string{"CHAR", "char", "VARCHAR", "string"} {
+		ty, err := ParseType(s)
+		if err != nil || ty != TypeString {
+			t.Fatalf("ParseType(%q) = %v, %v", s, ty, err)
+		}
+	}
+	if _, err := ParseType("blob"); err == nil {
+		t.Fatal("ParseType(blob) should fail")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if NewInt(-42).String() != "-42" {
+		t.Fatalf("int rendering: %q", NewInt(-42).String())
+	}
+	if NewString("abc").String() != "abc" {
+		t.Fatalf("string rendering: %q", NewString("abc").String())
+	}
+}
+
+func TestValueSQL(t *testing.T) {
+	if NewInt(7).SQL() != "7" {
+		t.Fatalf("int SQL: %q", NewInt(7).SQL())
+	}
+	if NewString("o'brien").SQL() != "'o''brien'" {
+		t.Fatalf("string SQL quoting: %q", NewString("o'brien").SQL())
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(1), 1},
+		{NewInt(5), NewInt(5), 0},
+		{NewString("a"), NewString("b"), -1},
+		{NewString("b"), NewString("a"), 1},
+		{NewString("x"), NewString("x"), 0},
+		{NewInt(1), NewString("1"), -1}, // type tag ordering
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareTotalOrderProperty(t *testing.T) {
+	// Compare must be antisymmetric and transitive over random values.
+	gen := func(r *rand.Rand) Value {
+		if r.Intn(2) == 0 {
+			return NewInt(int64(r.Intn(20) - 10))
+		}
+		return NewString(string(rune('a' + r.Intn(5))))
+	}
+	r := rand.New(rand.NewSource(1))
+	vals := make([]Value, 40)
+	for i := range vals {
+		vals[i] = gen(r)
+	}
+	for _, a := range vals {
+		for _, b := range vals {
+			if Compare(a, b) != -Compare(b, a) {
+				t.Fatalf("antisymmetry violated for %v,%v", a, b)
+			}
+			for _, c := range vals {
+				if Compare(a, b) <= 0 && Compare(b, c) <= 0 && Compare(a, c) > 0 {
+					t.Fatalf("transitivity violated for %v,%v,%v", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s, err := NewSchema(Column{"x", TypeInt}, Column{"y", TypeString})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 || s.Col(0).Name != "x" || s.Col(1).Type != TypeString {
+		t.Fatalf("schema contents wrong: %v", s)
+	}
+	if s.Ordinal("y") != 1 || s.Ordinal("z") != -1 {
+		t.Fatal("Ordinal lookup wrong")
+	}
+	if s.String() != "(x INTEGER, y CHAR)" {
+		t.Fatalf("String: %q", s.String())
+	}
+}
+
+func TestSchemaDuplicateRejected(t *testing.T) {
+	if _, err := NewSchema(Column{"x", TypeInt}, Column{"x", TypeInt}); err == nil {
+		t.Fatal("duplicate column accepted")
+	}
+	if _, err := NewSchema(Column{"", TypeInt}); err == nil {
+		t.Fatal("empty column name accepted")
+	}
+}
+
+func TestSchemaProjectConcat(t *testing.T) {
+	s := MustSchema(Column{"a", TypeInt}, Column{"b", TypeString}, Column{"c", TypeInt})
+	p := s.Project([]int{2, 0})
+	if p.String() != "(c INTEGER, a INTEGER)" {
+		t.Fatalf("project: %v", p)
+	}
+	q := MustSchema(Column{"d", TypeString})
+	j := s.Concat(q)
+	if j.Len() != 4 || j.Col(3).Name != "d" {
+		t.Fatalf("concat: %v", j)
+	}
+}
+
+func TestSchemaCompat(t *testing.T) {
+	a := MustSchema(Column{"a", TypeInt}, Column{"b", TypeString})
+	b := MustSchema(Column{"x", TypeInt}, Column{"y", TypeString})
+	c := MustSchema(Column{"x", TypeString}, Column{"y", TypeInt})
+	if !a.TypesCompatible(b) {
+		t.Fatal("a and b should be type-compatible")
+	}
+	if a.TypesCompatible(c) {
+		t.Fatal("a and c should not be compatible")
+	}
+	if a.Equal(b) {
+		t.Fatal("a and b are not Equal (names differ)")
+	}
+	if !a.Equal(a) {
+		t.Fatal("a should equal itself")
+	}
+}
+
+func TestTupleRoundTrip(t *testing.T) {
+	s := MustSchema(Column{"a", TypeInt}, Column{"b", TypeString}, Column{"c", TypeInt})
+	tu := Tuple{NewInt(-5), NewString("hello world"), NewInt(1 << 40)}
+	enc := tu.Encode(nil)
+	dec, err := DecodeTuple(enc, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tu, dec) {
+		t.Fatalf("round trip: got %v want %v", dec, tu)
+	}
+}
+
+func TestTupleEncodePropertyRoundTrip(t *testing.T) {
+	// Property: Encode/DecodeTuple round-trips arbitrary (int, string) rows.
+	f := func(i int64, s string, j int64) bool {
+		sch := MustSchema(Column{"a", TypeInt}, Column{"b", TypeString}, Column{"c", TypeInt})
+		tu := Tuple{NewInt(i), NewString(s), NewInt(j)}
+		dec, err := DecodeTuple(tu.Encode(nil), sch)
+		return err == nil && reflect.DeepEqual(tu, dec)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTupleKeyInjective(t *testing.T) {
+	// Property: distinct tuples have distinct keys.
+	f := func(a1 int64, s1 string, a2 int64, s2 string) bool {
+		t1 := Tuple{NewInt(a1), NewString(s1)}
+		t2 := Tuple{NewInt(a2), NewString(s2)}
+		same := a1 == a2 && s1 == s2
+		return (t1.Key() == t2.Key()) == same
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Regression: the classic concatenation ambiguity must not collide.
+	t1 := Tuple{NewString("ab"), NewString("c")}
+	t2 := Tuple{NewString("a"), NewString("bc")}
+	if t1.Key() == t2.Key() {
+		t.Fatal("key not injective across string boundaries")
+	}
+}
+
+func TestTupleKeyOfMatchesProjection(t *testing.T) {
+	tu := Tuple{NewInt(1), NewString("x"), NewInt(3)}
+	proj := Tuple{tu[2], tu[0]}
+	if tu.KeyOf([]int{2, 0}) != proj.Key() {
+		t.Fatal("KeyOf differs from Key of projection")
+	}
+}
+
+func TestCompareTuples(t *testing.T) {
+	a := Tuple{NewInt(1), NewInt(2)}
+	b := Tuple{NewInt(1), NewInt(3)}
+	c := Tuple{NewInt(1)}
+	if CompareTuples(a, b) != -1 || CompareTuples(b, a) != 1 {
+		t.Fatal("lexicographic compare wrong")
+	}
+	if CompareTuples(c, a) != -1 || CompareTuples(a, a) != 0 {
+		t.Fatal("prefix compare wrong")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	s := MustSchema(Column{"a", TypeInt})
+	if _, err := DecodeTuple([]byte{1, 2}, s); err == nil {
+		t.Fatal("short int data accepted")
+	}
+	ss := MustSchema(Column{"a", TypeString})
+	if _, err := DecodeTuple([]byte{10, 'x'}, ss); err == nil {
+		t.Fatal("short string data accepted")
+	}
+	// Trailing junk must be rejected.
+	tu := Tuple{NewInt(1)}
+	enc := append(tu.Encode(nil), 0xFF)
+	if _, err := DecodeTuple(enc, s); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestTupleClone(t *testing.T) {
+	a := Tuple{NewInt(1), NewString("x")}
+	b := a.Clone()
+	b[0] = NewInt(9)
+	if a[0].Int != 1 {
+		t.Fatal("Clone aliases original")
+	}
+}

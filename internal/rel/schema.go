@@ -1,0 +1,124 @@
+package rel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered list of columns. Schemas are immutable once built;
+// operations that would change a schema return a new one.
+type Schema struct {
+	cols []Column
+}
+
+// NewSchema builds a schema from columns. Column names must be unique
+// (case-sensitive, the engine lowercases identifiers at parse time).
+func NewSchema(cols ...Column) (*Schema, error) {
+	seen := make(map[string]struct{}, len(cols))
+	for _, c := range cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("rel: empty column name")
+		}
+		if _, dup := seen[c.Name]; dup {
+			return nil, fmt.Errorf("rel: duplicate column %q", c.Name)
+		}
+		seen[c.Name] = struct{}{}
+	}
+	return &Schema{cols: append([]Column(nil), cols...)}, nil
+}
+
+// MustSchema is NewSchema that panics on error; for tests and literals.
+func MustSchema(cols ...Column) *Schema {
+	s, err := NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.cols) }
+
+// Col returns the i-th column.
+func (s *Schema) Col(i int) Column { return s.cols[i] }
+
+// Columns returns a copy of the column list.
+func (s *Schema) Columns() []Column { return append([]Column(nil), s.cols...) }
+
+// Ordinal returns the position of the named column, or -1.
+func (s *Schema) Ordinal(name string) int {
+	for i, c := range s.cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Project returns a schema holding the columns at the given ordinals.
+func (s *Schema) Project(ords []int) *Schema {
+	cols := make([]Column, len(ords))
+	for i, o := range ords {
+		cols[i] = s.cols[o]
+	}
+	return &Schema{cols: cols}
+}
+
+// Concat returns the schema of a join result: s's columns followed by
+// t's. Duplicate names are allowed here because join outputs are always
+// addressed by ordinal internally.
+func (s *Schema) Concat(t *Schema) *Schema {
+	cols := make([]Column, 0, len(s.cols)+len(t.cols))
+	cols = append(cols, s.cols...)
+	cols = append(cols, t.cols...)
+	return &Schema{cols: cols}
+}
+
+// Equal reports whether two schemas have identical columns.
+func (s *Schema) Equal(t *Schema) bool {
+	if s.Len() != t.Len() {
+		return false
+	}
+	for i := range s.cols {
+		if s.cols[i] != t.cols[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TypesCompatible reports whether the column types match positionally
+// (names may differ). Set operations and INSERT...SELECT require this.
+func (s *Schema) TypesCompatible(t *Schema) bool {
+	if s.Len() != t.Len() {
+		return false
+	}
+	for i := range s.cols {
+		if s.cols[i].Type != t.cols[i].Type {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the schema as "(name TYPE, ...)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.Name)
+		b.WriteByte(' ')
+		b.WriteString(c.Type.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}

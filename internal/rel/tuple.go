@@ -1,0 +1,141 @@
+package rel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// Tuple is one row: a slice of values. Tuples are positional; names live
+// in the schema.
+type Tuple []Value
+
+// String renders the tuple as "(v1, v2, ...)".
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range t {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Clone returns a deep copy of the tuple.
+func (t Tuple) Clone() Tuple { return append(Tuple(nil), t...) }
+
+// CompareTuples orders tuples lexicographically; shorter tuples sort
+// before longer ones with an equal prefix.
+func CompareTuples(a, b Tuple) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Key returns a string usable as a map key that uniquely identifies the
+// tuple's contents. Used by Distinct, hash joins and set operations.
+// The encoding is injective: integers are length-prefixed decimal and
+// strings are length-prefixed bytes, so no two distinct tuples collide.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for _, v := range t {
+		switch v.Kind {
+		case TypeInt:
+			fmt.Fprintf(&b, "i%d;", v.Int)
+		case TypeString:
+			fmt.Fprintf(&b, "s%d:%s;", len(v.Str), v.Str)
+		default:
+			b.WriteString("u;")
+		}
+	}
+	return b.String()
+}
+
+// KeyOf returns Key() of a projection of the tuple onto the given
+// ordinals, without materializing the projection.
+func (t Tuple) KeyOf(ords []int) string {
+	var b strings.Builder
+	for _, o := range ords {
+		v := t[o]
+		switch v.Kind {
+		case TypeInt:
+			fmt.Fprintf(&b, "i%d;", v.Int)
+		case TypeString:
+			fmt.Fprintf(&b, "s%d:%s;", len(v.Str), v.Str)
+		default:
+			b.WriteString("u;")
+		}
+	}
+	return b.String()
+}
+
+// Encode serializes the tuple against its schema into buf (appending) and
+// returns the extended buffer. Layout: for each column, TypeInt → 8-byte
+// big-endian int64; TypeString → uvarint length + bytes.
+func (t Tuple) Encode(buf []byte) []byte {
+	var scratch [8]byte
+	for _, v := range t {
+		switch v.Kind {
+		case TypeInt:
+			binary.BigEndian.PutUint64(scratch[:], uint64(v.Int))
+			buf = append(buf, scratch[:]...)
+		case TypeString:
+			buf = binary.AppendUvarint(buf, uint64(len(v.Str)))
+			buf = append(buf, v.Str...)
+		default:
+			// Unknown values are never stored; encode as empty string.
+			buf = binary.AppendUvarint(buf, 0)
+		}
+	}
+	return buf
+}
+
+// DecodeTuple deserializes a tuple of the given schema from data.
+func DecodeTuple(data []byte, schema *Schema) (Tuple, error) {
+	t := make(Tuple, schema.Len())
+	off := 0
+	for i := 0; i < schema.Len(); i++ {
+		switch schema.Col(i).Type {
+		case TypeInt:
+			if off+8 > len(data) {
+				return nil, fmt.Errorf("rel: short tuple: int column %d", i)
+			}
+			t[i] = NewInt(int64(binary.BigEndian.Uint64(data[off : off+8])))
+			off += 8
+		case TypeString:
+			n, sz := binary.Uvarint(data[off:])
+			if sz <= 0 {
+				return nil, fmt.Errorf("rel: bad string length at column %d", i)
+			}
+			off += sz
+			if off+int(n) > len(data) {
+				return nil, fmt.Errorf("rel: short tuple: string column %d", i)
+			}
+			t[i] = NewString(string(data[off : off+int(n)]))
+			off += int(n)
+		default:
+			return nil, fmt.Errorf("rel: cannot decode unknown-typed column %d", i)
+		}
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("rel: %d trailing bytes after tuple", len(data)-off)
+	}
+	return t, nil
+}

@@ -1,0 +1,84 @@
+package rtlib
+
+import (
+	"fmt"
+	"testing"
+
+	"dkbms/internal/db"
+)
+
+func TestParallelMatchesSequential(t *testing.T) {
+	d := db.OpenMemory()
+	defer d.Close()
+	var edges []string
+	for i := 0; i < 40; i++ {
+		edges = append(edges, fmt.Sprintf("n%02d>n%02d", i, i+1))
+		if i%3 == 0 {
+			edges = append(edges, fmt.Sprintf("n%02d>n%02d", i, (i+7)%41))
+		}
+	}
+	loadEdges(t, d, "e", edges...)
+	prog := ancestorProgram(t)
+	seq, err := Evaluate(d, prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Evaluate(d, prog, Options{Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowSet(seq.Rows) != rowSet(par.Rows) {
+		t.Fatalf("parallel disagrees:\nseq: %s\npar: %s", rowSet(seq.Rows), rowSet(par.Rows))
+	}
+}
+
+func TestParallelMutualRecursion(t *testing.T) {
+	d := db.OpenMemory()
+	defer d.Close()
+	loadEdges(t, d, "e", "a>b", "b>c", "c>d", "d>e2", "e2>a")
+	prog := compile(t, "odd", stringPair,
+		"odd(X, Y) :- e(X, Y).",
+		"odd(X, Y) :- e(X, Z), even(Z, Y).",
+		"even(X, Y) :- e(X, Z), odd(Z, Y).",
+	)
+	seq, err := Evaluate(d, prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Evaluate(d, prog, Options{Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowSet(seq.Rows) != rowSet(par.Rows) {
+		t.Fatal("parallel disagrees on mutual recursion")
+	}
+}
+
+func TestParallelWithSeeds(t *testing.T) {
+	d := db.OpenMemory()
+	defer d.Close()
+	loadEdges(t, d, "e", "a>b", "b>c")
+	prog := compile(t, "m", stringPair, "m(Y) :- m(X), e(X, Y).")
+	prog.Seeds = seedsFor("m", "a")
+	res, err := Evaluate(d, prog, Options{Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowSet(res.Rows) != "(a)|(b)|(c)" {
+		t.Fatalf("rows: %s", rowSet(res.Rows))
+	}
+}
+
+func TestParallelNoTempLeaks(t *testing.T) {
+	d := db.OpenMemory()
+	defer d.Close()
+	loadEdges(t, d, "e", "a>b", "b>c")
+	before := len(d.Catalog().Tables())
+	prog := ancestorProgram(t)
+	if _, err := Evaluate(d, prog, Options{Parallel: true}); err != nil {
+		t.Fatal(err)
+	}
+	if after := len(d.Catalog().Tables()); after != before {
+		t.Fatalf("leak: %d -> %d", before, after)
+	}
+}

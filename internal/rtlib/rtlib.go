@@ -1,0 +1,331 @@
+// Package rtlib is the testbed's Run Time Library (paper §3.3): the
+// bottom-up least-fixed-point machinery that executes the evaluation
+// program produced by the code generator against the DBMS through its
+// SQL interface.
+//
+// Two LFP strategies are implemented, as in the paper:
+//
+//   - naive evaluation: each iteration recomputes f(R) from scratch into
+//     a fresh table and terminates when no new tuple appeared;
+//   - semi-naive evaluation: the differential approach — each recursive
+//     rule is evaluated once per clique occurrence with that occurrence
+//     reading the delta relation, and only genuinely new tuples extend
+//     the result.
+//
+// Exactly as the paper laments, everything runs over plain SQL: temp
+// tables are created and dropped per iteration, termination checks are
+// set differences, and accumulated relations are copied — the library
+// instruments those costs (Stats) because they are the subject of the
+// paper's Tests 5–7.
+package rtlib
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dkbms/internal/codegen"
+	"dkbms/internal/db"
+	"dkbms/internal/rel"
+)
+
+// Strategy selects the LFP evaluation algorithm.
+type Strategy int
+
+// Available strategies.
+const (
+	SemiNaive Strategy = iota
+	Naive
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	if s == Naive {
+		return "naive"
+	}
+	return "semi-naive"
+}
+
+// Options configure an evaluation run.
+type Options struct {
+	Strategy Strategy
+	// KeepTables, when set, skips the final cleanup so callers can
+	// inspect derived relations; Cleanup must then be called manually.
+	KeepTables bool
+	// Parallel evaluates each iteration's recursive-rule differentials
+	// concurrently (the paper's conclusion 7a). Semi-naive only; the
+	// answer is identical to the sequential loop.
+	Parallel bool
+}
+
+// NodeStats records the cost of evaluating one evaluation-order node.
+type NodeStats struct {
+	Preds      []string
+	Recursive  bool
+	Iterations int
+	// Elapsed is the total wall-clock time in the node.
+	Elapsed time.Duration
+	// TempTable is time creating/dropping/copying temporary tables.
+	TempTable time.Duration
+	// Eval is time evaluating rule bodies (INSERT INTO ... SELECT).
+	Eval time.Duration
+	// TermCheck is time spent deciding termination (set differences /
+	// counts).
+	TermCheck time.Duration
+	// Tuples is the final size of the node's derived relations.
+	Tuples int
+}
+
+// Stats aggregates an evaluation run.
+type Stats struct {
+	Nodes []NodeStats
+	// Totals across nodes.
+	TempTable time.Duration
+	Eval      time.Duration
+	TermCheck time.Duration
+	Elapsed   time.Duration
+}
+
+// Result is a completed evaluation.
+type Result struct {
+	// Rows are the tuples of the query predicate.
+	Rows []rel.Tuple
+	// Schema describes the rows.
+	Schema *rel.Schema
+	Stats  Stats
+
+	ev *evaluator
+}
+
+// Cleanup drops any temp tables kept alive by Options.KeepTables.
+func (r *Result) Cleanup() error {
+	if r.ev == nil {
+		return nil
+	}
+	err := r.ev.cleanup()
+	r.ev = nil
+	return err
+}
+
+// runSeq distinguishes concurrent evaluations' temp table names within
+// one process (the shell and benches reuse a single DB).
+var runSeq int
+
+// Evaluate runs a compiled program against the database.
+func Evaluate(d *db.DB, prog *codegen.Program, opts Options) (*Result, error) {
+	runSeq++
+	ev := &evaluator{
+		d:      d,
+		prog:   prog,
+		opts:   opts,
+		prefix: fmt.Sprintf("dkb%d_", runSeq),
+		tables: make(map[string]string),
+	}
+	res, err := ev.run()
+	if err != nil {
+		// Best-effort teardown on failure.
+		ev.cleanup()
+		return nil, err
+	}
+	if !opts.KeepTables {
+		if err := ev.cleanup(); err != nil {
+			return nil, err
+		}
+	} else {
+		res.ev = ev
+	}
+	return res, nil
+}
+
+type evaluator struct {
+	d      *db.DB
+	prog   *codegen.Program
+	opts   Options
+	prefix string
+	// tables maps derived predicates to their temp table names. Base
+	// predicates map to themselves.
+	tables  map[string]string
+	created []string // temp tables to drop at cleanup
+	stats   Stats
+}
+
+// tableOf resolves a predicate to its current relation name: the temp
+// table for derived predicates, the extensional table otherwise.
+func (ev *evaluator) tableOf(pred string) string {
+	if t, ok := ev.tables[pred]; ok {
+		return t
+	}
+	return codegen.BaseTable(pred)
+}
+
+func (ev *evaluator) run() (*Result, error) {
+	start := time.Now()
+	// Verify base relations and seeds up front for clean errors.
+	for _, p := range ev.prog.BasePreds {
+		if !ev.d.HasTable(codegen.BaseTable(p)) {
+			return nil, fmt.Errorf("rtlib: extensional relation %s (for predicate %s) does not exist",
+				codegen.BaseTable(p), p)
+		}
+	}
+	if err := seedTuplesValid(ev.prog); err != nil {
+		return nil, err
+	}
+	seeds := make(map[string][]rel.Tuple)
+	for _, s := range ev.prog.Seeds {
+		seeds[s.Pred] = append(seeds[s.Pred], s.Tuple)
+	}
+	// Seed-only predicates (no defining rules, e.g. the magic predicate
+	// of a non-recursive bound subgoal) are materialized up front.
+	nodePreds := make(map[string]bool)
+	for _, n := range ev.prog.Nodes {
+		for _, p := range n.Preds {
+			nodePreds[p] = true
+		}
+	}
+	var preStats NodeStats
+	for _, s := range ev.prog.Seeds {
+		if nodePreds[s.Pred] {
+			continue
+		}
+		if _, made := ev.tables[s.Pred]; made {
+			continue
+		}
+		if err := ev.createPredTable(s.Pred, seeds, &preStats); err != nil {
+			return nil, err
+		}
+	}
+	ev.stats.TempTable += preStats.TempTable
+
+	for i := range ev.prog.Nodes {
+		node := &ev.prog.Nodes[i]
+		ns := NodeStats{Preds: node.Preds, Recursive: node.Recursive}
+		nodeStart := time.Now()
+		var err error
+		if node.Recursive {
+			switch {
+			case ev.opts.Strategy == Naive:
+				err = ev.evalCliqueNaive(node, seeds, &ns)
+			case ev.opts.Parallel:
+				err = ev.evalCliqueSemiNaiveParallel(node, seeds, &ns)
+			default:
+				err = ev.evalCliqueSemiNaive(node, seeds, &ns)
+			}
+		} else {
+			err = ev.evalNonRecursive(node, seeds, &ns)
+		}
+		if err != nil {
+			return nil, err
+		}
+		ns.Elapsed = time.Since(nodeStart)
+		for _, p := range node.Preds {
+			ns.Tuples += ev.d.TableRows(ev.tableOf(p))
+		}
+		ev.stats.Nodes = append(ev.stats.Nodes, ns)
+		ev.stats.TempTable += ns.TempTable
+		ev.stats.Eval += ns.Eval
+		ev.stats.TermCheck += ns.TermCheck
+	}
+
+	qt, ok := ev.tables[ev.prog.QueryPred]
+	if !ok {
+		return nil, fmt.Errorf("rtlib: query predicate %s was not evaluated", ev.prog.QueryPred)
+	}
+	rows, err := ev.d.Query("SELECT * FROM " + qt)
+	if err != nil {
+		return nil, err
+	}
+	ev.stats.Elapsed = time.Since(start)
+	return &Result{Rows: rows.Tuples, Schema: ev.prog.Schemas[ev.prog.QueryPred], Stats: ev.stats}, nil
+}
+
+// createPredTable creates the temp table for a derived predicate and
+// registers it, inserting any seeds.
+func (ev *evaluator) createPredTable(pred string, seeds map[string][]rel.Tuple, ns *NodeStats) error {
+	name := ev.prefix + sanitize(pred)
+	t0 := time.Now()
+	if err := ev.createTable(name, ev.prog.Schemas[pred]); err != nil {
+		return err
+	}
+	ns.TempTable += time.Since(t0)
+	ev.tables[pred] = name
+	for _, tu := range seeds[pred] {
+		if err := ev.insertTuple(name, tu); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ev *evaluator) createTable(name string, schema *rel.Schema) error {
+	if schema == nil {
+		return fmt.Errorf("rtlib: no schema for temp table %s", name)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "CREATE TEMP TABLE %s (", name)
+	for i := 0; i < schema.Len(); i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		c := schema.Col(i)
+		fmt.Fprintf(&b, "%s %s", c.Name, c.Type.String())
+	}
+	b.WriteByte(')')
+	if err := ev.d.Exec(b.String()); err != nil {
+		return err
+	}
+	ev.created = append(ev.created, name)
+	return nil
+}
+
+func (ev *evaluator) dropTable(name string) error {
+	for i, t := range ev.created {
+		if t == name {
+			ev.created = append(ev.created[:i], ev.created[i+1:]...)
+			break
+		}
+	}
+	return ev.d.Exec("DROP TABLE " + name)
+}
+
+func (ev *evaluator) insertTuple(table string, tu rel.Tuple) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "INSERT INTO %s VALUES (", table)
+	for i, v := range tu {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.SQL())
+	}
+	b.WriteByte(')')
+	return ev.d.Exec(b.String())
+}
+
+// evalNonRecursive evaluates a non-recursive predicate node: union of
+// its rules, deduplicated.
+func (ev *evaluator) evalNonRecursive(node *codegen.Node, seeds map[string][]rel.Tuple, ns *NodeStats) error {
+	for _, p := range node.Preds {
+		if err := ev.createPredTable(p, seeds, ns); err != nil {
+			return err
+		}
+	}
+	for i := range node.ExitRules {
+		r := &node.ExitRules[i]
+		target := ev.tables[r.Head]
+		t0 := time.Now()
+		stmt := fmt.Sprintf("INSERT INTO %s %s EXCEPT SELECT * FROM %s",
+			target, r.SQL(ev.tableOf), target)
+		if err := ev.d.Exec(stmt); err != nil {
+			return fmt.Errorf("rtlib: rule %q: %w", r.Source, err)
+		}
+		ns.Eval += time.Since(t0)
+	}
+	ns.Iterations = 1
+	return nil
+}
+
+// sanitize maps predicate names injectively onto SQL identifier bodies:
+// the uniform "p" prefix keeps reserved predicates (leading '_') legal
+// and collision-free against user predicates.
+func sanitize(pred string) string {
+	return "p" + pred
+}

@@ -1,0 +1,92 @@
+package rtlib
+
+import (
+	"fmt"
+	"testing"
+
+	"dkbms/internal/db"
+	"dkbms/internal/rel"
+)
+
+func TestTCSingleSourceMatchesLFP(t *testing.T) {
+	d := db.OpenMemory()
+	defer d.Close()
+	loadEdges(t, d, "e", "a>b", "b>c", "c>a", "c>d") // cycle + tail
+	prog := ancestorProgram(t)
+	res, err := Evaluate(d, prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{}
+	for _, tu := range res.Rows {
+		if tu[0].Str == "a" {
+			want[tu[1].Str] = true
+		}
+	}
+	seed := rel.NewString("a")
+	rows, err := TC(d, "e", &seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("TC found %d, LFP %d", len(rows), len(want))
+	}
+	for _, tu := range rows {
+		if tu[0].Str != "a" || !want[tu[1].Str] {
+			t.Fatalf("unexpected pair %v", tu)
+		}
+	}
+}
+
+func TestTCFullClosureMatchesLFP(t *testing.T) {
+	d := db.OpenMemory()
+	defer d.Close()
+	loadEdges(t, d, "e", "a>b", "b>c", "b>d", "d>b")
+	prog := ancestorProgram(t)
+	res, err := Evaluate(d, prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := TC(d, "e", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowSet(rows) != rowSet(res.Rows) {
+		t.Fatalf("closures differ:\nTC:  %s\nLFP: %s", rowSet(rows), rowSet(res.Rows))
+	}
+}
+
+func TestTCErrors(t *testing.T) {
+	d := db.OpenMemory()
+	defer d.Close()
+	if _, err := TC(d, "ghost", nil); err == nil {
+		t.Fatal("missing relation accepted")
+	}
+	if err := d.Exec("CREATE TABLE edb_tri (a INTEGER, b INTEGER, c INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TC(d, "tri", nil); err == nil {
+		t.Fatal("ternary relation accepted")
+	}
+}
+
+func TestTCIntegerDomain(t *testing.T) {
+	d := db.OpenMemory()
+	defer d.Close()
+	if err := d.Exec("CREATE TABLE edb_n (c0 INTEGER, c1 INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := d.Exec(fmt.Sprintf("INSERT INTO edb_n VALUES (%d, %d)", i, i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seed := rel.NewInt(0)
+	rows, err := TC(d, "n", &seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("reachable = %d, want 10", len(rows))
+	}
+}

@@ -1,0 +1,165 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokInt
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased, identifiers lower-cased
+	pos  int    // byte offset in the input, for error messages
+}
+
+// keywords recognized by the dialect. Identifiers colliding with these
+// must be avoided by callers (the code generator mangles its names).
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "FROM": true, "WHERE": true,
+	"AND": true, "OR": true, "NOT": true, "AS": true,
+	"CREATE": true, "DROP": true, "TABLE": true, "INDEX": true,
+	"TEMP": true, "ON": true, "IF": true, "EXISTS": true,
+	"INSERT": true, "INTO": true, "VALUES": true, "DELETE": true,
+	"UNION": true, "ALL": true, "EXCEPT": true, "INTERSECT": true,
+	"COUNT": true, "INTEGER": true, "INT": true, "CHAR": true,
+	"VARCHAR": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes src fully, returning the token stream.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case c == '\'':
+			s, err := l.lexString()
+			if err != nil {
+				return nil, err
+			}
+			l.toks = append(l.toks, token{kind: tokString, text: s, pos: start})
+		case c >= '0' && c <= '9':
+			l.lexNumber(start)
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+			l.pos++
+			l.lexNumber(start)
+		case isIdentStart(rune(c)):
+			l.lexWord(start)
+		default:
+			sym, err := l.lexSymbol()
+			if err != nil {
+				return nil, err
+			}
+			l.toks = append(l.toks, token{kind: tokSymbol, text: sym, pos: start})
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// -- line comments
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func (l *lexer) lexString() (string, error) {
+	// l.src[l.pos] == '\''
+	l.pos++
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return b.String(), nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return "", fmt.Errorf("sql: unterminated string literal at offset %d", l.pos)
+}
+
+func (l *lexer) lexNumber(start int) {
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokInt, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexWord(start int) {
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	word := l.src[start:l.pos]
+	up := strings.ToUpper(word)
+	if keywords[up] {
+		l.toks = append(l.toks, token{kind: tokKeyword, text: up, pos: start})
+	} else {
+		l.toks = append(l.toks, token{kind: tokIdent, text: strings.ToLower(word), pos: start})
+	}
+}
+
+func (l *lexer) lexSymbol() (string, error) {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<>", "!=", "<=", ">=":
+		l.pos += 2
+		return two, nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', '.', '=', '<', '>', '*', ';':
+		l.pos++
+		return string(c), nil
+	}
+	return "", fmt.Errorf("sql: unexpected character %q at offset %d", c, l.pos)
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

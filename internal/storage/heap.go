@@ -1,0 +1,178 @@
+package storage
+
+import (
+	"fmt"
+)
+
+// RID identifies a record within a heap file: page plus slot.
+type RID struct {
+	Page PageID
+	Slot int
+}
+
+// String renders "page:slot" for diagnostics.
+func (r RID) String() string { return fmt.Sprintf("%d:%d", r.Page, r.Slot) }
+
+// HeapFile is an unordered collection of records stored in a chain of
+// slotted pages inside a Pager. The chain head page ID is the file's
+// identity (recorded in the catalog).
+type HeapFile struct {
+	pager *Pager
+	head  PageID
+	// lastWithRoom caches the page that most recently accepted an
+	// insert, so bulk loads do not rescan the chain.
+	lastWithRoom PageID
+}
+
+// CreateHeap allocates a new empty heap file and returns it.
+func CreateHeap(p *Pager) (*HeapFile, error) {
+	pg, err := p.AllocateReusable()
+	if err != nil {
+		return nil, err
+	}
+	defer p.Unpin(pg)
+	return &HeapFile{pager: p, head: pg.ID, lastWithRoom: pg.ID}, nil
+}
+
+// OpenHeap reopens an existing heap file by its head page ID.
+func OpenHeap(p *Pager, head PageID) *HeapFile {
+	return &HeapFile{pager: p, head: head, lastWithRoom: head}
+}
+
+// Head returns the head page ID (the persistent identity of the file).
+func (h *HeapFile) Head() PageID { return h.head }
+
+// Insert appends a record and returns its RID.
+func (h *HeapFile) Insert(rec []byte) (RID, error) {
+	// Try the cached page first, then walk the chain from it, extending
+	// at the tail when no page has room.
+	id := h.lastWithRoom
+	for {
+		pg, err := h.pager.Fetch(id)
+		if err != nil {
+			return RID{}, err
+		}
+		if pg.HasRoom(len(rec)) {
+			slot, err := pg.Insert(rec)
+			h.pager.Unpin(pg)
+			if err != nil {
+				return RID{}, err
+			}
+			h.lastWithRoom = id
+			return RID{Page: id, Slot: slot}, nil
+		}
+		next := pg.Next()
+		if next == InvalidPageID {
+			// Extend the chain.
+			np, err := h.pager.AllocateReusable()
+			if err != nil {
+				h.pager.Unpin(pg)
+				return RID{}, err
+			}
+			pg.SetNext(np.ID)
+			h.pager.Unpin(pg)
+			slot, err := np.Insert(rec)
+			h.pager.Unpin(np)
+			if err != nil {
+				return RID{}, err
+			}
+			h.lastWithRoom = np.ID
+			return RID{Page: np.ID, Slot: slot}, nil
+		}
+		h.pager.Unpin(pg)
+		id = next
+	}
+}
+
+// Get returns a copy of the record at rid, or an error if the slot is
+// dead or out of range.
+func (h *HeapFile) Get(rid RID) ([]byte, error) {
+	pg, err := h.pager.Fetch(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer h.pager.Unpin(pg)
+	rec := pg.Record(rid.Slot)
+	if rec == nil {
+		return nil, fmt.Errorf("storage: no record at %s", rid)
+	}
+	out := make([]byte, len(rec))
+	copy(out, rec)
+	return out, nil
+}
+
+// Delete removes the record at rid and compacts the page when more than
+// half its slots are dead.
+func (h *HeapFile) Delete(rid RID) error {
+	pg, err := h.pager.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	defer h.pager.Unpin(pg)
+	if err := pg.Delete(rid.Slot); err != nil {
+		return err
+	}
+	if pg.SlotCount() > 0 && pg.LiveRecords()*2 < pg.SlotCount() {
+		pg.Compact()
+	}
+	// A delete opens room; remember this page for future inserts.
+	h.lastWithRoom = rid.Page
+	return nil
+}
+
+// Scan calls fn for every live record in the file, in chain order. The
+// record slice passed to fn aliases the page buffer and must not be
+// retained. Returning a non-nil error from fn stops the scan.
+func (h *HeapFile) Scan(fn func(rid RID, rec []byte) error) error {
+	id := h.head
+	for id != InvalidPageID {
+		pg, err := h.pager.Fetch(id)
+		if err != nil {
+			return err
+		}
+		for s := 0; s < pg.SlotCount(); s++ {
+			rec := pg.Record(s)
+			if rec == nil {
+				continue
+			}
+			if err := fn(RID{Page: id, Slot: s}, rec); err != nil {
+				h.pager.Unpin(pg)
+				return err
+			}
+		}
+		next := pg.Next()
+		h.pager.Unpin(pg)
+		id = next
+	}
+	return nil
+}
+
+// Count returns the number of live records (full scan).
+func (h *HeapFile) Count() (int, error) {
+	n := 0
+	err := h.Scan(func(RID, []byte) error { n++; return nil })
+	return n, err
+}
+
+// Truncate deletes every record. The head page survives (it is the
+// file's catalog identity); tail pages go back to the pager free list.
+func (h *HeapFile) Truncate() error {
+	pg, err := h.pager.Fetch(h.head)
+	if err != nil {
+		return err
+	}
+	tail := pg.Next()
+	pg.Init()
+	pg.SetNext(InvalidPageID)
+	h.pager.Unpin(pg)
+	h.lastWithRoom = h.head
+	return h.pager.FreeChain(tail)
+}
+
+// Drop releases every page of the file to the pager free list. The heap
+// must not be used afterwards.
+func (h *HeapFile) Drop() error {
+	head := h.head
+	h.head = InvalidPageID
+	return h.pager.FreeChain(head)
+}

@@ -1,0 +1,233 @@
+// Package storage implements the testbed's page-based storage engine:
+// fixed-size slotted pages, heap files addressed by record ID, and a
+// buffer pool with LRU eviction. The paper's DBMS layer is a commercial
+// relational system; this package supplies the equivalent storage
+// substrate so that the engine above it has realistic cost structure
+// (page-at-a-time I/O, slot indirection, free-space management).
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PageSize is the size of every page in bytes. 4 KiB matches common
+// database practice and keeps the slot directory arithmetic simple.
+const PageSize = 4096
+
+// PageID identifies a page within a single file, starting at 0.
+type PageID uint32
+
+// InvalidPageID marks "no page" in page-header links.
+const InvalidPageID = PageID(0xFFFFFFFF)
+
+// Slotted page layout:
+//
+//	offset 0:  uint32 next page ID (free-list / heap chain link)
+//	offset 4:  uint16 slot count
+//	offset 6:  uint16 free-space pointer (offset of start of record area
+//	           free region, growing upward from the header)
+//	offset 8:  slot directory, 4 bytes per slot:
+//	           uint16 record offset (0xFFFF = dead slot), uint16 length
+//	records grow downward from PageSize.
+const (
+	pageHdrNext      = 0
+	pageHdrSlotCount = 4
+	pageHdrFreePtr   = 6
+	pageHdrSize      = 8
+	slotSize         = 4
+	deadSlotOffset   = 0xFFFF
+)
+
+// Page is a fixed-size byte buffer with slotted-record accessors. It is
+// not safe for concurrent mutation; the buffer pool serializes access.
+type Page struct {
+	ID    PageID
+	Data  [PageSize]byte
+	Dirty bool
+	pins  int
+}
+
+// Init formats the page as an empty slotted page.
+func (p *Page) Init() {
+	for i := range p.Data {
+		p.Data[i] = 0
+	}
+	p.SetNext(InvalidPageID)
+	p.setSlotCount(0)
+	p.setFreePtr(pageHdrSize)
+	p.Dirty = true
+}
+
+// Next returns the chained page ID stored in the header.
+func (p *Page) Next() PageID {
+	return PageID(binary.BigEndian.Uint32(p.Data[pageHdrNext:]))
+}
+
+// SetNext stores the chained page ID.
+func (p *Page) SetNext(id PageID) {
+	binary.BigEndian.PutUint32(p.Data[pageHdrNext:], uint32(id))
+	p.Dirty = true
+}
+
+// SlotCount returns the number of slots, live or dead.
+func (p *Page) SlotCount() int {
+	return int(binary.BigEndian.Uint16(p.Data[pageHdrSlotCount:]))
+}
+
+func (p *Page) setSlotCount(n int) {
+	binary.BigEndian.PutUint16(p.Data[pageHdrSlotCount:], uint16(n))
+}
+
+func (p *Page) freePtr() int {
+	return int(binary.BigEndian.Uint16(p.Data[pageHdrFreePtr:]))
+}
+
+func (p *Page) setFreePtr(off int) {
+	binary.BigEndian.PutUint16(p.Data[pageHdrFreePtr:], uint16(off))
+}
+
+func (p *Page) slot(i int) (off, length int) {
+	base := pageHdrSize + i*slotSize
+	off = int(binary.BigEndian.Uint16(p.Data[base:]))
+	length = int(binary.BigEndian.Uint16(p.Data[base+2:]))
+	return off, length
+}
+
+func (p *Page) setSlot(i, off, length int) {
+	base := pageHdrSize + i*slotSize
+	binary.BigEndian.PutUint16(p.Data[base:], uint16(off))
+	binary.BigEndian.PutUint16(p.Data[base+2:], uint16(length))
+	p.Dirty = true
+}
+
+// recordLow returns the lowest offset used by any live record, i.e. the
+// bottom of the record area (records grow downward from PageSize).
+func (p *Page) recordLow() int {
+	low := PageSize
+	for i := 0; i < p.SlotCount(); i++ {
+		off, _ := p.slot(i)
+		if off != deadSlotOffset && off < low {
+			low = off
+		}
+	}
+	return low
+}
+
+// FreeSpace returns the bytes available for a new record including its
+// slot directory entry.
+func (p *Page) FreeSpace() int {
+	used := pageHdrSize + p.SlotCount()*slotSize
+	free := p.recordLow() - used - slotSize
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// HasRoom reports whether a record of n bytes fits on this page.
+func (p *Page) HasRoom(n int) bool { return p.FreeSpace() >= n }
+
+// Insert stores a record and returns its slot number. The caller must
+// have checked HasRoom.
+func (p *Page) Insert(rec []byte) (int, error) {
+	if len(rec) > PageSize-pageHdrSize-slotSize {
+		return 0, fmt.Errorf("storage: record of %d bytes exceeds page capacity", len(rec))
+	}
+	if !p.HasRoom(len(rec)) {
+		return 0, fmt.Errorf("storage: page %d full", p.ID)
+	}
+	// Compute the record position before touching the slot directory so
+	// the fresh slot's zeroed entry cannot perturb recordLow.
+	newLow := p.recordLow() - len(rec)
+	// Reuse a dead slot if one exists (keeps slot numbers dense enough).
+	slotNo := -1
+	for i := 0; i < p.SlotCount(); i++ {
+		if off, _ := p.slot(i); off == deadSlotOffset {
+			slotNo = i
+			break
+		}
+	}
+	if slotNo == -1 {
+		slotNo = p.SlotCount()
+		p.setSlotCount(slotNo + 1)
+	}
+	copy(p.Data[newLow:newLow+len(rec)], rec)
+	p.setSlot(slotNo, newLow, len(rec))
+	p.Dirty = true
+	return slotNo, nil
+}
+
+// Record returns the bytes of the record in the given slot, or nil if
+// the slot is dead or out of range. The returned slice aliases the page
+// buffer; callers must copy before the page can be evicted.
+func (p *Page) Record(slotNo int) []byte {
+	if slotNo < 0 || slotNo >= p.SlotCount() {
+		return nil
+	}
+	off, length := p.slot(slotNo)
+	if off == deadSlotOffset {
+		return nil
+	}
+	return p.Data[off : off+length]
+}
+
+// Delete marks the slot dead. The space is reclaimed lazily by Compact.
+func (p *Page) Delete(slotNo int) error {
+	if slotNo < 0 || slotNo >= p.SlotCount() {
+		return fmt.Errorf("storage: delete of invalid slot %d on page %d", slotNo, p.ID)
+	}
+	off, _ := p.slot(slotNo)
+	if off == deadSlotOffset {
+		return fmt.Errorf("storage: double delete of slot %d on page %d", slotNo, p.ID)
+	}
+	p.setSlot(slotNo, deadSlotOffset, 0)
+	p.Dirty = true
+	return nil
+}
+
+// LiveRecords returns the number of live records on the page.
+func (p *Page) LiveRecords() int {
+	n := 0
+	for i := 0; i < p.SlotCount(); i++ {
+		if off, _ := p.slot(i); off != deadSlotOffset {
+			n++
+		}
+	}
+	return n
+}
+
+// Compact rewrites the record area to squeeze out dead space, preserving
+// slot numbers of live records.
+func (p *Page) Compact() {
+	type liveRec struct {
+		slot int
+		data []byte
+	}
+	var live []liveRec
+	for i := 0; i < p.SlotCount(); i++ {
+		off, length := p.slot(i)
+		if off == deadSlotOffset {
+			continue
+		}
+		cp := make([]byte, length)
+		copy(cp, p.Data[off:off+length])
+		live = append(live, liveRec{slot: i, data: cp})
+	}
+	top := PageSize
+	for _, r := range live {
+		top -= len(r.data)
+		copy(p.Data[top:top+len(r.data)], r.data)
+		p.setSlot(r.slot, top, len(r.data))
+	}
+	// Trim trailing dead slots.
+	n := p.SlotCount()
+	for n > 0 {
+		if off, _ := p.slot(n - 1); off != deadSlotOffset {
+			break
+		}
+		n--
+	}
+	p.setSlotCount(n)
+	p.Dirty = true
+}

@@ -1,0 +1,275 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Pager provides page-granular access to a backing store — either a file
+// on disk or an anonymous in-memory store — through a buffer pool with
+// LRU eviction. All tables and indexes of one database share one Pager
+// (single-file database layout).
+type Pager struct {
+	mu        sync.Mutex
+	file      *os.File // nil for in-memory databases
+	mem       [][]byte // in-memory backing store when file == nil
+	pageCount PageID
+	hasSuper  bool // page 0 is a superblock (set by EnsureSuperblock)
+
+	capacity int
+	frames   map[PageID]*frame
+	lruHead  *frame // most recently used
+	lruTail  *frame // least recently used
+
+	// Stats counts buffer-pool traffic; used by tests and the bench
+	// harness to confirm the engine touches pages as expected.
+	Stats PagerStats
+}
+
+// PagerStats are cumulative counters for buffer-pool activity.
+type PagerStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Writes    int64
+}
+
+type frame struct {
+	page       *Page
+	prev, next *frame
+}
+
+// DefaultPoolPages is the default buffer-pool capacity (pages).
+const DefaultPoolPages = 1024
+
+// OpenPager opens (creating if necessary) a file-backed pager. poolPages
+// of 0 selects DefaultPoolPages.
+func OpenPager(path string, poolPages int) (*Pager, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: stat %s: %w", path, err)
+	}
+	if st.Size()%PageSize != 0 {
+		f.Close()
+		return nil, fmt.Errorf("storage: %s size %d is not a multiple of the page size", path, st.Size())
+	}
+	p := newPager(poolPages)
+	p.file = f
+	p.pageCount = PageID(st.Size() / PageSize)
+	return p, nil
+}
+
+// NewMemPager returns a pager backed by process memory. Used for
+// in-memory databases and most benchmarks (the paper's relative results
+// do not depend on durable storage).
+func NewMemPager(poolPages int) *Pager {
+	return newPager(poolPages)
+}
+
+func newPager(poolPages int) *Pager {
+	if poolPages <= 0 {
+		poolPages = DefaultPoolPages
+	}
+	return &Pager{
+		capacity: poolPages,
+		frames:   make(map[PageID]*frame, poolPages),
+	}
+}
+
+// PageCount returns the number of allocated pages.
+func (p *Pager) PageCount() PageID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pageCount
+}
+
+// Allocate creates a new zero page and returns it pinned.
+func (p *Pager) Allocate() (*Page, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := p.pageCount
+	p.pageCount++
+	if p.file == nil {
+		p.mem = append(p.mem, make([]byte, PageSize))
+	} else {
+		if err := p.file.Truncate(int64(p.pageCount) * PageSize); err != nil {
+			return nil, fmt.Errorf("storage: grow file: %w", err)
+		}
+	}
+	pg := &Page{ID: id}
+	pg.Init()
+	pg.pins = 1
+	if err := p.install(pg); err != nil {
+		return nil, err
+	}
+	return pg, nil
+}
+
+// Fetch returns the page pinned; the caller must Unpin it.
+func (p *Pager) Fetch(id PageID) (*Page, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if id >= p.pageCount {
+		return nil, fmt.Errorf("storage: fetch of unallocated page %d (have %d)", id, p.pageCount)
+	}
+	if fr, ok := p.frames[id]; ok {
+		p.Stats.Hits++
+		fr.page.pins++
+		p.touch(fr)
+		return fr.page, nil
+	}
+	p.Stats.Misses++
+	pg := &Page{ID: id}
+	if err := p.readPage(id, pg.Data[:]); err != nil {
+		return nil, err
+	}
+	pg.pins = 1
+	if err := p.install(pg); err != nil {
+		return nil, err
+	}
+	return pg, nil
+}
+
+// Unpin releases a pin taken by Fetch or Allocate.
+func (p *Pager) Unpin(pg *Page) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if pg.pins > 0 {
+		pg.pins--
+	}
+}
+
+// install places a page in the pool, evicting if needed. Caller holds mu.
+func (p *Pager) install(pg *Page) error {
+	for len(p.frames) >= p.capacity {
+		if !p.evictOne() {
+			// Everything is pinned; run over capacity rather than fail.
+			break
+		}
+	}
+	fr := &frame{page: pg}
+	p.frames[pg.ID] = fr
+	p.pushFront(fr)
+	return nil
+}
+
+// evictOne writes back and drops the least recently used unpinned page.
+func (p *Pager) evictOne() bool {
+	for fr := p.lruTail; fr != nil; fr = fr.prev {
+		if fr.page.pins > 0 {
+			continue
+		}
+		if fr.page.Dirty {
+			if err := p.writePage(fr.page); err != nil {
+				// Eviction write failures are unrecoverable mid-flight;
+				// keep the page resident and report pressure by refusing.
+				return false
+			}
+		}
+		p.remove(fr)
+		delete(p.frames, fr.page.ID)
+		p.Stats.Evictions++
+		return true
+	}
+	return false
+}
+
+func (p *Pager) readPage(id PageID, buf []byte) error {
+	if p.file == nil {
+		copy(buf, p.mem[id])
+		return nil
+	}
+	_, err := p.file.ReadAt(buf, int64(id)*PageSize)
+	if err != nil && err != io.EOF {
+		return fmt.Errorf("storage: read page %d: %w", id, err)
+	}
+	return nil
+}
+
+func (p *Pager) writePage(pg *Page) error {
+	p.Stats.Writes++
+	if p.file == nil {
+		copy(p.mem[pg.ID], pg.Data[:])
+		pg.Dirty = false
+		return nil
+	}
+	if _, err := p.file.WriteAt(pg.Data[:], int64(pg.ID)*PageSize); err != nil {
+		return fmt.Errorf("storage: write page %d: %w", pg.ID, err)
+	}
+	pg.Dirty = false
+	return nil
+}
+
+// Flush writes all dirty resident pages to the backing store.
+func (p *Pager) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, fr := range p.frames {
+		if fr.page.Dirty {
+			if err := p.writePage(fr.page); err != nil {
+				return err
+			}
+		}
+	}
+	if p.file != nil {
+		if err := p.file.Sync(); err != nil {
+			return fmt.Errorf("storage: sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close flushes and releases the backing store.
+func (p *Pager) Close() error {
+	if err := p.Flush(); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.file != nil {
+		err := p.file.Close()
+		p.file = nil
+		return err
+	}
+	return nil
+}
+
+// --- LRU list maintenance (caller holds mu) ---
+
+func (p *Pager) pushFront(fr *frame) {
+	fr.prev = nil
+	fr.next = p.lruHead
+	if p.lruHead != nil {
+		p.lruHead.prev = fr
+	}
+	p.lruHead = fr
+	if p.lruTail == nil {
+		p.lruTail = fr
+	}
+}
+
+func (p *Pager) remove(fr *frame) {
+	if fr.prev != nil {
+		fr.prev.next = fr.next
+	} else {
+		p.lruHead = fr.next
+	}
+	if fr.next != nil {
+		fr.next.prev = fr.prev
+	} else {
+		p.lruTail = fr.prev
+	}
+	fr.prev, fr.next = nil, nil
+}
+
+func (p *Pager) touch(fr *frame) {
+	p.remove(fr)
+	p.pushFront(fr)
+}

@@ -1,0 +1,154 @@
+package storage
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestSuperblockFreshAndReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db")
+	p, err := OpenPager(path, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := p.EnsureSuperblock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root != InvalidPageID {
+		t.Fatalf("fresh root = %d", root)
+	}
+	h, err := CreateHeap(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetRoot(h.Head()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Insert([]byte("catalog row")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := OpenPager(path, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	root2, err := p2.EnsureSuperblock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root2 != h.Head() {
+		t.Fatalf("root after reopen = %d, want %d", root2, h.Head())
+	}
+	h2 := OpenHeap(p2, root2)
+	n, err := h2.Count()
+	if err != nil || n != 1 {
+		t.Fatalf("count = %d, %v", n, err)
+	}
+}
+
+func TestSuperblockBadMagic(t *testing.T) {
+	p := NewMemPager(8)
+	pg, err := p.Allocate() // page 0 without superblock formatting
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(pg)
+	if _, err := p.EnsureSuperblock(); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestFreeListRecycling(t *testing.T) {
+	p := NewMemPager(256)
+	if _, err := p.EnsureSuperblock(); err != nil {
+		t.Fatal(err)
+	}
+	h, err := CreateHeap(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill several pages.
+	for i := 0; i < 3000; i++ {
+		if _, err := h.Insert([]byte("0123456789abcdef")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grown := p.PageCount()
+	if err := h.Drop(); err != nil {
+		t.Fatal(err)
+	}
+	free, err := p.FreePages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free < 10 {
+		t.Fatalf("expected >=10 free pages after drop, got %d", free)
+	}
+	// A new heap of the same size must not grow the store.
+	h2, err := CreateHeap(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		if _, err := h2.Insert([]byte("0123456789abcdef")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.PageCount() != grown {
+		t.Fatalf("store grew from %d to %d pages despite free list", grown, p.PageCount())
+	}
+}
+
+func TestTruncateReturnsTailPages(t *testing.T) {
+	p := NewMemPager(256)
+	if _, err := p.EnsureSuperblock(); err != nil {
+		t.Fatal(err)
+	}
+	h, err := CreateHeap(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if _, err := h.Insert([]byte("0123456789abcdef")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	free, err := p.FreePages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free == 0 {
+		t.Fatal("truncate freed no pages")
+	}
+	n, err := h.Count()
+	if err != nil || n != 0 {
+		t.Fatalf("count after truncate = %d, %v", n, err)
+	}
+	// Reusable afterwards.
+	if _, err := h.Insert([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreeChainWithoutSuperblockIsNoop(t *testing.T) {
+	p := NewMemPager(8)
+	h, err := CreateHeap(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.FreeChain(h.Head()); err != nil {
+		t.Fatal(err)
+	}
+	free, err := p.FreePages()
+	if err != nil || free != 0 {
+		t.Fatalf("free pages = %d, %v", free, err)
+	}
+}

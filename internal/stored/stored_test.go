@@ -1,0 +1,384 @@
+package stored
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"dkbms/internal/db"
+	"dkbms/internal/dlog"
+	"dkbms/internal/rel"
+)
+
+func open(t *testing.T, opts Options) (*db.DB, *Manager) {
+	t.Helper()
+	d := db.OpenMemory()
+	t.Cleanup(func() { d.Close() })
+	m, err := Open(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, m
+}
+
+func clause(s string) dlog.Clause { return dlog.MustParseClause(s) }
+
+func ruleSet(rules []dlog.Clause) string {
+	out := make([]string, len(rules))
+	for i, c := range rules {
+		out[i] = c.String()
+	}
+	sort.Strings(out)
+	return strings.Join(out, "\n")
+}
+
+func TestSystemTablesCreated(t *testing.T) {
+	d, _ := open(t, Options{})
+	for _, tab := range []string{TabRuleSource, TabReachablePreds, TabIDBRels, TabIDBCols, TabEDBRels, TabEDBCols} {
+		if !d.HasTable(tab) {
+			t.Fatalf("missing system table %s", tab)
+		}
+	}
+}
+
+func TestInsertFactsAndDictionary(t *testing.T) {
+	_, m := open(t, Options{})
+	err := m.InsertFacts("parent", []rel.Tuple{
+		{rel.NewString("john"), rel.NewString("mary")},
+		{rel.NewString("mary"), rel.NewString("ann")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FactCount("parent") != 2 {
+		t.Fatalf("fact count = %d", m.FactCount("parent"))
+	}
+	types, err := m.BaseTypes([]string{"parent", "ghost"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(types) != 1 || len(types["parent"]) != 2 || types["parent"][0] != rel.TypeString {
+		t.Fatalf("types = %v", types)
+	}
+}
+
+func TestInsertFactsTypeConflicts(t *testing.T) {
+	_, m := open(t, Options{})
+	if err := m.InsertFact("p", rel.Tuple{rel.NewString("a"), rel.NewInt(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InsertFact("p", rel.Tuple{rel.NewString("a")}); err == nil {
+		t.Fatal("arity change accepted")
+	}
+	if err := m.InsertFact("p", rel.Tuple{rel.NewInt(1), rel.NewInt(1)}); err == nil {
+		t.Fatal("type change accepted")
+	}
+}
+
+func TestCreateFactIndex(t *testing.T) {
+	d, m := open(t, Options{})
+	m.InsertFact("e", rel.Tuple{rel.NewString("a"), rel.NewString("b")})
+	if err := m.CreateFactIndex("e", []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent.
+	if err := m.CreateFactIndex("e", []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CreateFactIndex("e", []int{5}); err == nil {
+		t.Fatal("out-of-range column accepted")
+	}
+	if err := m.CreateFactIndex("ghost", []int{0}); err == nil {
+		t.Fatal("index on missing predicate accepted")
+	}
+	if d.Catalog().Index("edb_e_ix_c0") == nil {
+		t.Fatal("index not created")
+	}
+}
+
+func commitRules(t *testing.T, m *Manager, srcs ...string) UpdateStats {
+	t.Helper()
+	var rules []dlog.Clause
+	for _, s := range srcs {
+		rules = append(rules, clause(s))
+	}
+	// Any base predicates must already exist; tests load them first.
+	st, err := m.Update(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestUpdateStoresRulesAndClosure(t *testing.T) {
+	_, m := open(t, Options{})
+	m.InsertFact("parent", rel.Tuple{rel.NewString("john"), rel.NewString("mary")})
+	st := commitRules(t, m,
+		"ancestor(X, Y) :- parent(X, Y).",
+		"ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).",
+	)
+	if st.NewRules != 2 || st.Total <= 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if m.RuleCount() != 2 {
+		t.Fatalf("rule count = %d", m.RuleCount())
+	}
+	// ancestor reaches parent and itself: 2 edges.
+	if m.ReachableEdges() != 2 {
+		t.Fatalf("reachable edges = %d", m.ReachableEdges())
+	}
+	types, err := m.DerivedTypes([]string{"ancestor"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(types["ancestor"]) != 2 || types["ancestor"][1] != rel.TypeString {
+		t.Fatalf("derived types = %v", types)
+	}
+}
+
+func TestExtractRelevant(t *testing.T) {
+	_, m := open(t, Options{})
+	m.InsertFact("e", rel.Tuple{rel.NewString("a"), rel.NewString("b")})
+	commitRules(t, m,
+		"a(X, Y) :- b(X, Y).",
+		"b(X, Y) :- c(X, Y).",
+		"c(X, Y) :- e(X, Y).",
+		"z(X, Y) :- e(X, Y).", // irrelevant to a
+	)
+	rules, err := m.ExtractRelevant([]string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ruleSet([]dlog.Clause{
+		clause("a(X, Y) :- b(X, Y)."),
+		clause("b(X, Y) :- c(X, Y)."),
+		clause("c(X, Y) :- e(X, Y)."),
+	})
+	if ruleSet(rules) != want {
+		t.Fatalf("extracted:\n%s\nwant:\n%s", ruleSet(rules), want)
+	}
+}
+
+func TestExtractRelevantWithoutCompiledStorage(t *testing.T) {
+	_, m := open(t, Options{NoCompiledRules: true})
+	m.InsertFact("e", rel.Tuple{rel.NewString("a"), rel.NewString("b")})
+	commitRules(t, m,
+		"a(X, Y) :- b(X, Y).",
+		"b(X, Y) :- e(X, Y).",
+	)
+	if m.ReachableEdges() != 0 {
+		t.Fatal("NoCompiledRules still wrote reachablepreds")
+	}
+	// Direct extraction returns only a's own rules...
+	rules, err := m.ExtractRelevant([]string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 {
+		t.Fatalf("direct extraction returned %d rules", len(rules))
+	}
+	// ...so callers iterate (as the compiler does).
+	rules2, err := m.ExtractRelevant([]string{"b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules2) != 1 {
+		t.Fatalf("second hop returned %d rules", len(rules2))
+	}
+}
+
+func TestUpdateRejectsFacts(t *testing.T) {
+	_, m := open(t, Options{})
+	if _, err := m.Update([]dlog.Clause{clause("p(a).")}); err == nil {
+		t.Fatal("fact accepted by Update")
+	}
+}
+
+func TestUpdateTypeConsistencyAcrossCommits(t *testing.T) {
+	_, m := open(t, Options{})
+	m.InsertFact("s", rel.Tuple{rel.NewString("a")})
+	m.InsertFact("n", rel.Tuple{rel.NewInt(1)})
+	commitRules(t, m, "p(X) :- s(X).")
+	// Second commit tries to redefine p with an int column.
+	if _, err := m.Update([]dlog.Clause{clause("p(X) :- n(X).")}); err == nil {
+		t.Fatal("type redefinition accepted")
+	}
+}
+
+func TestUpdateUndefinedBaseRejected(t *testing.T) {
+	_, m := open(t, Options{})
+	if _, err := m.Update([]dlog.Clause{clause("p(X) :- nothing(X).")}); err == nil {
+		t.Fatal("rule over undefined predicate accepted")
+	}
+}
+
+func TestIncrementalUpstreamPropagation(t *testing.T) {
+	d, m := open(t, Options{})
+	m.InsertFact("e", rel.Tuple{rel.NewString("a"), rel.NewString("b")})
+	m.InsertFact("f", rel.Tuple{rel.NewString("a"), rel.NewString("b")})
+	commitRules(t, m,
+		"top(X, Y) :- mid(X, Y).",
+		"mid(X, Y) :- e(X, Y).",
+	)
+	// Commit extends mid; top's closure must grow transitively.
+	commitRules(t, m, "mid(X, Y) :- low(X, Y).", "low(X, Y) :- f(X, Y).")
+	rows, err := d.Query("SELECT topredname FROM reachablepreds WHERE frompredname = 'top'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, tu := range rows.Tuples {
+		got = append(got, tu[0].Str)
+	}
+	sort.Strings(got)
+	if strings.Join(got, ",") != "e,f,low,mid" {
+		t.Fatalf("top reaches %v", got)
+	}
+}
+
+func TestIncrementalCycleCreation(t *testing.T) {
+	d, m := open(t, Options{})
+	m.InsertFact("e", rel.Tuple{rel.NewString("a"), rel.NewString("b")})
+	commitRules(t, m,
+		"x(A, B) :- y(A, B).",
+		"y(A, B) :- e(A, B).",
+	)
+	// New rule closes a cycle: y :- x. Now x reaches x and y reaches y.
+	commitRules(t, m, "y(A, B) :- x(A, B).")
+	for _, p := range []string{"x", "y"} {
+		rows, err := d.Query(fmt.Sprintf(
+			"SELECT topredname FROM reachablepreds WHERE frompredname = '%s'", p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := map[string]bool{}
+		for _, tu := range rows.Tuples {
+			found[tu[0].Str] = true
+		}
+		if !found["x"] || !found["y"] || !found["e"] {
+			t.Fatalf("%s reaches %v", p, found)
+		}
+	}
+}
+
+func TestIncrementalMatchesFromScratch(t *testing.T) {
+	// Property: after a sequence of updates, reachablepreds equals the
+	// closure computed from scratch over all stored rules.
+	d, m := open(t, Options{})
+	m.InsertFact("e0", rel.Tuple{rel.NewString("a"), rel.NewString("b")})
+	batches := [][]string{
+		{"p0(X, Y) :- e0(X, Y)."},
+		{"p1(X, Y) :- p0(X, Y).", "p2(X, Y) :- p1(X, Y)."},
+		{"p0(X, Y) :- p3(X, Y).", "p3(X, Y) :- e0(X, Y)."},
+		{"p3(X, Y) :- p2(X, Y)."}, // closes a big cycle
+		{"p4(X, Y) :- p2(X, Y), p0(X, Y)."},
+	}
+	var all []dlog.Clause
+	for _, b := range batches {
+		var rules []dlog.Clause
+		for _, s := range b {
+			rules = append(rules, clause(s))
+		}
+		all = append(all, rules...)
+		if _, err := m.Update(rules); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// From-scratch closure via pcg on all rules.
+	fromScratch := make(map[string]map[string]bool)
+	{
+		g := buildGraph(all)
+		for p, reach := range g {
+			fromScratch[p] = reach
+		}
+	}
+	rows, err := d.Query("SELECT frompredname, topredname FROM reachablepreds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotEdges := make(map[string]map[string]bool)
+	for _, tu := range rows.Tuples {
+		if gotEdges[tu[0].Str] == nil {
+			gotEdges[tu[0].Str] = make(map[string]bool)
+		}
+		gotEdges[tu[0].Str][tu[1].Str] = true
+	}
+	for p, want := range fromScratch {
+		got := gotEdges[p]
+		if len(got) != len(want) {
+			t.Fatalf("closure of %s: got %v want %v", p, got, want)
+		}
+		for q := range want {
+			if !got[q] {
+				t.Fatalf("closure of %s missing %s", p, q)
+			}
+		}
+	}
+	if len(gotEdges) != len(fromScratch) {
+		t.Fatalf("closure covers %d preds, want %d", len(gotEdges), len(fromScratch))
+	}
+}
+
+func TestUpdateStatsBreakdown(t *testing.T) {
+	_, m := open(t, Options{})
+	m.InsertFact("e", rel.Tuple{rel.NewString("a"), rel.NewString("b")})
+	st := commitRules(t, m,
+		"a(X, Y) :- b(X, Y).",
+		"b(X, Y) :- e(X, Y).",
+	)
+	if st.Store <= 0 || st.TC <= 0 {
+		t.Fatalf("breakdown missing: %+v", st)
+	}
+	if st.TCEdges != 3 { // a->{b,e}, b->{e}
+		t.Fatalf("TCEdges = %d", st.TCEdges)
+	}
+}
+
+func TestNoIndexesOption(t *testing.T) {
+	d, m := open(t, Options{NoIndexes: true})
+	if d.Catalog().Index("rulesource_head") != nil {
+		t.Fatal("index created despite NoIndexes")
+	}
+	m.InsertFact("e", rel.Tuple{rel.NewString("a"), rel.NewString("b")})
+	commitRules(t, m, "p(X, Y) :- e(X, Y).")
+	rules, err := m.ExtractRelevant([]string{"p"})
+	if err != nil || len(rules) != 1 {
+		t.Fatalf("extraction without indexes: %d rules, %v", len(rules), err)
+	}
+}
+
+// buildGraph computes reachability per pred from a rule list (test
+// reference implementation, independent of pcg).
+func buildGraph(rules []dlog.Clause) map[string]map[string]bool {
+	dep := make(map[string]map[string]bool)
+	for _, c := range rules {
+		if dep[c.Head.Pred] == nil {
+			dep[c.Head.Pred] = make(map[string]bool)
+		}
+		for _, a := range c.Body {
+			dep[c.Head.Pred][a.Pred] = true
+		}
+	}
+	out := make(map[string]map[string]bool)
+	for p := range dep {
+		reach := make(map[string]bool)
+		var stack []string
+		for q := range dep[p] {
+			stack = append(stack, q)
+		}
+		for len(stack) > 0 {
+			q := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if reach[q] {
+				continue
+			}
+			reach[q] = true
+			for z := range dep[q] {
+				stack = append(stack, z)
+			}
+		}
+		out[p] = reach
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+// Package workload generates the synthetic data and rule bases of the
+// paper's experiments (§5.2, Table "D/KB characterization"). Base
+// relations are binary and characterized by their directed-graph
+// representation: lists, full binary trees, directed acyclic graphs and
+// directed cyclic graphs. Rule bases are chains with controllable total
+// size (R_s), relevant size (R_r) and relevant-predicate count (P_r).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dkbms/internal/dlog"
+	"dkbms/internal/rel"
+)
+
+func node(prefix string, i int) rel.Value {
+	return rel.NewString(fmt.Sprintf("%s%d", prefix, i))
+}
+
+// Lists returns the edge tuples of n disjoint lists of the given length
+// (length = number of nodes per list; edges per list = length-1). The
+// paper: a database with n lists of average length l has ≈ n(l-1)
+// tuples.
+func Lists(n, length int) []rel.Tuple {
+	var out []rel.Tuple
+	for li := 0; li < n; li++ {
+		for i := 0; i < length-1; i++ {
+			out = append(out, rel.Tuple{
+				node(fmt.Sprintf("l%d_", li), i),
+				node(fmt.Sprintf("l%d_", li), i+1),
+			})
+		}
+	}
+	return out
+}
+
+// FullBinaryTree returns the parent→child edges of a full binary tree
+// of the given depth (depth 1 = a single node, no edges). Nodes are
+// named t1..t(2^depth − 1) in heap order: node i has children 2i and
+// 2i+1. The paper: a tree of depth d has 2^d − 2 tuples.
+func FullBinaryTree(depth int) []rel.Tuple {
+	if depth < 1 {
+		return nil
+	}
+	nodes := (1 << depth) - 1
+	var out []rel.Tuple
+	for i := 1; 2*i+1 <= nodes; i++ {
+		out = append(out,
+			rel.Tuple{node("t", i), node("t", 2*i)},
+			rel.Tuple{node("t", i), node("t", 2*i+1)},
+		)
+	}
+	return out
+}
+
+// TreeNode names node i of a FullBinaryTree.
+func TreeNode(i int) string { return fmt.Sprintf("t%d", i) }
+
+// TreeNodes returns the number of nodes of a full binary tree of depth d.
+func TreeNodes(depth int) int { return (1 << depth) - 1 }
+
+// SubtreeEdges returns the number of edges in the subtree of a
+// FullBinaryTree(depth) rooted at a node on the given level (root is
+// level 1). Each such subtree is itself a full binary tree of depth
+// depth-level+1.
+func SubtreeEdges(depth, level int) int {
+	sub := depth - level + 1
+	if sub < 1 {
+		return 0
+	}
+	return (1 << sub) - 2
+}
+
+// Forest returns fb-tree edges for n disjoint trees of equal depth;
+// tree k's nodes are prefixed fk_. Used to grow D_tot while holding a
+// query's relevant subtree fixed.
+func Forest(n, depth int) []rel.Tuple {
+	var out []rel.Tuple
+	nodes := (1 << depth) - 1
+	for k := 0; k < n; k++ {
+		prefix := fmt.Sprintf("f%d_t", k)
+		for i := 1; 2*i+1 <= nodes; i++ {
+			out = append(out,
+				rel.Tuple{node(prefix, i), node(prefix, 2*i)},
+				rel.Tuple{node(prefix, i), node(prefix, 2*i+1)},
+			)
+		}
+	}
+	return out
+}
+
+// ForestNode names node i of tree k in a Forest.
+func ForestNode(k, i int) string { return fmt.Sprintf("f%d_t%d", k, i) }
+
+// DAG returns a layered directed acyclic graph: pathLength layers of
+// width nodes each; every node in layer j+1 receives fanIn edges from
+// distinct random nodes of layer j. Average fan-out equals fanIn (width
+// constant across layers). Total tuples = (pathLength-1) · width · fanIn.
+func DAG(width, pathLength, fanIn int, rng *rand.Rand) []rel.Tuple {
+	if fanIn > width {
+		fanIn = width
+	}
+	var out []rel.Tuple
+	name := func(layer, i int) rel.Value {
+		return rel.NewString(fmt.Sprintf("d%d_%d", layer, i))
+	}
+	for layer := 1; layer < pathLength; layer++ {
+		for i := 0; i < width; i++ {
+			perm := rng.Perm(width)
+			for _, src := range perm[:fanIn] {
+				out = append(out, rel.Tuple{name(layer-1, src), name(layer, i)})
+			}
+		}
+	}
+	return out
+}
+
+// DAGNode names node i of a DAG layer.
+func DAGNode(layer, i int) string { return fmt.Sprintf("d%d_%d", layer, i) }
+
+// CyclicGraph returns nCycles disjoint directed cycles of cycleLen
+// nodes each, plus nChords random chord edges between cycles (which may
+// merge them into larger strongly connected structures).
+func CyclicGraph(nCycles, cycleLen, nChords int, rng *rand.Rand) []rel.Tuple {
+	var out []rel.Tuple
+	name := func(c, i int) rel.Value {
+		return rel.NewString(fmt.Sprintf("c%d_%d", c, i))
+	}
+	for c := 0; c < nCycles; c++ {
+		for i := 0; i < cycleLen; i++ {
+			out = append(out, rel.Tuple{name(c, i), name(c, (i+1)%cycleLen)})
+		}
+	}
+	for k := 0; k < nChords; k++ {
+		c1, c2 := rng.Intn(nCycles), rng.Intn(nCycles)
+		out = append(out, rel.Tuple{name(c1, rng.Intn(cycleLen)), name(c2, rng.Intn(cycleLen))})
+	}
+	return out
+}
+
+// CyclicNode names node i of cycle c.
+func CyclicNode(c, i int) string { return fmt.Sprintf("c%d_%d", c, i) }
+
+// RuleChains builds a synthetic rule base of nChains disjoint chains,
+// each of the given length:
+//
+//	chain k:  qk_0(X,Y) :- qk_1(X,Y).   ...   qk_{L-1}(X,Y) :- bk(X,Y).
+//
+// A query on a chain head touches exactly `length` rules and `length`
+// derived predicates, so R_r and P_r are controlled by the chain length
+// and R_s by nChains·length. Each chain bottoms out in its own base
+// predicate bk.
+func RuleChains(nChains, length int) (rules []dlog.Clause, heads []string, basePreds []string) {
+	for k := 0; k < nChains; k++ {
+		for j := 0; j < length; j++ {
+			head := ChainPred(k, j)
+			var body string
+			if j == length-1 {
+				body = ChainBase(k)
+			} else {
+				body = ChainPred(k, j+1)
+			}
+			rules = append(rules, dlog.MustParseClause(
+				fmt.Sprintf("%s(X, Y) :- %s(X, Y).", head, body)))
+		}
+		heads = append(heads, ChainPred(k, 0))
+		basePreds = append(basePreds, ChainBase(k))
+	}
+	return rules, heads, basePreds
+}
+
+// ChainPred names derived predicate j of chain k.
+func ChainPred(k, j int) string { return fmt.Sprintf("q%d_%d", k, j) }
+
+// ChainBase names the base predicate of chain k.
+func ChainBase(k int) string { return fmt.Sprintf("bb%d", k) }
+
+// ChainFacts returns a single fact tuple for each chain's base
+// predicate (enough for the compile-time experiments, which never
+// evaluate large data through these rules).
+func ChainFacts() []rel.Tuple {
+	return []rel.Tuple{{rel.NewString("x"), rel.NewString("y")}}
+}
+
+// WideRuleChains builds chains in which every rule additionally reads
+// its own base predicate:
+//
+//	qk_j(X, Y) :- qk_{j+1}(X, Z), bk_j(Z, Y).
+//	qk_{L-1}(X, Y) :- bk_{L-1}(X, Y).
+//
+// A query on qk_j therefore touches L-j rules, L-j derived predicates
+// AND L-j distinct base predicates — the shape the dictionary-read
+// experiments (Test 2) need, where P_r controls how many dictionary
+// entries the semantic checker reads.
+func WideRuleChains(nChains, length int) (rules []dlog.Clause, heads []string, basePreds []string) {
+	for k := 0; k < nChains; k++ {
+		for j := 0; j < length; j++ {
+			head := ChainPred(k, j)
+			base := WideChainBase(k, j)
+			if j == length-1 {
+				rules = append(rules, dlog.MustParseClause(
+					fmt.Sprintf("%s(X, Y) :- %s(X, Y).", head, base)))
+			} else {
+				rules = append(rules, dlog.MustParseClause(
+					fmt.Sprintf("%s(X, Y) :- %s(X, Z), %s(Z, Y).", head, ChainPred(k, j+1), base)))
+			}
+			basePreds = append(basePreds, base)
+		}
+		heads = append(heads, ChainPred(k, 0))
+	}
+	return rules, heads, basePreds
+}
+
+// WideChainBase names the base predicate of rule j in chain k of
+// WideRuleChains.
+func WideChainBase(k, j int) string { return fmt.Sprintf("wb%d_%d", k, j) }

@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestLists(t *testing.T) {
+	edges := Lists(3, 5)
+	if len(edges) != 3*4 { // n(l-1)
+		t.Fatalf("edges = %d", len(edges))
+	}
+	// Disjoint: all node names unique per list prefix.
+	seen := map[string]bool{}
+	for _, e := range edges {
+		seen[e[0].Str] = true
+		seen[e[1].Str] = true
+	}
+	if len(seen) != 15 {
+		t.Fatalf("nodes = %d", len(seen))
+	}
+}
+
+func TestFullBinaryTree(t *testing.T) {
+	for depth := 1; depth <= 8; depth++ {
+		edges := FullBinaryTree(depth)
+		want := (1 << depth) - 2 // paper: 2^d - 2 tuples
+		if len(edges) != want {
+			t.Fatalf("depth %d: %d edges, want %d", depth, len(edges), want)
+		}
+	}
+	// Structure: node i parents 2i and 2i+1.
+	edges := FullBinaryTree(3)
+	found := map[string]bool{}
+	for _, e := range edges {
+		found[e[0].Str+">"+e[1].Str] = true
+	}
+	for _, want := range []string{"t1>t2", "t1>t3", "t2>t4", "t3>t7"} {
+		if !found[want] {
+			t.Fatalf("missing edge %s in %v", want, found)
+		}
+	}
+}
+
+func TestSubtreeEdges(t *testing.T) {
+	// Level 1 = whole tree.
+	if SubtreeEdges(10, 1) != (1<<10)-2 {
+		t.Fatal("level 1")
+	}
+	// Leaves have no edges.
+	if SubtreeEdges(10, 10) != 0 {
+		t.Fatal("leaf level")
+	}
+	if SubtreeEdges(10, 11) != 0 {
+		t.Fatal("below leaves")
+	}
+	// One level down halves (roughly) the subtree.
+	if SubtreeEdges(10, 2) != (1<<9)-2 {
+		t.Fatal("level 2")
+	}
+}
+
+func TestForest(t *testing.T) {
+	edges := Forest(4, 5)
+	if len(edges) != 4*((1<<5)-2) {
+		t.Fatalf("edges = %d", len(edges))
+	}
+	if ForestNode(2, 1) != "f2_t1" {
+		t.Fatal(ForestNode(2, 1))
+	}
+}
+
+func TestDAG(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	edges := DAG(10, 5, 3, rng)
+	if len(edges) != 4*10*3 {
+		t.Fatalf("edges = %d", len(edges))
+	}
+	// Acyclic by construction: edges only go layer i -> i+1.
+	for _, e := range edges {
+		var l1, n1, l2, n2 int
+		if _, err := fmt.Sscanf(e[0].Str, "d%d_%d", &l1, &n1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmt.Sscanf(e[1].Str, "d%d_%d", &l2, &n2); err != nil {
+			t.Fatal(err)
+		}
+		if l2 != l1+1 {
+			t.Fatalf("edge crosses %d layers: %v", l2-l1, e)
+		}
+	}
+	// fanIn capped at width.
+	edges2 := DAG(2, 3, 10, rng)
+	if len(edges2) != 2*2*2 {
+		t.Fatalf("capped edges = %d", len(edges2))
+	}
+}
+
+func TestCyclicGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	edges := CyclicGraph(3, 4, 5, rng)
+	if len(edges) != 3*4+5 {
+		t.Fatalf("edges = %d", len(edges))
+	}
+	// Each cycle closes: edge from last node back to node 0.
+	found := map[string]bool{}
+	for _, e := range edges {
+		found[e[0].Str+">"+e[1].Str] = true
+	}
+	for c := 0; c < 3; c++ {
+		if !found[CyclicNode(c, 3)+">"+CyclicNode(c, 0)] {
+			t.Fatalf("cycle %d not closed", c)
+		}
+	}
+}
+
+func TestRuleChains(t *testing.T) {
+	rules, heads, bases := RuleChains(3, 4)
+	if len(rules) != 12 || len(heads) != 3 || len(bases) != 3 {
+		t.Fatalf("%d rules, %d heads, %d bases", len(rules), len(heads), len(bases))
+	}
+	if heads[1] != ChainPred(1, 0) || bases[2] != ChainBase(2) {
+		t.Fatalf("naming: %v %v", heads, bases)
+	}
+	// Chain structure: q1_3 :- bb1.
+	last := rules[4+3] // chain 1, rule 3
+	if last.Head.Pred != "q1_3" || last.Body[0].Pred != "bb1" {
+		t.Fatalf("chain tail: %v", last)
+	}
+	// All range-restricted and parseable (MustParseClause would have
+	// panicked otherwise); heads disjoint across chains.
+	seen := map[string]bool{}
+	for _, r := range rules {
+		if seen[r.Head.Pred] {
+			t.Fatalf("duplicate head %s", r.Head.Pred)
+		}
+		seen[r.Head.Pred] = true
+	}
+}

@@ -1,0 +1,309 @@
+// Package dkbms is a data/knowledge base management testbed: a Go
+// reproduction of the D/KBMS described in "A Data/Knowledge Base
+// Management Testbed and Experimental Results on Data/Knowledge Base
+// Query and Update Processing" (Ramnarayan & Lu, SIGMOD 1988).
+//
+// The testbed is layered exactly as the paper's system:
+//
+//   - a Knowledge Manager (internal/core and friends) that compiles
+//     pure, function-free Horn-clause queries into evaluation programs
+//     of SQL statements — rule parser, workspace and stored D/KB
+//     managers, semantic checker with type inference, a generalized
+//     magic-sets optimizer, and a code generator;
+//   - a relational DBMS (internal/db over internal/sql, plan, exec,
+//     catalog, index, storage) providing SQL with embedded cursors over
+//     slotted-page heap storage with B+tree indexes — the stand-in for
+//     the paper's commercial RDBMS;
+//   - a Run Time Library (internal/rtlib) evaluating least fixed points
+//     bottom-up by naive or semi-naive iteration over the SQL interface.
+//
+// Typical use:
+//
+//	tb := dkbms.NewMemory()
+//	defer tb.Close()
+//	tb.MustLoad(`
+//	    parent(john, mary). parent(mary, ann).
+//	    ancestor(X, Y) :- parent(X, Y).
+//	    ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).
+//	`)
+//	res, err := tb.Query("?- ancestor(john, W).", nil)
+package dkbms
+
+import (
+	"fmt"
+	"strings"
+
+	"dkbms/internal/codegen"
+	"dkbms/internal/core"
+	"dkbms/internal/db"
+	"dkbms/internal/dlog"
+	"dkbms/internal/rel"
+	"dkbms/internal/rtlib"
+	"dkbms/internal/stored"
+)
+
+// Testbed is one D/KBMS instance: a workspace D/KB, a DBMS, and a
+// stored D/KB inside that DBMS.
+//
+// A Testbed is not safe for concurrent use; callers running queries
+// from multiple goroutines must serialize access. (QueryOptions.
+// Parallel is internal parallelism within one evaluation and does not
+// change this.)
+type Testbed struct {
+	ws *core.Workspace
+	db *db.DB
+	st *stored.Manager
+	// ruleGen counts rule-base changes; prepared queries recompile when
+	// it moves past the generation they were compiled at.
+	ruleGen uint64
+}
+
+// NewMemory opens a testbed over an in-memory database.
+func NewMemory() *Testbed {
+	d := db.OpenMemory()
+	st, err := stored.Open(d, stored.Options{})
+	if err != nil {
+		// A fresh in-memory database cannot fail to bootstrap.
+		panic(fmt.Sprintf("dkbms: bootstrap stored D/KB: %v", err))
+	}
+	return &Testbed{ws: core.NewWorkspace(), db: d, st: st}
+}
+
+// Open opens (creating if needed) a file-backed testbed.
+func Open(path string) (*Testbed, error) {
+	d, err := db.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := stored.Open(d, stored.Options{})
+	if err != nil {
+		d.Close()
+		return nil, err
+	}
+	return &Testbed{ws: core.NewWorkspace(), db: d, st: st}, nil
+}
+
+// Close shuts the testbed down, flushing the database.
+func (tb *Testbed) Close() error { return tb.db.Close() }
+
+// DB exposes the underlying DBMS (for direct SQL, ad-hoc inspection and
+// the benchmark harness).
+func (tb *Testbed) DB() *db.DB { return tb.db }
+
+// Stored exposes the stored-D/KB manager.
+func (tb *Testbed) Stored() *stored.Manager { return tb.st }
+
+// Workspace exposes the workspace D/KB.
+func (tb *Testbed) Workspace() *core.Workspace { return tb.ws }
+
+// Load parses a Horn-clause program and enters it into the workspace
+// D/KB. Facts are materialized immediately into extensional relations;
+// rules stay in the workspace until Update commits them to the stored
+// D/KB. Queries are not allowed in Load input.
+func (tb *Testbed) Load(src string) error {
+	prog, err := dlog.ParseProgram(src)
+	if err != nil {
+		return err
+	}
+	if len(prog.Queries) > 0 {
+		return fmt.Errorf("dkbms: Load input contains a query; use Query")
+	}
+	for _, c := range prog.Clauses {
+		if c.IsFact() {
+			if err := tb.Assert(c.Head); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := tb.ws.AddClause(c); err != nil {
+			return err
+		}
+		tb.ruleGen++
+	}
+	return nil
+}
+
+// MustLoad is Load panicking on error, for examples and tests.
+func (tb *Testbed) MustLoad(src string) {
+	if err := tb.Load(src); err != nil {
+		panic(err)
+	}
+}
+
+// Assert adds one ground fact to the extensional database, creating the
+// predicate's relation (and no index — see CreateFactIndex) on first
+// use.
+func (tb *Testbed) Assert(fact dlog.Atom) error {
+	if !fact.IsGround() {
+		return fmt.Errorf("dkbms: fact %s is not ground", fact.String())
+	}
+	tu := make(rel.Tuple, len(fact.Args))
+	for i, t := range fact.Args {
+		tu[i] = t.Val
+	}
+	return tb.AssertTuples(fact.Pred, []rel.Tuple{tu})
+}
+
+// AssertTuples bulk-loads facts for one predicate (the workload
+// generators and the loader use this).
+func (tb *Testbed) AssertTuples(pred string, tuples []rel.Tuple) error {
+	// Creating a new fact relation can change compiled programs (mixed
+	// rules/facts normalization), so it bumps the rule generation;
+	// appending to an existing relation does not.
+	if !tb.db.HasTable(BaseTableName(pred)) {
+		tb.ruleGen++
+	}
+	return tb.st.InsertFacts(pred, tuples)
+}
+
+// CreateFactIndex builds a B+tree index on the given columns (0-based)
+// of a fact relation.
+func (tb *Testbed) CreateFactIndex(pred string, cols ...int) error {
+	return tb.st.CreateFactIndex(pred, cols)
+}
+
+// QueryOptions tune query compilation and evaluation.
+type QueryOptions struct {
+	// Naive selects naive LFP evaluation (default is semi-naive).
+	Naive bool
+	// NoOptimize disables the magic-sets rewriting (default applies it
+	// when the query carries constant bindings).
+	NoOptimize bool
+	// Adaptive consults the optimizer's selectivity heuristic to decide
+	// whether to apply magic sets (the paper's proposed-but-not-
+	// implemented dynamic strategy; see DESIGN.md extensions).
+	Adaptive bool
+	// Parallel evaluates recursive-rule differentials concurrently
+	// within each LFP iteration (paper conclusion 7a; semi-naive only).
+	Parallel bool
+}
+
+// QueryResult is the answer to a D/KB query plus its cost breakdown.
+type QueryResult struct {
+	// Vars names the answer columns (query variables in order).
+	Vars []string
+	// Rows are the answer tuples.
+	Rows []rel.Tuple
+	// Compile and Evaluate are the paper's t_c and t_e breakdowns.
+	Compile core.CompileStats
+	Eval    rtlib.Stats
+	// Optimized reports whether magic sets were applied.
+	Optimized bool
+	// Strategy is the LFP strategy used.
+	Strategy rtlib.Strategy
+}
+
+// Query compiles and evaluates a Horn-clause query ("?- goal, goal.")
+// against the workspace and stored D/KBs. opts may be nil for defaults
+// (semi-naive, magic sets on).
+func (tb *Testbed) Query(src string, opts *QueryOptions) (*QueryResult, error) {
+	q, err := dlog.ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	return tb.RunQuery(q, opts)
+}
+
+// RunQuery is Query for a pre-parsed query.
+func (tb *Testbed) RunQuery(q dlog.Query, opts *QueryOptions) (*QueryResult, error) {
+	if opts == nil {
+		opts = &QueryOptions{}
+	}
+	compiled, err := tb.Compile(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	return tb.Evaluate(compiled, opts)
+}
+
+// Compile runs only the Knowledge Manager pipeline, returning the
+// evaluation program (used by benchmarks that measure t_c and t_e
+// separately, and by the precompiled-query cache).
+func (tb *Testbed) Compile(q dlog.Query, opts *QueryOptions) (*core.Compiled, error) {
+	if opts == nil {
+		opts = &QueryOptions{}
+	}
+	optimize := !opts.NoOptimize
+	if opts.Adaptive {
+		optimize = tb.adaptiveOptimize(q)
+	}
+	cp := &core.Compiler{WS: tb.ws, DB: tb.db, Stored: tb.st}
+	return cp.Compile(q, core.CompileOptions{Optimize: optimize})
+}
+
+// Evaluate runs a compiled program.
+func (tb *Testbed) Evaluate(compiled *core.Compiled, opts *QueryOptions) (*QueryResult, error) {
+	if opts == nil {
+		opts = &QueryOptions{}
+	}
+	strategy := rtlib.SemiNaive
+	if opts.Naive {
+		strategy = rtlib.Naive
+	}
+	res, err := rtlib.Evaluate(tb.db, compiled.Program, rtlib.Options{
+		Strategy: strategy,
+		Parallel: opts.Parallel,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &QueryResult{
+		Vars:      compiled.Vars,
+		Rows:      res.Rows,
+		Compile:   compiled.Stats,
+		Eval:      res.Stats,
+		Optimized: compiled.Optimized,
+		Strategy:  strategy,
+	}, nil
+}
+
+// Update commits the workspace rules into the stored D/KB (paper §4.3),
+// incrementally maintaining the compiled rule storage structures, and
+// clears the workspace. It returns the update-time breakdown.
+func (tb *Testbed) Update() (stored.UpdateStats, error) {
+	st, err := tb.st.Update(tb.ws.Rules())
+	if err != nil {
+		return st, err
+	}
+	tb.ws.Clear()
+	tb.ruleGen++
+	return st, nil
+}
+
+// adaptiveOptimize implements the paper's proposed dynamic optimization
+// switch: apply magic sets only when the query looks selective — i.e.
+// it carries at least one constant binding. (A full implementation
+// would estimate D_rel/D_tot; the testbed uses the binding heuristic
+// and exposes both manual modes for the crossover experiments.)
+func (tb *Testbed) adaptiveOptimize(q dlog.Query) bool {
+	for _, g := range q.Goals {
+		for _, t := range g.Args {
+			if !t.IsVar() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Format renders a query result as an aligned text table (the shell and
+// examples use it).
+func (r *QueryResult) Format() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(r.Vars, "\t"))
+	b.WriteByte('\n')
+	for _, tu := range r.Rows {
+		for i, v := range tu {
+			if i > 0 {
+				b.WriteByte('\t')
+			}
+			b.WriteString(v.String())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// BaseTableName exposes the extensional naming convention (cmd tools
+// create fact relations directly through SQL for bulk loads).
+func BaseTableName(pred string) string { return codegen.BaseTable(pred) }

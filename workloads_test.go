@@ -1,0 +1,192 @@
+package dkbms
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dkbms/internal/rel"
+	"dkbms/internal/workload"
+)
+
+// TestDAGWorkload runs the ancestor query over the paper's layered-DAG
+// characterization and cross-checks modes against each other.
+func TestDAGWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tb := NewMemory()
+	defer tb.Close()
+	edges := workload.DAG(6, 5, 2, rng)
+	if err := tb.AssertTuples("e", edges); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.CreateFactIndex("e", 0); err != nil {
+		t.Fatal(err)
+	}
+	tb.MustLoad(`
+reach(X, Y) :- e(X, Y).
+reach(X, Y) :- e(X, Z), reach(Z, Y).
+`)
+	src := workload.DAGNode(0, 0)
+	var counts []int
+	for _, mode := range allModes {
+		opts := mode.opts
+		res, err := tb.Query(fmt.Sprintf("?- reach(%s, W).", src), &opts)
+		if err != nil {
+			t.Fatalf("%s: %v", mode.name, err)
+		}
+		counts = append(counts, len(res.Rows))
+	}
+	for _, c := range counts[1:] {
+		if c != counts[0] {
+			t.Fatalf("modes disagree: %v", counts)
+		}
+	}
+	if counts[0] == 0 {
+		t.Fatal("no reachable nodes in a connected DAG layer")
+	}
+}
+
+// TestCyclicWorkload: cycles must terminate and every node of a cycle
+// reaches every node of that cycle (including itself).
+func TestCyclicWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tb := NewMemory()
+	defer tb.Close()
+	edges := workload.CyclicGraph(2, 5, 0, rng)
+	if err := tb.AssertTuples("e", edges); err != nil {
+		t.Fatal(err)
+	}
+	tb.MustLoad(`
+reach(X, Y) :- e(X, Y).
+reach(X, Y) :- e(X, Z), reach(Z, Y).
+`)
+	res, err := tb.Query(fmt.Sprintf("?- reach(%s, W).", workload.CyclicNode(0, 0)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cycle of length 5: the source reaches all 5 nodes (itself via the
+	// full loop).
+	if len(res.Rows) != 5 {
+		t.Fatalf("reached %d nodes, want 5: %v", len(res.Rows), rowSet(res.Rows))
+	}
+}
+
+// TestDeepRecursionList: a long list forces hundreds of LFP iterations;
+// nothing may overflow or leak.
+func TestDeepRecursionList(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deep recursion is slow")
+	}
+	tb := NewMemory()
+	defer tb.Close()
+	n := 200
+	if err := tb.AssertTuples("e", workload.Lists(1, n)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.CreateFactIndex("e", 0); err != nil {
+		t.Fatal(err)
+	}
+	tb.MustLoad(`
+reach(X, Y) :- e(X, Y).
+reach(X, Y) :- e(X, Z), reach(Z, Y).
+`)
+	before := len(tb.DB().Catalog().Tables())
+	res, err := tb.Query("?- reach(l0_0, W).", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != n-1 {
+		t.Fatalf("reached %d, want %d", len(res.Rows), n-1)
+	}
+	iters := 0
+	for _, ns := range res.Eval.Nodes {
+		if ns.Recursive && ns.Iterations > iters {
+			iters = ns.Iterations
+		}
+	}
+	if iters < n-2 {
+		t.Fatalf("only %d iterations for a %d-list", iters, n)
+	}
+	if after := len(tb.DB().Catalog().Tables()); after != before {
+		t.Fatalf("temp tables leaked across %d iterations: %d -> %d", iters, before, after)
+	}
+}
+
+// TestManyPredicatesOneQuery: a query touching dozens of predicates
+// (wide evaluation order list) compiles and runs.
+func TestManyPredicatesOneQuery(t *testing.T) {
+	tb := NewMemory()
+	defer tb.Close()
+	if err := tb.AssertTuples("base", []rel.Tuple{
+		{rel.NewString("a"), rel.NewString("b")},
+		{rel.NewString("b"), rel.NewString("c")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	src := "p0(X, Y) :- base(X, Y).\n"
+	for i := 1; i < 40; i++ {
+		src += fmt.Sprintf("p%d(X, Y) :- p%d(X, Y).\n", i, i-1)
+	}
+	tb.MustLoad(src)
+	res, err := tb.Query("?- p39(a, W).", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, res.Rows, "(b)")
+	if res.Compile.RelevantPreds < 40 {
+		t.Fatalf("P_r = %d", res.Compile.RelevantPreds)
+	}
+}
+
+// TestFactsAddedBetweenQueries: query results track extensional
+// updates without recompilation machinery getting in the way.
+func TestFactsAddedBetweenQueries(t *testing.T) {
+	tb := familyTB(t)
+	res1, err := tb.Query("?- ancestor(john, W).", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.MustLoad("parent(tom, pat). parent(pat, sue).")
+	res2, err := tb.Query("?- ancestor(john, W).", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Rows) != len(res1.Rows)+2 {
+		t.Fatalf("rows %d -> %d, want +2", len(res1.Rows), len(res2.Rows))
+	}
+}
+
+// TestTernaryPredicates: nothing in the pipeline is binary-specific.
+func TestTernaryPredicates(t *testing.T) {
+	tb := NewMemory()
+	defer tb.Close()
+	tb.MustLoad(`
+flight(sfo, lax, 99).
+flight(lax, jfk, 299).
+flight(jfk, bos, 89).
+route(A, B, C) :- flight(A, B, C).
+route(A, B, C) :- flight(A, M, C), route(M, B, D).
+`)
+	// Reachable cities from sfo with the first-hop fare.
+	res, err := tb.Query("?- route(sfo, W, F).", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, res.Rows, "(lax, 99)", "(jfk, 99)", "(bos, 99)")
+}
+
+// TestUnaryPredicates through the whole stack.
+func TestUnaryPredicates(t *testing.T) {
+	tb := NewMemory()
+	defer tb.Close()
+	tb.MustLoad(`
+red(a). red(b).
+blue(b). blue(c).
+purple(X) :- red(X), blue(X).
+`)
+	res, err := tb.Query("?- purple(W).", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, res.Rows, "(b)")
+}
