@@ -1,0 +1,94 @@
+// Command dkbd serves a data/knowledge base over TCP to concurrent
+// clients, turning the single-process testbed into a shared server: one
+// D/KB, many sessions. Queries from different sessions evaluate
+// concurrently; loads and retractions serialize against them.
+//
+// Usage:
+//
+//	dkbd                          # in-memory D/KB on :7407
+//	dkbd -db family.db -addr :9000
+//	dkbd -load family.dl          # preload a program at startup
+//
+// dkbd shuts down gracefully on SIGINT/SIGTERM: the listener closes at
+// once, in-flight requests finish and receive their responses, then the
+// process exits. Connect with `dkbsh -connect HOST:PORT` or the
+// internal/client package.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dkbms"
+	"dkbms/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7407", "listen address")
+	dbPath := flag.String("db", "", "database file (empty = in-memory)")
+	load := flag.String("load", "", "Horn-clause program to load at startup")
+	maxConns := flag.Int("maxconns", server.DefaultMaxConns, "max simultaneous sessions")
+	ioTimeout := flag.Duration("iotimeout", server.DefaultIOTimeout, "per-request I/O deadline (negative disables)")
+	flag.Parse()
+
+	if err := run(*addr, *dbPath, *load, *maxConns, *ioTimeout); err != nil {
+		fmt.Fprintf(os.Stderr, "dkbd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dbPath, load string, maxConns int, ioTimeout time.Duration) error {
+	var tb *dkbms.Testbed
+	var err error
+	if dbPath == "" {
+		tb = dkbms.NewMemory()
+	} else {
+		tb, err = dkbms.Open(dbPath)
+		if err != nil {
+			return err
+		}
+	}
+	ctb := dkbms.NewConcurrent(tb)
+	defer ctb.Close()
+
+	if load != "" {
+		src, err := os.ReadFile(load)
+		if err != nil {
+			return err
+		}
+		if err := ctb.Load(string(src)); err != nil {
+			return fmt.Errorf("load %s: %w", load, err)
+		}
+		fmt.Printf("dkbd: loaded %s\n", load)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := server.New(ctb, server.Options{
+		MaxConns:  maxConns,
+		IOTimeout: ioTimeout,
+		Logf:      server.Logf,
+	})
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe(ctx, addr, ready) }()
+	select {
+	case a := <-ready:
+		fmt.Printf("dkbd: serving on %s (max %d sessions)\n", a, maxConns)
+	case err := <-done:
+		return err
+	}
+
+	err = <-done
+	st := srv.Stats()
+	fmt.Printf("dkbd: shut down after %d sessions, %d requests (%d errors)\n",
+		st.TotalSessions, st.Requests, st.Errors)
+	return err
+}

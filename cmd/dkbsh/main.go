@@ -5,8 +5,9 @@
 //
 // Usage:
 //
-//	dkbsh                # in-memory D/KB
-//	dkbsh -db family.db  # persistent D/KB
+//	dkbsh                       # in-memory D/KB
+//	dkbsh -db family.db         # persistent D/KB
+//	dkbsh -connect localhost:7407   # session on a running dkbd server
 //
 // Input:
 //
@@ -37,7 +38,16 @@ import (
 
 func main() {
 	dbPath := flag.String("db", "", "database file (empty = in-memory)")
+	connect := flag.String("connect", "", "dkbd server address (remote session instead of in-process D/KB)")
 	flag.Parse()
+
+	if *connect != "" {
+		if err := runRemote(*connect); err != nil {
+			fmt.Fprintf(os.Stderr, "dkbsh: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var tb *dkbms.Testbed
 	var err error

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"dkbms/internal/client"
+	"dkbms/internal/wire"
+)
+
+// runRemote is the shell loop for `dkbsh -connect HOST:PORT`: the same
+// clause/query surface, executed on a dkbd server instead of an
+// in-process testbed.
+func runRemote(addr string) error {
+	c, err := client.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		return err
+	}
+
+	sh := &remoteShell{c: c, out: os.Stdout, stmts: make(map[uint64]*client.Stmt)}
+	fmt.Printf("dkbms testbed shell — connected to %s (.help for commands)\n", addr)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("dkb> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return nil
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == ".quit" || line == ".exit" {
+			return nil
+		}
+		if err := sh.handle(line); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		}
+	}
+}
+
+type remoteShell struct {
+	c     *client.Client
+	opts  wire.QueryOpts
+	out   io.Writer
+	stmts map[uint64]*client.Stmt
+}
+
+func (s *remoteShell) handle(line string) error {
+	switch {
+	case strings.HasPrefix(line, ".help"):
+		s.help()
+		return nil
+	case strings.HasPrefix(line, ".load "):
+		path := strings.TrimSpace(strings.TrimPrefix(line, ".load "))
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return s.c.Load(string(src))
+	case strings.HasPrefix(line, ".retract "):
+		n, err := s.c.Retract(strings.TrimSpace(strings.TrimPrefix(line, ".retract ")))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "retracted %d facts\n", n)
+		return nil
+	case strings.HasPrefix(line, ".prepare "):
+		stmt, err := s.c.Prepare(strings.TrimSpace(strings.TrimPrefix(line, ".prepare ")), s.opts)
+		if err != nil {
+			return err
+		}
+		s.stmts[stmt.ID] = stmt
+		fmt.Fprintf(s.out, "prepared #%d (rule-base generation %d); run with .exec %d\n",
+			stmt.ID, stmt.Generation, stmt.ID)
+		return nil
+	case strings.HasPrefix(line, ".exec "):
+		id, err := strconv.ParseUint(strings.TrimSpace(strings.TrimPrefix(line, ".exec ")), 10, 64)
+		if err != nil {
+			return err
+		}
+		stmt, ok := s.stmts[id]
+		if !ok {
+			return fmt.Errorf("no prepared query #%d (.prepare first)", id)
+		}
+		res, err := stmt.Exec()
+		if err != nil {
+			return err
+		}
+		s.printResult(res)
+		return nil
+	case line == ".stats":
+		st, err := s.c.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "sessions %d active / %d total, in-flight %d\n",
+			st.ActiveSessions, st.TotalSessions, st.InFlight)
+		fmt.Fprintf(s.out, "requests %d (%d errors), p50 %v, p99 %v\n",
+			st.Requests, st.Errors, st.P50, st.P99)
+		fmt.Fprintf(s.out, "traffic in %d B, out %d B; rule-base generation %d\n",
+			st.BytesIn, st.BytesOut, st.Generation)
+		return nil
+	case strings.HasPrefix(line, ".opts "):
+		return s.setOpts(strings.Fields(strings.TrimPrefix(line, ".opts ")))
+	case strings.HasPrefix(line, "."):
+		return fmt.Errorf("unknown command %q (.help)", line)
+	case strings.HasPrefix(line, "?-"):
+		res, err := s.c.Query(line, s.opts)
+		if err != nil {
+			return err
+		}
+		s.printResult(res)
+		return nil
+	default:
+		return s.c.Load(line)
+	}
+}
+
+func (s *remoteShell) printResult(res *wire.Result) {
+	if len(res.Vars) > 0 {
+		fmt.Fprintln(s.out, strings.Join(res.Vars, "\t"))
+	}
+	for _, tu := range res.Rows {
+		var cells []string
+		for _, v := range tu {
+			cells = append(cells, v.String())
+		}
+		fmt.Fprintln(s.out, strings.Join(cells, "\t"))
+	}
+	fmt.Fprintf(s.out, "%d rows", len(res.Rows))
+	if res.Optimized {
+		fmt.Fprint(s.out, " (magic sets)")
+	}
+	fmt.Fprintf(s.out, " [%s]\n", res.Strategy)
+}
+
+func (s *remoteShell) setOpts(words []string) error {
+	for _, w := range words {
+		switch w {
+		case "naive":
+			s.opts.Naive = true
+		case "seminaive", "semi-naive":
+			s.opts.Naive = false
+		case "magic":
+			s.opts.NoOptimize = false
+			s.opts.Adaptive = false
+		case "nomagic":
+			s.opts.NoOptimize = true
+			s.opts.Adaptive = false
+		case "adaptive":
+			s.opts.Adaptive = true
+			s.opts.NoOptimize = false
+		case "parallel":
+			s.opts.Parallel = true
+			s.opts.Naive = false
+		case "serial":
+			s.opts.Parallel = false
+		default:
+			return fmt.Errorf("unknown option %q", w)
+		}
+	}
+	fmt.Fprintf(s.out, "strategy=%v magic=%v adaptive=%v parallel=%v\n",
+		map[bool]string{true: "naive", false: "semi-naive"}[s.opts.Naive],
+		!s.opts.NoOptimize, s.opts.Adaptive, s.opts.Parallel)
+	return nil
+}
+
+func (s *remoteShell) help() {
+	fmt.Fprint(s.out, `clauses:   parent(john, mary).    ancestor(X, Y) :- parent(X, Y).
+queries:   ?- ancestor(john, W).
+commands (remote session):
+  .load FILE      load a Horn-clause program into the server
+  .retract PAT    retract matching base facts, e.g. .retract parent(john, X)
+  .prepare Q      compile a query server-side; returns an id
+  .exec ID        run a prepared query
+  .stats          server activity counters
+  .opts WORDS     naive|seminaive  magic|nomagic|adaptive  parallel|serial
+  .quit
+`)
+}

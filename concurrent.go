@@ -1,0 +1,147 @@
+package dkbms
+
+import (
+	"sync"
+
+	"dkbms/internal/dlog"
+	"dkbms/internal/stored"
+)
+
+// ConcurrentTestbed makes one Testbed safe for use from many goroutines
+// — the shared-testbed concurrency control behind the dkbd server. The
+// paper's testbed is a single-user harness; this wrapper applies the
+// observation of its conclusion 7a (recursive equations evaluate
+// correctly in parallel over a shared DBMS) across sessions:
+//
+//   - queries, compilation and prepared-query execution take a read
+//     lock and run concurrently — including internally-parallel LFP
+//     evaluations, whose temp tables are session-private (the catalog
+//     and pager serialize their own registries);
+//   - Load, Assert, Retract, Update and Close take the write lock and
+//     run exclusively, so a query never observes a half-applied update.
+//
+// The zero value is not usable; wrap an open Testbed with NewConcurrent.
+type ConcurrentTestbed struct {
+	mu sync.RWMutex
+	tb *Testbed
+}
+
+// NewConcurrent wraps a testbed for concurrent use. The caller must not
+// use the wrapped testbed directly afterwards.
+func NewConcurrent(tb *Testbed) *ConcurrentTestbed {
+	return &ConcurrentTestbed{tb: tb}
+}
+
+// Testbed returns the wrapped testbed for single-goroutine phases
+// (setup, teardown, benchmarks). Using it while other goroutines go
+// through the wrapper forfeits the concurrency guarantees.
+func (c *ConcurrentTestbed) Testbed() *Testbed { return c.tb }
+
+// Close shuts the testbed down after all in-flight operations drain.
+func (c *ConcurrentTestbed) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tb.Close()
+}
+
+// Load enters a Horn-clause program exclusively.
+func (c *ConcurrentTestbed) Load(src string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tb.Load(src)
+}
+
+// Assert adds one ground fact exclusively.
+func (c *ConcurrentTestbed) Assert(fact dlog.Atom) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tb.Assert(fact)
+}
+
+// Retract deletes matching facts exclusively.
+func (c *ConcurrentTestbed) Retract(pattern dlog.Atom) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tb.Retract(pattern)
+}
+
+// RetractSrc is Retract for a source-syntax pattern.
+func (c *ConcurrentTestbed) RetractSrc(src string) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tb.RetractSrc(src)
+}
+
+// Update commits workspace rules to the stored D/KB exclusively.
+func (c *ConcurrentTestbed) Update() (stored.UpdateStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tb.Update()
+}
+
+// Query compiles and evaluates a query under the read lock, concurrently
+// with other queries.
+func (c *ConcurrentTestbed) Query(src string, opts *QueryOptions) (*QueryResult, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tb.Query(src, opts)
+}
+
+// RunQuery is Query for a pre-parsed query.
+func (c *ConcurrentTestbed) RunQuery(q dlog.Query, opts *QueryOptions) (*QueryResult, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tb.RunQuery(q, opts)
+}
+
+// Generation returns the current rule-base generation. Prepared queries
+// compiled at an older generation recompile on their next run; the
+// server reports it so clients can correlate results with D/KB versions.
+func (c *ConcurrentTestbed) Generation() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tb.ruleGen
+}
+
+// Prepare compiles a query for repeated execution. The returned
+// ConcurrentPrepared is itself safe for use by one goroutine at a time
+// (the server keys them per session); its runs take the read lock.
+func (c *ConcurrentTestbed) Prepare(src string, opts *QueryOptions) (*ConcurrentPrepared, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	p, err := c.tb.Prepare(src, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &ConcurrentPrepared{c: c, p: p}, nil
+}
+
+// ConcurrentPrepared is a prepared query bound to a ConcurrentTestbed.
+// Each run takes the testbed's read lock, so a run either sees the rule
+// base entirely before or entirely after any concurrent update — and
+// recompiles transparently in the latter case.
+type ConcurrentPrepared struct {
+	c *ConcurrentTestbed
+	p *Prepared
+}
+
+// Run executes the prepared query under the read lock.
+func (cp *ConcurrentPrepared) Run() (*QueryResult, error) {
+	cp.c.mu.RLock()
+	defer cp.c.mu.RUnlock()
+	return cp.p.Run()
+}
+
+// Stale reports whether the next Run will recompile.
+func (cp *ConcurrentPrepared) Stale() bool {
+	cp.c.mu.RLock()
+	defer cp.c.mu.RUnlock()
+	return cp.p.Stale()
+}
+
+// Recompiles returns the number of compilations performed so far.
+func (cp *ConcurrentPrepared) Recompiles() int {
+	cp.c.mu.RLock()
+	defer cp.c.mu.RUnlock()
+	return cp.p.Recompiles
+}

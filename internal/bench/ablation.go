@@ -274,7 +274,7 @@ func ablationStorage(cfg Config) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			before := m.Stats.ExtractCalls
+			before := m.StatsSnapshot().ExtractCalls
 			best, err := measure(cfg.reps(), func() (time.Duration, error) {
 				t0 := time.Now()
 				// Iterative extraction exactly as the compiler does
@@ -309,7 +309,7 @@ func ablationStorage(cfg Config) (*Report, error) {
 				}
 				return time.Since(t0), nil
 			})
-			calls[mode] = m.Stats.ExtractCalls - before
+			calls[mode] = m.StatsSnapshot().ExtractCalls - before
 			d.Close()
 			if err != nil {
 				return nil, err

@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 
 	"dkbms/internal/rel"
 	"dkbms/internal/storage"
@@ -56,9 +57,17 @@ type Index struct {
 // index package through the catalog API surface.
 
 // Catalog is the schema manager for one database.
+//
+// The table and index registries are guarded by an RWMutex so that
+// sessions may create and drop their own temp tables while other
+// sessions resolve names concurrently. The mutex protects the catalog
+// maps only: tuple traffic on a *Table* (Insert/DeleteRID/Scan) is not
+// serialized here — concurrent writers of one table must coordinate
+// above this layer (the server's ConcurrentTestbed lock does).
 type Catalog struct {
 	pager   *storage.Pager
 	heap    *storage.HeapFile // nil until Open
+	mu      sync.RWMutex
 	tables  map[string]*Table
 	indexes map[string]*Index
 }
@@ -183,17 +192,27 @@ func keyOf(tu rel.Tuple, ords []int) rel.Tuple {
 }
 
 // Table returns the named table, or nil.
-func (c *Catalog) Table(name string) *Table { return c.tables[name] }
+func (c *Catalog) Table(name string) *Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tables[name]
+}
 
 // Index returns the named index, or nil.
-func (c *Catalog) Index(name string) *Index { return c.indexes[name] }
+func (c *Catalog) Index(name string) *Index {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.indexes[name]
+}
 
 // Tables returns all table names in sorted order.
 func (c *Catalog) Tables() []string {
+	c.mu.RLock()
 	names := make([]string, 0, len(c.tables))
 	for n := range c.tables {
 		names = append(names, n)
 	}
+	c.mu.RUnlock()
 	sort.Strings(names)
 	return names
 }
@@ -203,6 +222,8 @@ func (c *Catalog) CreateTable(name string, schema *rel.Schema, temp bool) (*Tabl
 	if name == "" {
 		return nil, fmt.Errorf("catalog: empty table name")
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, exists := c.tables[name]; exists {
 		return nil, fmt.Errorf("catalog: table %s already exists", name)
 	}
@@ -224,12 +245,14 @@ func (c *Catalog) CreateTable(name string, schema *rel.Schema, temp bool) (*Tabl
 
 // DropTable removes a table, its indexes, and releases its pages.
 func (c *Catalog) DropTable(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	t, ok := c.tables[name]
 	if !ok {
 		return fmt.Errorf("catalog: no table %s", name)
 	}
 	for _, idx := range append([]*Index(nil), t.Indexes...) {
-		if err := c.DropIndex(idx.Name); err != nil {
+		if err := c.dropIndexLocked(idx.Name); err != nil {
 			return err
 		}
 	}
@@ -244,6 +267,8 @@ func (c *Catalog) DropTable(name string) error {
 
 // CreateIndex creates an index on table columns and builds it.
 func (c *Catalog) CreateIndex(name, table string, cols []string, temp bool) (*Index, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, exists := c.indexes[name]; exists {
 		return nil, fmt.Errorf("catalog: index %s already exists", name)
 	}
@@ -270,6 +295,13 @@ func (c *Catalog) CreateIndex(name, table string, cols []string, temp bool) (*In
 
 // DropIndex removes an index.
 func (c *Catalog) DropIndex(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropIndexLocked(name)
+}
+
+// dropIndexLocked is DropIndex with c.mu already held.
+func (c *Catalog) dropIndexLocked(name string) error {
 	idx, ok := c.indexes[name]
 	if !ok {
 		return fmt.Errorf("catalog: no index %s", name)

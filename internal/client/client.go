@@ -1,0 +1,140 @@
+// Package client is the Go client for a dkbd server: a thin, synchronous
+// wrapper over the wire protocol. A Client owns one connection and runs a
+// strict request/response alternation on it; it is safe for concurrent
+// use, with concurrent callers serialized per connection. Open several
+// clients to exercise server-side concurrency.
+package client
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dkbms/internal/wire"
+)
+
+// Client is one dkbd connection.
+type Client struct {
+	mu   sync.Mutex // serializes request/response exchanges
+	conn net.Conn
+}
+
+// Dial connects to a dkbd server at addr ("host:port").
+func Dial(addr string) (*Client, error) {
+	return DialTimeout(addr, 10*time.Second)
+}
+
+// DialTimeout is Dial with a connect timeout.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close closes the connection. In-flight calls fail.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and reads its response, translating a
+// server ERROR frame into a Go error.
+func (c *Client) roundTrip(t wire.MsgType, payload []byte, want wire.MsgType) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := wire.WriteFrame(c.conn, t, payload); err != nil {
+		return nil, err
+	}
+	rt, rp, _, err := wire.ReadFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	if rt == wire.MsgError {
+		e, derr := wire.DecodeError(rp)
+		if derr != nil {
+			return nil, fmt.Errorf("client: undecodable server error: %v", derr)
+		}
+		return nil, fmt.Errorf("dkbd: %s", e.Msg)
+	}
+	if rt != want {
+		return nil, fmt.Errorf("client: server sent %v, want %v", rt, want)
+	}
+	return rp, nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(wire.MsgPing, nil, wire.MsgPong)
+	return err
+}
+
+// Load sends Horn-clause source (facts and rules) to the server's
+// workspace D/KB.
+func (c *Client) Load(src string) error {
+	_, err := c.roundTrip(wire.MsgLoad, wire.Load{Src: src}.Encode(), wire.MsgOK)
+	return err
+}
+
+// Query evaluates one query ("?- p(X, y).") on the server.
+func (c *Client) Query(src string, opts wire.QueryOpts) (*wire.Result, error) {
+	rp, err := c.roundTrip(wire.MsgQuery, wire.Query{Src: src, Opts: opts}.Encode(), wire.MsgResult)
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeResult(rp)
+}
+
+// Stmt is a server-side prepared query, private to this client's session.
+type Stmt struct {
+	c *Client
+	// ID is the session-local prepared-statement id.
+	ID uint64
+	// Generation is the server rule-base generation at prepare time. The
+	// server recompiles transparently when it moves.
+	Generation uint64
+}
+
+// Prepare compiles a query on the server for repeated execution.
+func (c *Client) Prepare(src string, opts wire.QueryOpts) (*Stmt, error) {
+	rp, err := c.roundTrip(wire.MsgPrepare, wire.Prepare{Src: src, Opts: opts}.Encode(), wire.MsgPrepared)
+	if err != nil {
+		return nil, err
+	}
+	p, err := wire.DecodePrepared(rp)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{c: c, ID: p.ID, Generation: p.Generation}, nil
+}
+
+// Exec runs the prepared query against the current D/KB state.
+func (s *Stmt) Exec() (*wire.Result, error) {
+	rp, err := s.c.roundTrip(wire.MsgExecP, wire.ExecP{ID: s.ID}.Encode(), wire.MsgResult)
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeResult(rp)
+}
+
+// Retract removes base facts matching pattern (e.g. "parent(john, X)")
+// and reports how many were deleted.
+func (c *Client) Retract(pattern string) (int64, error) {
+	rp, err := c.roundTrip(wire.MsgRetract, wire.Retract{Pattern: pattern}.Encode(), wire.MsgRetracted)
+	if err != nil {
+		return 0, err
+	}
+	r, err := wire.DecodeRetracted(rp)
+	if err != nil {
+		return 0, err
+	}
+	return r.N, nil
+}
+
+// Stats fetches the server's activity counters.
+func (c *Client) Stats() (wire.ServerStats, error) {
+	rp, err := c.roundTrip(wire.MsgStats, nil, wire.MsgStatsReply)
+	if err != nil {
+		return wire.ServerStats{}, err
+	}
+	return wire.DecodeServerStats(rp)
+}

@@ -28,7 +28,9 @@ type DB struct {
 
 // Stats are cumulative statement counters. Counters are updated
 // atomically: read-only statements may run concurrently (the run-time
-// library's parallel rule evaluation does).
+// library's parallel rule evaluation and the server's concurrent
+// sessions do). Readers that may race an in-flight statement must use
+// DB.StatsSnapshot rather than loading the fields directly.
 type Stats struct {
 	Selects int64
 	Inserts int64
@@ -36,6 +38,18 @@ type Stats struct {
 	InsertedRows int64
 	Deletes      int64
 	DDL          int64
+}
+
+// StatsSnapshot returns the statement counters read with atomic loads,
+// safe to call while statements execute on other goroutines.
+func (d *DB) StatsSnapshot() Stats {
+	return Stats{
+		Selects:      atomic.LoadInt64(&d.Stats.Selects),
+		Inserts:      atomic.LoadInt64(&d.Stats.Inserts),
+		InsertedRows: atomic.LoadInt64(&d.Stats.InsertedRows),
+		Deletes:      atomic.LoadInt64(&d.Stats.Deletes),
+		DDL:          atomic.LoadInt64(&d.Stats.DDL),
+	}
 }
 
 // Open opens (creating if needed) a file-backed database with the
@@ -272,5 +286,5 @@ func (d *DB) HasTable(name string) bool { return d.cat.Table(name) != nil }
 // Flush persists dirty pages (no-op cost for memory databases).
 func (d *DB) Flush() error { return d.pager.Flush() }
 
-// PagerStats returns buffer-pool counters.
-func (d *DB) PagerStats() storage.PagerStats { return d.pager.Stats }
+// PagerStats returns a snapshot of the buffer-pool counters.
+func (d *DB) PagerStats() storage.PagerStats { return d.pager.Stats() }

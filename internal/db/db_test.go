@@ -430,7 +430,8 @@ func TestJoinAgainstReferenceModel(t *testing.T) {
 func TestStatsCounters(t *testing.T) {
 	d := family(t)
 	mustQuery(t, d, "SELECT * FROM parent")
-	if d.Stats.Selects == 0 || d.Stats.Inserts == 0 || d.Stats.InsertedRows != 5 || d.Stats.DDL == 0 {
-		t.Fatalf("stats = %+v", d.Stats)
+	st := d.StatsSnapshot()
+	if st.Selects == 0 || st.Inserts == 0 || st.InsertedRows != 5 || st.DDL == 0 {
+		t.Fatalf("stats = %+v", st)
 	}
 }

@@ -22,6 +22,7 @@ package rtlib
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"dkbms/internal/codegen"
@@ -108,17 +109,18 @@ func (r *Result) Cleanup() error {
 }
 
 // runSeq distinguishes concurrent evaluations' temp table names within
-// one process (the shell and benches reuse a single DB).
-var runSeq int
+// one process (the shell, the benches and the server's sessions reuse a
+// single DB). Incremented atomically: evaluations start concurrently.
+var runSeq uint64
 
 // Evaluate runs a compiled program against the database.
 func Evaluate(d *db.DB, prog *codegen.Program, opts Options) (*Result, error) {
-	runSeq++
+	seq := atomic.AddUint64(&runSeq, 1)
 	ev := &evaluator{
 		d:      d,
 		prog:   prog,
 		opts:   opts,
-		prefix: fmt.Sprintf("dkb%d_", runSeq),
+		prefix: fmt.Sprintf("dkb%d_", seq),
 		tables: make(map[string]string),
 	}
 	res, err := ev.run()

@@ -1,0 +1,183 @@
+// Package server is the dkbd network front-end: a TCP server exposing a
+// shared ConcurrentTestbed to many client sessions over the wire
+// protocol (internal/wire).
+//
+// Each accepted connection becomes a session goroutine running a strict
+// request/response loop. Read-only traffic (QUERY, EXECP, STATS, PING)
+// runs concurrently across sessions on the testbed's read lock; LOAD and
+// RETRACT serialize on its write lock. A connection-limit semaphore is
+// acquired before Accept, so excess clients queue in the listen backlog
+// (backpressure) instead of being half-served. Shutdown is graceful: on
+// context cancel the listener closes immediately (new connections are
+// refused), in-flight requests complete and write their responses, and
+// Serve returns only when every session has drained.
+package server
+
+import (
+	"context"
+	"errors"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"dkbms"
+)
+
+// Options tune a server.
+type Options struct {
+	// MaxConns caps simultaneous sessions; further connections wait in
+	// the listen backlog. 0 selects DefaultMaxConns.
+	MaxConns int
+	// IOTimeout bounds single reads of a request body (after its first
+	// byte) and single response writes; it guards sessions against
+	// stalled peers, not against long evaluations. 0 selects
+	// DefaultIOTimeout; negative disables deadlines.
+	IOTimeout time.Duration
+	// Logf receives connection-level diagnostics. nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Default option values.
+const (
+	DefaultMaxConns  = 64
+	DefaultIOTimeout = 30 * time.Second
+)
+
+// Server serves one ConcurrentTestbed over TCP.
+type Server struct {
+	tb   *dkbms.ConcurrentTestbed
+	opts Options
+
+	stats counters
+
+	mu       sync.Mutex
+	sessions map[*session]struct{}
+	draining bool
+}
+
+// New builds a server over the testbed. The server does not own the
+// testbed; closing it after Serve returns is the caller's job.
+func New(tb *dkbms.ConcurrentTestbed, opts Options) *Server {
+	if opts.MaxConns <= 0 {
+		opts.MaxConns = DefaultMaxConns
+	}
+	if opts.IOTimeout == 0 {
+		opts.IOTimeout = DefaultIOTimeout
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	return &Server{
+		tb:       tb,
+		opts:     opts,
+		sessions: make(map[*session]struct{}),
+	}
+}
+
+// ListenAndServe listens on addr ("host:port") and serves until ctx is
+// cancelled. The listener's actual address (useful with ":0") is sent on
+// ready, if non-nil, once accepting.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, ready chan<- net.Addr) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready <- lis.Addr()
+	}
+	return s.Serve(ctx, lis)
+}
+
+// Serve accepts sessions on lis until ctx is cancelled, then drains and
+// returns nil. The listener is closed by Serve.
+func (s *Server) Serve(ctx context.Context, lis net.Listener) error {
+	// Closing the listener is what breaks the Accept loop; do it the
+	// moment the context falls.
+	stop := context.AfterFunc(ctx, func() {
+		lis.Close()
+		s.beginDrain()
+	})
+	defer stop()
+
+	sem := make(chan struct{}, s.opts.MaxConns)
+	var wg sync.WaitGroup
+	for {
+		// Backpressure: take a session slot before accepting, so that at
+		// MaxConns sessions the kernel queues further clients instead of
+		// this loop accepting connections it cannot serve.
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			wg.Wait()
+			return nil
+		}
+		conn, err := lis.Accept()
+		if err != nil {
+			<-sem
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				wg.Wait()
+				return nil
+			}
+			// Transient accept failure (e.g. EMFILE): log and go on.
+			s.opts.Logf("dkbd: accept: %v", err)
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		sess := newSession(s, conn)
+		s.track(sess)
+		wg.Add(1)
+		go func() {
+			defer func() {
+				s.untrack(sess)
+				<-sem
+				wg.Done()
+			}()
+			sess.serve(ctx)
+		}()
+	}
+}
+
+// track registers a live session; if the server is already draining the
+// session is told to finish after its current request.
+func (s *Server) track(sess *session) {
+	s.stats.activeSessions.Add(1)
+	s.stats.totalSessions.Add(1)
+	s.mu.Lock()
+	s.sessions[sess] = struct{}{}
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		sess.interruptIdleRead()
+	}
+}
+
+func (s *Server) untrack(sess *session) {
+	s.stats.activeSessions.Add(-1)
+	s.mu.Lock()
+	delete(s.sessions, sess)
+	s.mu.Unlock()
+}
+
+// beginDrain wakes every session blocked waiting for its next request.
+// Sessions mid-request are untouched — they finish, respond, then see
+// the cancelled context and exit.
+func (s *Server) beginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	sessions := make([]*session, 0, len(s.sessions))
+	for sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range sessions {
+		sess.interruptIdleRead()
+	}
+}
+
+// Stats returns a snapshot of the server counters, including request
+// latency percentiles over the recent window.
+func (s *Server) Stats() Stats { return s.stats.snapshot(s.tb.Generation()) }
+
+// Logf is a ready-made Options.Logf writing through the standard logger.
+func Logf(format string, args ...any) { log.Printf(format, args...) }

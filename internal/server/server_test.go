@@ -1,0 +1,375 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dkbms"
+	"dkbms/internal/client"
+	"dkbms/internal/server"
+	"dkbms/internal/wire"
+)
+
+const baseProgram = `
+parent(c0, c1). parent(c1, c2). parent(c2, c3). parent(c3, c4).
+parent(c4, c5). parent(c5, c6). parent(c6, c7). parent(c7, c8).
+parent(c8, c9).
+ancestor(X, Y) :- parent(X, Y).
+ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).
+`
+
+// startServer runs a server over tb on a loopback port and returns its
+// address, a cancel func, and the channel Serve's result lands on.
+func startServer(t *testing.T, tb *dkbms.ConcurrentTestbed, opts server.Options) (string, context.CancelFunc, chan error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	srv := server.New(tb, opts)
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe(ctx, "127.0.0.1:0", ready) }()
+	select {
+	case addr := <-ready:
+		return addr.String(), cancel, done
+	case err := <-done:
+		cancel()
+		t.Fatalf("server did not start: %v", err)
+		return "", nil, nil
+	}
+}
+
+// rowSet flattens a result into a sorted, comparable form.
+func rowSet(rows []string) string {
+	sort.Strings(rows)
+	return strings.Join(rows, "\n")
+}
+
+func wireRows(res *wire.Result) []string {
+	out := make([]string, 0, len(res.Rows))
+	for _, tu := range res.Rows {
+		var cells []string
+		for _, v := range tu {
+			cells = append(cells, v.String())
+		}
+		out = append(out, strings.Join(cells, ","))
+	}
+	return out
+}
+
+func localRows(res *dkbms.QueryResult) []string {
+	out := make([]string, 0, len(res.Rows))
+	for _, tu := range res.Rows {
+		var cells []string
+		for _, v := range tu {
+			cells = append(cells, v.String())
+		}
+		out = append(out, strings.Join(cells, ","))
+	}
+	return out
+}
+
+func TestServerBasic(t *testing.T) {
+	tb := dkbms.NewConcurrent(dkbms.NewMemory())
+	defer tb.Close()
+	addr, cancel, done := startServer(t, tb, server.Options{})
+	defer func() { cancel(); <-done }()
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Load(baseProgram); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Query("?- ancestor(c0, X).", wire.QueryOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 9 {
+		t.Fatalf("query returned %d rows, want 9", len(res.Rows))
+	}
+
+	// The remote result must match a single-threaded testbed exactly.
+	ref := dkbms.NewMemory()
+	defer ref.Close()
+	if err := ref.Load(baseProgram); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Query("?- ancestor(c0, X).", &dkbms.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, exp := rowSet(wireRows(res)), rowSet(localRows(want)); got != exp {
+		t.Fatalf("remote result diverges from local:\nremote:\n%s\nlocal:\n%s", got, exp)
+	}
+
+	// Prepared queries survive rule-base changes via recompilation.
+	stmt, err := c.Prepare("?- ancestor(X, c9).", wire.QueryOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := stmt.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Rows) != 9 {
+		t.Fatalf("prepared exec: %d rows, want 9", len(r1.Rows))
+	}
+	if err := c.Load("parent(pre, c0)."); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := stmt.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r2.Rows) != 10 {
+		t.Fatalf("prepared exec after load: %d rows, want 10", len(r2.Rows))
+	}
+
+	// Retraction round-trips with a count.
+	n, err := c.Retract("parent(pre, X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("retracted %d, want 1", n)
+	}
+
+	// Errors come back as errors, not dead connections.
+	if _, err := c.Query("?- undefined_pred(X).", wire.QueryOpts{}); err == nil {
+		t.Fatal("query on undefined predicate succeeded")
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("connection unusable after server-side error: %v", err)
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests < 8 || st.Errors < 1 || st.ActiveSessions != 1 {
+		t.Fatalf("implausible stats: %+v", st)
+	}
+	if st.BytesIn == 0 || st.BytesOut == 0 {
+		t.Fatalf("traffic counters empty: %+v", st)
+	}
+}
+
+// TestServerStress runs 32 concurrent sessions mixing queries, prepared
+// execution and occasional loads, then checks the final state against a
+// single-threaded testbed.
+func TestServerStress(t *testing.T) {
+	tb := dkbms.NewConcurrent(dkbms.NewMemory())
+	defer tb.Close()
+	if err := tb.Load(baseProgram); err != nil {
+		t.Fatal(err)
+	}
+	addr, cancel, done := startServer(t, tb, server.Options{MaxConns: 64})
+	defer func() { cancel(); <-done }()
+
+	const (
+		workers = 32
+		iters   = 12
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	var loadedMu sync.Mutex
+	var loaded []string
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := client.Dial(addr)
+			if err != nil {
+				errs <- fmt.Errorf("worker %d: dial: %w", w, err)
+				return
+			}
+			defer c.Close()
+			stmt, err := c.Prepare("?- ancestor(c0, X).", wire.QueryOpts{})
+			if err != nil {
+				errs <- fmt.Errorf("worker %d: prepare: %w", w, err)
+				return
+			}
+			for i := 0; i < iters; i++ {
+				switch {
+				// A few writers extend the chain below c9; everyone else
+				// reads. Facts are only added, so ancestor(c0, _) grows
+				// monotonically from its base size of 9.
+				case w%8 == 0 && i%4 == 3:
+					fact := fmt.Sprintf("parent(c9, x%d_%d).", w, i)
+					if err := c.Load(fact); err != nil {
+						errs <- fmt.Errorf("worker %d: load: %w", w, err)
+						return
+					}
+					loadedMu.Lock()
+					loaded = append(loaded, fact)
+					loadedMu.Unlock()
+				case i%2 == 0:
+					res, err := c.Query("?- ancestor(c0, X).", wire.QueryOpts{})
+					if err != nil {
+						errs <- fmt.Errorf("worker %d: query: %w", w, err)
+						return
+					}
+					if len(res.Rows) < 9 {
+						errs <- fmt.Errorf("worker %d: query saw %d rows, want >= 9", w, len(res.Rows))
+						return
+					}
+				default:
+					res, err := stmt.Exec()
+					if err != nil {
+						errs <- fmt.Errorf("worker %d: exec: %w", w, err)
+						return
+					}
+					if len(res.Rows) < 9 {
+						errs <- fmt.Errorf("worker %d: exec saw %d rows, want >= 9", w, len(res.Rows))
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Final state must be byte-identical to a single-threaded testbed
+	// that performed the same loads.
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := c.Query("?- ancestor(c0, X).", wire.QueryOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := dkbms.NewMemory()
+	defer ref.Close()
+	if err := ref.Load(baseProgram); err != nil {
+		t.Fatal(err)
+	}
+	loadedMu.Lock()
+	refLoads := strings.Join(loaded, "\n")
+	loadedMu.Unlock()
+	if err := ref.Load(refLoads); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Query("?- ancestor(c0, X).", &dkbms.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, exp := rowSet(wireRows(res)), rowSet(localRows(want)); got != exp {
+		t.Fatalf("final state diverges from single-threaded reference:\nserver:\n%s\nreference:\n%s", got, exp)
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TotalSessions < workers {
+		t.Fatalf("server saw %d sessions, want >= %d", st.TotalSessions, workers)
+	}
+	if st.Errors != 0 {
+		t.Fatalf("server recorded %d request errors during stress", st.Errors)
+	}
+}
+
+// TestGracefulShutdown checks that cancelling the context wakes idle
+// sessions, refuses new connections, and returns from Serve.
+func TestGracefulShutdown(t *testing.T) {
+	tb := dkbms.NewConcurrent(dkbms.NewMemory())
+	defer tb.Close()
+	addr, cancel, done := startServer(t, tb, server.Options{})
+
+	// A few idle sessions block in their read loops.
+	var clients []*client.Client
+	for i := 0; i < 4; i++ {
+		c, err := client.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if err := c.Ping(); err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, c)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after cancel with idle sessions")
+	}
+
+	// Existing sessions are gone and new connections are refused.
+	if err := clients[0].Ping(); err == nil {
+		t.Fatal("ping succeeded on a drained session")
+	}
+	if c, err := client.Dial(addr); err == nil {
+		defer c.Close()
+		if err := c.Ping(); err == nil {
+			t.Fatal("new session served after shutdown")
+		}
+	}
+}
+
+// TestMaxConnsBackpressure checks that over-limit clients queue rather
+// than fail, and get served once a slot frees.
+func TestMaxConnsBackpressure(t *testing.T) {
+	tb := dkbms.NewConcurrent(dkbms.NewMemory())
+	defer tb.Close()
+	addr, cancel, done := startServer(t, tb, server.Options{MaxConns: 1})
+	defer func() { cancel(); <-done }()
+
+	c1, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The second client queues in the listen backlog: its ping only
+	// completes after c1 disconnects.
+	c2, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	pinged := make(chan error, 1)
+	go func() { pinged <- c2.Ping() }()
+	select {
+	case err := <-pinged:
+		t.Fatalf("second session served while at MaxConns (ping: %v)", err)
+	case <-time.After(200 * time.Millisecond):
+	}
+	c1.Close()
+	select {
+	case err := <-pinged:
+		if err != nil {
+			t.Fatalf("queued session failed after slot freed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued session never served after slot freed")
+	}
+}

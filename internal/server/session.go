@@ -1,0 +1,205 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"dkbms"
+	"dkbms/internal/wire"
+)
+
+// maxPreparedPerSession caps a session's prepared-statement table so a
+// misbehaving client cannot grow server memory without bound.
+const maxPreparedPerSession = 1024
+
+// session is one connected client: a strict request/response loop over
+// a single connection, with a private prepared-statement table.
+type session struct {
+	srv  *Server
+	conn net.Conn
+
+	// prepared maps session-local ids to prepared queries. Entries are
+	// keyed to the rule-base generation through ConcurrentPrepared, which
+	// recompiles transparently when the generation moves.
+	prepared map[uint64]*dkbms.ConcurrentPrepared
+	nextID   uint64
+}
+
+func newSession(srv *Server, conn net.Conn) *session {
+	return &session{
+		srv:      srv,
+		conn:     conn,
+		prepared: make(map[uint64]*dkbms.ConcurrentPrepared),
+	}
+}
+
+// interruptIdleRead wakes the session if it is blocked waiting for the
+// next request, by poisoning the read deadline. A session mid-request is
+// not affected: it finishes, writes its response, and exits on the
+// cancelled context at the top of its loop.
+func (s *session) interruptIdleRead() {
+	s.conn.SetReadDeadline(time.Now())
+}
+
+// serve runs the request loop until the peer disconnects, an I/O error
+// occurs, or ctx is cancelled between requests.
+func (s *session) serve(ctx context.Context) {
+	defer s.conn.Close()
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		// Wait for the next request with no deadline (sessions may idle
+		// indefinitely); once the header starts arriving, the rest of the
+		// frame must show up within IOTimeout.
+		s.conn.SetReadDeadline(time.Time{})
+		t, payload, n, err := wire.ReadFrame(&armedReader{s: s})
+		if err != nil {
+			if ctx.Err() == nil && err != io.EOF {
+				s.srv.opts.Logf("dkbd: session %s: read: %v", s.conn.RemoteAddr(), err)
+			}
+			return
+		}
+		s.srv.stats.bytesIn.Add(int64(n))
+
+		start := time.Now()
+		s.srv.stats.inFlight.Add(1)
+		respType, respPayload := s.handle(t, payload)
+		s.srv.stats.inFlight.Add(-1)
+
+		if s.srv.opts.IOTimeout > 0 {
+			s.conn.SetWriteDeadline(time.Now().Add(s.srv.opts.IOTimeout))
+		}
+		wn, werr := wire.WriteFrame(s.conn, respType, respPayload)
+		s.srv.stats.bytesOut.Add(int64(wn))
+		s.srv.stats.observe(time.Since(start), respType == wire.MsgError)
+		if werr != nil {
+			s.srv.opts.Logf("dkbd: session %s: write: %v", s.conn.RemoteAddr(), werr)
+			return
+		}
+	}
+}
+
+// armedReader reads from the session connection, arming the per-request
+// I/O deadline after the first byte of a frame arrives. The idle wait
+// for that first byte carries no deadline (unless shutdown poisons it).
+type armedReader struct {
+	s     *session
+	armed bool
+}
+
+func (r *armedReader) Read(p []byte) (int, error) {
+	n, err := r.s.conn.Read(p)
+	if n > 0 && !r.armed {
+		r.armed = true
+		if to := r.s.srv.opts.IOTimeout; to > 0 {
+			r.s.conn.SetReadDeadline(time.Now().Add(to))
+		}
+	}
+	return n, err
+}
+
+// handle dispatches one request and returns the response frame.
+func (s *session) handle(t wire.MsgType, payload []byte) (wire.MsgType, []byte) {
+	switch t {
+	case wire.MsgPing:
+		return wire.MsgPong, nil
+
+	case wire.MsgLoad:
+		m, err := wire.DecodeLoad(payload)
+		if err != nil {
+			return errFrame(err)
+		}
+		if err := s.srv.tb.Load(m.Src); err != nil {
+			return errFrame(err)
+		}
+		return wire.MsgOK, nil
+
+	case wire.MsgQuery:
+		m, err := wire.DecodeQuery(payload)
+		if err != nil {
+			return errFrame(err)
+		}
+		opts := queryOptions(m.Opts)
+		res, err := s.srv.tb.Query(m.Src, &opts)
+		if err != nil {
+			return errFrame(err)
+		}
+		return wire.MsgResult, encodeResult(res)
+
+	case wire.MsgPrepare:
+		m, err := wire.DecodePrepare(payload)
+		if err != nil {
+			return errFrame(err)
+		}
+		if len(s.prepared) >= maxPreparedPerSession {
+			return errFrame(fmt.Errorf("server: session holds %d prepared queries; close some or reconnect", len(s.prepared)))
+		}
+		opts := queryOptions(m.Opts)
+		cp, err := s.srv.tb.Prepare(m.Src, &opts)
+		if err != nil {
+			return errFrame(err)
+		}
+		s.nextID++
+		id := s.nextID
+		s.prepared[id] = cp
+		return wire.MsgPrepared, wire.Prepared{ID: id, Generation: s.srv.tb.Generation()}.Encode()
+
+	case wire.MsgExecP:
+		m, err := wire.DecodeExecP(payload)
+		if err != nil {
+			return errFrame(err)
+		}
+		cp, ok := s.prepared[m.ID]
+		if !ok {
+			return errFrame(fmt.Errorf("server: no prepared query %d in this session", m.ID))
+		}
+		res, err := cp.Run()
+		if err != nil {
+			return errFrame(err)
+		}
+		return wire.MsgResult, encodeResult(res)
+
+	case wire.MsgRetract:
+		m, err := wire.DecodeRetract(payload)
+		if err != nil {
+			return errFrame(err)
+		}
+		n, err := s.srv.tb.RetractSrc(m.Pattern)
+		if err != nil {
+			return errFrame(err)
+		}
+		return wire.MsgRetracted, wire.Retracted{N: int64(n)}.Encode()
+
+	case wire.MsgStats:
+		return wire.MsgStatsReply, s.srv.Stats().Encode()
+
+	default:
+		return errFrame(fmt.Errorf("server: unknown request type %v", t))
+	}
+}
+
+func errFrame(err error) (wire.MsgType, []byte) {
+	return wire.MsgError, wire.Error{Msg: err.Error()}.Encode()
+}
+
+func queryOptions(o wire.QueryOpts) dkbms.QueryOptions {
+	return dkbms.QueryOptions{
+		Naive:      o.Naive,
+		NoOptimize: o.NoOptimize,
+		Adaptive:   o.Adaptive,
+		Parallel:   o.Parallel,
+	}
+}
+
+func encodeResult(res *dkbms.QueryResult) []byte {
+	return wire.Result{
+		Vars:      res.Vars,
+		Rows:      res.Rows,
+		Optimized: res.Optimized,
+		Strategy:  res.Strategy.String(),
+	}.Encode()
+}

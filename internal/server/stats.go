@@ -1,0 +1,84 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dkbms/internal/wire"
+)
+
+// Stats is a snapshot of server activity. It is the native form of the
+// wire.ServerStats payload.
+type Stats = wire.ServerStats
+
+// latencyWindow is how many recent request latencies the percentile
+// window keeps. Power of two; old samples are overwritten ring-wise.
+const latencyWindow = 1024
+
+// counters aggregates server activity. All fields are updated without a
+// lock except the latency ring.
+type counters struct {
+	activeSessions atomic.Int64
+	totalSessions  atomic.Int64
+	inFlight       atomic.Int64
+	requests       atomic.Int64
+	errors         atomic.Int64
+	bytesIn        atomic.Int64
+	bytesOut       atomic.Int64
+
+	mu        sync.Mutex
+	latencies [latencyWindow]time.Duration
+	nLat      int64 // total samples ever recorded
+}
+
+// observe records one completed request.
+func (c *counters) observe(d time.Duration, isError bool) {
+	c.requests.Add(1)
+	if isError {
+		c.errors.Add(1)
+	}
+	c.mu.Lock()
+	c.latencies[c.nLat%latencyWindow] = d
+	c.nLat++
+	c.mu.Unlock()
+}
+
+// percentiles returns p50 and p99 over the retained window.
+func (c *counters) percentiles() (p50, p99 time.Duration) {
+	c.mu.Lock()
+	n := c.nLat
+	if n > latencyWindow {
+		n = latencyWindow
+	}
+	window := make([]time.Duration, n)
+	copy(window, c.latencies[:n])
+	c.mu.Unlock()
+	if n == 0 {
+		return 0, 0
+	}
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	rank := func(q float64) time.Duration {
+		i := int(q * float64(n-1))
+		return window[i]
+	}
+	return rank(0.50), rank(0.99)
+}
+
+// snapshot assembles the wire-form stats.
+func (c *counters) snapshot(generation uint64) Stats {
+	p50, p99 := c.percentiles()
+	return Stats{
+		ActiveSessions: c.activeSessions.Load(),
+		TotalSessions:  c.totalSessions.Load(),
+		InFlight:       c.inFlight.Load(),
+		Requests:       c.requests.Load(),
+		Errors:         c.errors.Load(),
+		BytesIn:        c.bytesIn.Load(),
+		BytesOut:       c.bytesOut.Load(),
+		P50:            p50,
+		P99:            p99,
+		Generation:     generation,
+	}
+}

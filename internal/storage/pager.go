@@ -18,14 +18,19 @@ type Pager struct {
 	pageCount PageID
 	hasSuper  bool // page 0 is a superblock (set by EnsureSuperblock)
 
+	// flMu serializes whole free-list transactions (pop in
+	// AllocateReusable, push in FreeChain), which span several page
+	// fetches and so cannot rely on mu alone. Always acquired before mu.
+	flMu sync.Mutex
+
 	capacity int
 	frames   map[PageID]*frame
 	lruHead  *frame // most recently used
 	lruTail  *frame // least recently used
 
-	// Stats counts buffer-pool traffic; used by tests and the bench
-	// harness to confirm the engine touches pages as expected.
-	Stats PagerStats
+	// stats counts buffer-pool traffic (guarded by mu); read it through
+	// Stats().
+	stats PagerStats
 }
 
 // PagerStats are cumulative counters for buffer-pool activity.
@@ -34,6 +39,15 @@ type PagerStats struct {
 	Misses    int64
 	Evictions int64
 	Writes    int64
+}
+
+// Stats returns a consistent snapshot of the buffer-pool counters; used
+// by tests and the bench harness to confirm the engine touches pages as
+// expected. Safe to call while other goroutines use the pager.
+func (p *Pager) Stats() PagerStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
 }
 
 type frame struct {
@@ -120,12 +134,12 @@ func (p *Pager) Fetch(id PageID) (*Page, error) {
 		return nil, fmt.Errorf("storage: fetch of unallocated page %d (have %d)", id, p.pageCount)
 	}
 	if fr, ok := p.frames[id]; ok {
-		p.Stats.Hits++
+		p.stats.Hits++
 		fr.page.pins++
 		p.touch(fr)
 		return fr.page, nil
 	}
-	p.Stats.Misses++
+	p.stats.Misses++
 	pg := &Page{ID: id}
 	if err := p.readPage(id, pg.Data[:]); err != nil {
 		return nil, err
@@ -175,7 +189,7 @@ func (p *Pager) evictOne() bool {
 		}
 		p.remove(fr)
 		delete(p.frames, fr.page.ID)
-		p.Stats.Evictions++
+		p.stats.Evictions++
 		return true
 	}
 	return false
@@ -194,7 +208,7 @@ func (p *Pager) readPage(id PageID, buf []byte) error {
 }
 
 func (p *Pager) writePage(pg *Page) error {
-	p.Stats.Writes++
+	p.stats.Writes++
 	if p.file == nil {
 		copy(p.mem[pg.ID], pg.Data[:])
 		pg.Dirty = false

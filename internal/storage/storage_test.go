@@ -152,7 +152,7 @@ func TestPagerEviction(t *testing.T) {
 		ids = append(ids, pg.ID)
 		p.Unpin(pg)
 	}
-	if p.Stats.Evictions == 0 {
+	if p.Stats().Evictions == 0 {
 		t.Fatal("expected evictions with a 4-page pool and 16 pages")
 	}
 	// All pages must still be readable (write-back on eviction).
@@ -373,7 +373,7 @@ func TestPagerStats(t *testing.T) {
 	if _, err := p.Fetch(id); err != nil {
 		t.Fatal(err)
 	}
-	if p.Stats.Hits == 0 {
+	if p.Stats().Hits == 0 {
 		t.Fatal("expected a buffer-pool hit")
 	}
 }

@@ -113,6 +113,11 @@ func (p *Pager) AllocateReusable() (*Page, error) {
 		// Bare pager (no superblock, e.g. unit tests): just grow.
 		return p.Allocate()
 	}
+	// The pop below is a multi-step read-modify-write of the free list;
+	// flMu keeps concurrent allocators (e.g. two sessions materializing
+	// temp tables) from popping the same page twice.
+	p.flMu.Lock()
+	defer p.flMu.Unlock()
 	head, err := p.freeHead()
 	if err != nil {
 		return nil, err
@@ -140,6 +145,8 @@ func (p *Pager) FreeChain(head PageID) error {
 	if !p.superblockPresent() {
 		return nil
 	}
+	p.flMu.Lock()
+	defer p.flMu.Unlock()
 	id := head
 	for id != InvalidPageID {
 		pg, err := p.Fetch(id)
@@ -169,6 +176,8 @@ func (p *Pager) FreePages() (int, error) {
 	if !p.superblockPresent() {
 		return 0, nil
 	}
+	p.flMu.Lock()
+	defer p.flMu.Unlock()
 	id, err := p.freeHead()
 	if err != nil {
 		return 0, err

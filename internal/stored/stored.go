@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"dkbms/internal/catalog"
 	"dkbms/internal/codegen"
@@ -59,7 +60,10 @@ type Manager struct {
 	// nextRuleID is the next rulesource identifier.
 	nextRuleID int64
 
-	// Stats counts manager traffic for the experiment harness.
+	// Stats counts manager traffic for the experiment harness. The
+	// counters are updated atomically — rule extraction and dictionary
+	// reads happen on the compile path, which concurrent sessions share —
+	// so racing readers must go through StatsSnapshot.
 	Stats Stats
 }
 
@@ -69,6 +73,15 @@ type Stats struct {
 	// ExtractedRules counts rules returned by ExtractRelevant.
 	ExtractedRules int64
 	ReadDictCalls  int64
+}
+
+// StatsSnapshot returns the counters read with atomic loads.
+func (m *Manager) StatsSnapshot() Stats {
+	return Stats{
+		ExtractCalls:   atomic.LoadInt64(&m.Stats.ExtractCalls),
+		ExtractedRules: atomic.LoadInt64(&m.Stats.ExtractedRules),
+		ReadDictCalls:  atomic.LoadInt64(&m.Stats.ReadDictCalls),
+	}
 }
 
 // Open binds a manager to the database, creating the system relations
@@ -225,7 +238,7 @@ func (m *Manager) FactCount(pred string) int {
 // BaseTypes reads the extensional data dictionary for the given
 // predicates (the paper's t_readdict operation, Test 2).
 func (m *Manager) BaseTypes(preds []string) (map[string][]rel.Type, error) {
-	m.Stats.ReadDictCalls++
+	atomic.AddInt64(&m.Stats.ReadDictCalls, 1)
 	out := make(map[string][]rel.Type)
 	for _, p := range preds {
 		rows, err := m.d.Query(fmt.Sprintf(
@@ -256,7 +269,7 @@ func (m *Manager) BaseTypes(preds []string) (map[string][]rel.Type, error) {
 // DerivedTypes reads the intensional data dictionary for the given
 // predicates.
 func (m *Manager) DerivedTypes(preds []string) (map[string][]rel.Type, error) {
-	m.Stats.ReadDictCalls++
+	atomic.AddInt64(&m.Stats.ReadDictCalls, 1)
 	out := make(map[string][]rel.Type)
 	for _, p := range preds {
 		rows, err := m.d.Query(fmt.Sprintf(
@@ -291,7 +304,7 @@ func (m *Manager) DerivedTypes(preds []string) (map[string][]rel.Type, error) {
 // joining reachablepreds with rulesource (paper §4.1); without it, only
 // directly-defining rules are returned and the compiler iterates.
 func (m *Manager) ExtractRelevant(preds []string) ([]dlog.Clause, error) {
-	m.Stats.ExtractCalls++
+	atomic.AddInt64(&m.Stats.ExtractCalls, 1)
 	if len(preds) == 0 {
 		return nil, nil
 	}
@@ -322,7 +335,7 @@ func (m *Manager) ExtractRelevant(preds []string) ([]dlog.Clause, error) {
 		}
 		out = append(out, c)
 	}
-	m.Stats.ExtractedRules += int64(len(out))
+	atomic.AddInt64(&m.Stats.ExtractedRules, int64(len(out)))
 	return out, nil
 }
 

@@ -1,0 +1,494 @@
+// Package wire defines the dkbd client/server protocol: length-prefixed
+// frames carrying typed request and response messages.
+//
+// A frame is
+//
+//	uint32 big-endian payload length | uint8 message type | payload
+//
+// and payloads use the same compact primitives as the storage layer:
+// uvarint-prefixed strings, varint integers, and tagged values. The
+// protocol is deliberately small — seven request types mirroring the
+// testbed's public operations (PING, LOAD, QUERY, PREPARE, EXECP,
+// RETRACT, STATS) and their replies — so that a session is a strict
+// request/response alternation over one TCP connection.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"dkbms/internal/rel"
+)
+
+// MaxFrameSize bounds a frame payload; both sides refuse larger frames
+// rather than buffering unbounded attacker-controlled lengths.
+const MaxFrameSize = 16 << 20
+
+// MsgType identifies a frame's message.
+type MsgType uint8
+
+// Request messages.
+const (
+	MsgPing MsgType = iota + 1
+	MsgLoad
+	MsgQuery
+	MsgPrepare
+	MsgExecP
+	MsgRetract
+	MsgStats
+)
+
+// Response messages.
+const (
+	MsgPong MsgType = iota + 0x10
+	MsgOK
+	MsgError
+	MsgResult
+	MsgPrepared
+	MsgRetracted
+	MsgStatsReply
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case MsgPing:
+		return "PING"
+	case MsgLoad:
+		return "LOAD"
+	case MsgQuery:
+		return "QUERY"
+	case MsgPrepare:
+		return "PREPARE"
+	case MsgExecP:
+		return "EXECP"
+	case MsgRetract:
+		return "RETRACT"
+	case MsgStats:
+		return "STATS"
+	case MsgPong:
+		return "PONG"
+	case MsgOK:
+		return "OK"
+	case MsgError:
+		return "ERROR"
+	case MsgResult:
+		return "RESULT"
+	case MsgPrepared:
+		return "PREPARED"
+	case MsgRetracted:
+		return "RETRACTED"
+	case MsgStatsReply:
+		return "STATSREPLY"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// WriteFrame writes one frame. It returns the number of bytes written
+// (the server's traffic counters use it).
+func WriteFrame(w io.Writer, t MsgType, payload []byte) (int, error) {
+	if len(payload) > MaxFrameSize {
+		return 0, fmt.Errorf("wire: frame payload %d exceeds limit %d", len(payload), MaxFrameSize)
+	}
+	hdr := make([]byte, 5, 5+len(payload))
+	binary.BigEndian.PutUint32(hdr, uint32(len(payload)))
+	hdr[4] = byte(t)
+	return w.Write(append(hdr, payload...))
+}
+
+// ReadFrame reads one frame, returning its type, payload and total size
+// on the wire. io.EOF is returned unwrapped on a clean close before the
+// first header byte.
+func ReadFrame(r io.Reader) (MsgType, []byte, int, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return 0, nil, 0, err // clean EOF between frames
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return 0, nil, 0, fmt.Errorf("wire: truncated frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > MaxFrameSize {
+		return 0, nil, 0, fmt.Errorf("wire: frame payload %d exceeds limit %d", n, MaxFrameSize)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, 0, fmt.Errorf("wire: truncated frame payload: %w", err)
+	}
+	return MsgType(hdr[4]), payload, 5 + int(n), nil
+}
+
+// --- Encoding primitives ---
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readString(buf []byte) (string, []byte, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 || n > uint64(len(buf)-sz) {
+		return "", nil, fmt.Errorf("wire: corrupt string field")
+	}
+	return string(buf[sz : sz+int(n)]), buf[sz+int(n):], nil
+}
+
+func readUvarint(buf []byte) (uint64, []byte, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return 0, nil, fmt.Errorf("wire: corrupt uvarint field")
+	}
+	return n, buf[sz:], nil
+}
+
+func readVarint(buf []byte) (int64, []byte, error) {
+	n, sz := binary.Varint(buf)
+	if sz <= 0 {
+		return 0, nil, fmt.Errorf("wire: corrupt varint field")
+	}
+	return n, buf[sz:], nil
+}
+
+func appendValue(buf []byte, v rel.Value) []byte {
+	buf = append(buf, byte(v.Kind))
+	switch v.Kind {
+	case rel.TypeInt:
+		buf = binary.AppendVarint(buf, v.Int)
+	case rel.TypeString:
+		buf = appendString(buf, v.Str)
+	}
+	return buf
+}
+
+func readValue(buf []byte) (rel.Value, []byte, error) {
+	if len(buf) < 1 {
+		return rel.Value{}, nil, fmt.Errorf("wire: corrupt value field")
+	}
+	kind := rel.Type(buf[0])
+	buf = buf[1:]
+	switch kind {
+	case rel.TypeInt:
+		n, rest, err := readVarint(buf)
+		if err != nil {
+			return rel.Value{}, nil, err
+		}
+		return rel.NewInt(n), rest, nil
+	case rel.TypeString:
+		s, rest, err := readString(buf)
+		if err != nil {
+			return rel.Value{}, nil, err
+		}
+		return rel.NewString(s), rest, nil
+	default:
+		return rel.Value{}, nil, fmt.Errorf("wire: unknown value kind %d", kind)
+	}
+}
+
+// --- Query options ---
+
+// QueryOpts is the wire form of dkbms.QueryOptions.
+type QueryOpts struct {
+	Naive      bool
+	NoOptimize bool
+	Adaptive   bool
+	Parallel   bool
+}
+
+const (
+	optNaive = 1 << iota
+	optNoOptimize
+	optAdaptive
+	optParallel
+)
+
+func (o QueryOpts) encode() byte {
+	var b byte
+	if o.Naive {
+		b |= optNaive
+	}
+	if o.NoOptimize {
+		b |= optNoOptimize
+	}
+	if o.Adaptive {
+		b |= optAdaptive
+	}
+	if o.Parallel {
+		b |= optParallel
+	}
+	return b
+}
+
+func decodeOpts(b byte) QueryOpts {
+	return QueryOpts{
+		Naive:      b&optNaive != 0,
+		NoOptimize: b&optNoOptimize != 0,
+		Adaptive:   b&optAdaptive != 0,
+		Parallel:   b&optParallel != 0,
+	}
+}
+
+// --- Requests ---
+
+// Load is the LOAD request: enter a Horn-clause program.
+type Load struct{ Src string }
+
+// Encode renders the payload.
+func (m Load) Encode() []byte { return appendString(nil, m.Src) }
+
+// DecodeLoad parses a LOAD payload.
+func DecodeLoad(p []byte) (Load, error) {
+	src, _, err := readString(p)
+	return Load{Src: src}, err
+}
+
+// Query is the QUERY request: compile and evaluate a query.
+type Query struct {
+	Src  string
+	Opts QueryOpts
+}
+
+// Encode renders the payload.
+func (m Query) Encode() []byte {
+	return appendString([]byte{m.Opts.encode()}, m.Src)
+}
+
+// DecodeQuery parses a QUERY payload.
+func DecodeQuery(p []byte) (Query, error) {
+	if len(p) < 1 {
+		return Query{}, fmt.Errorf("wire: empty QUERY payload")
+	}
+	src, _, err := readString(p[1:])
+	return Query{Src: src, Opts: decodeOpts(p[0])}, err
+}
+
+// Prepare is the PREPARE request: compile a query for repeated EXECP.
+type Prepare struct {
+	Src  string
+	Opts QueryOpts
+}
+
+// Encode renders the payload.
+func (m Prepare) Encode() []byte {
+	return appendString([]byte{m.Opts.encode()}, m.Src)
+}
+
+// DecodePrepare parses a PREPARE payload.
+func DecodePrepare(p []byte) (Prepare, error) {
+	q, err := DecodeQuery(p)
+	return Prepare{Src: q.Src, Opts: q.Opts}, err
+}
+
+// ExecP is the EXECP request: run a prepared query by session-local id.
+type ExecP struct{ ID uint64 }
+
+// Encode renders the payload.
+func (m ExecP) Encode() []byte { return binary.AppendUvarint(nil, m.ID) }
+
+// DecodeExecP parses an EXECP payload.
+func DecodeExecP(p []byte) (ExecP, error) {
+	id, _, err := readUvarint(p)
+	return ExecP{ID: id}, err
+}
+
+// Retract is the RETRACT request: delete facts matching a pattern atom.
+type Retract struct{ Pattern string }
+
+// Encode renders the payload.
+func (m Retract) Encode() []byte { return appendString(nil, m.Pattern) }
+
+// DecodeRetract parses a RETRACT payload.
+func DecodeRetract(p []byte) (Retract, error) {
+	pat, _, err := readString(p)
+	return Retract{Pattern: pat}, err
+}
+
+// --- Responses ---
+
+// Error is the ERROR reply carrying the server-side error text.
+type Error struct{ Msg string }
+
+// Encode renders the payload.
+func (m Error) Encode() []byte { return appendString(nil, m.Msg) }
+
+// DecodeError parses an ERROR payload.
+func DecodeError(p []byte) (Error, error) {
+	msg, _, err := readString(p)
+	return Error{Msg: msg}, err
+}
+
+// Prepared is the PREPARED reply: the session-local id of a prepared
+// query and the rule-base generation it was compiled at.
+type Prepared struct {
+	ID         uint64
+	Generation uint64
+}
+
+// Encode renders the payload.
+func (m Prepared) Encode() []byte {
+	buf := binary.AppendUvarint(nil, m.ID)
+	return binary.AppendUvarint(buf, m.Generation)
+}
+
+// DecodePrepared parses a PREPARED payload.
+func DecodePrepared(p []byte) (Prepared, error) {
+	id, rest, err := readUvarint(p)
+	if err != nil {
+		return Prepared{}, err
+	}
+	gen, _, err := readUvarint(rest)
+	return Prepared{ID: id, Generation: gen}, err
+}
+
+// Retracted is the RETRACTED reply: how many facts were removed.
+type Retracted struct{ N int64 }
+
+// Encode renders the payload.
+func (m Retracted) Encode() []byte { return binary.AppendVarint(nil, m.N) }
+
+// DecodeRetracted parses a RETRACTED payload.
+func DecodeRetracted(p []byte) (Retracted, error) {
+	n, _, err := readVarint(p)
+	return Retracted{N: n}, err
+}
+
+// Result is the RESULT reply: the answer relation plus evaluation
+// provenance.
+type Result struct {
+	// Vars names the answer columns.
+	Vars []string
+	// Rows are the answer tuples.
+	Rows []rel.Tuple
+	// Optimized reports whether magic sets were applied.
+	Optimized bool
+	// Strategy is the LFP strategy used ("semi-naive" or "naive").
+	Strategy string
+}
+
+// Encode renders the payload.
+func (m Result) Encode() []byte {
+	var flags byte
+	if m.Optimized {
+		flags |= 1
+	}
+	buf := []byte{flags}
+	buf = appendString(buf, m.Strategy)
+	buf = binary.AppendUvarint(buf, uint64(len(m.Vars)))
+	for _, v := range m.Vars {
+		buf = appendString(buf, v)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(m.Rows)))
+	for _, tu := range m.Rows {
+		buf = binary.AppendUvarint(buf, uint64(len(tu)))
+		for _, v := range tu {
+			buf = appendValue(buf, v)
+		}
+	}
+	return buf
+}
+
+// DecodeResult parses a RESULT payload.
+func DecodeResult(p []byte) (*Result, error) {
+	if len(p) < 1 {
+		return nil, fmt.Errorf("wire: empty RESULT payload")
+	}
+	m := &Result{Optimized: p[0]&1 != 0}
+	var err error
+	buf := p[1:]
+	if m.Strategy, buf, err = readString(buf); err != nil {
+		return nil, err
+	}
+	nvars, buf, err := readUvarint(buf)
+	if err != nil {
+		return nil, err
+	}
+	if nvars > uint64(len(buf)) {
+		return nil, fmt.Errorf("wire: corrupt RESULT var count")
+	}
+	m.Vars = make([]string, nvars)
+	for i := range m.Vars {
+		if m.Vars[i], buf, err = readString(buf); err != nil {
+			return nil, err
+		}
+	}
+	nrows, buf, err := readUvarint(buf)
+	if err != nil {
+		return nil, err
+	}
+	if nrows > uint64(len(buf))+1 {
+		return nil, fmt.Errorf("wire: corrupt RESULT row count")
+	}
+	m.Rows = make([]rel.Tuple, 0, nrows)
+	for i := uint64(0); i < nrows; i++ {
+		arity, rest, err := readUvarint(buf)
+		if err != nil {
+			return nil, err
+		}
+		buf = rest
+		if arity > uint64(len(buf))+1 {
+			return nil, fmt.Errorf("wire: corrupt RESULT arity")
+		}
+		tu := make(rel.Tuple, arity)
+		for j := range tu {
+			if tu[j], buf, err = readValue(buf); err != nil {
+				return nil, err
+			}
+		}
+		m.Rows = append(m.Rows, tu)
+	}
+	return m, nil
+}
+
+// ServerStats is the STATSREPLY payload: a snapshot of server-side
+// counters.
+type ServerStats struct {
+	// ActiveSessions is the number of currently connected sessions;
+	// TotalSessions counts every session ever accepted.
+	ActiveSessions int64
+	TotalSessions  int64
+	// InFlight is the number of requests being served right now.
+	InFlight int64
+	// Requests and Errors count completed requests and error replies.
+	Requests int64
+	Errors   int64
+	// BytesIn and BytesOut count wire traffic, frames included.
+	BytesIn  int64
+	BytesOut int64
+	// P50 and P99 are request-latency percentiles over a recent window.
+	P50 time.Duration
+	P99 time.Duration
+	// Generation is the rule-base generation at snapshot time.
+	Generation uint64
+}
+
+// Encode renders the payload.
+func (m ServerStats) Encode() []byte {
+	var buf []byte
+	for _, v := range []int64{
+		m.ActiveSessions, m.TotalSessions, m.InFlight, m.Requests,
+		m.Errors, m.BytesIn, m.BytesOut, int64(m.P50), int64(m.P99),
+	} {
+		buf = binary.AppendVarint(buf, v)
+	}
+	return binary.AppendUvarint(buf, m.Generation)
+}
+
+// DecodeServerStats parses a STATSREPLY payload.
+func DecodeServerStats(p []byte) (ServerStats, error) {
+	var m ServerStats
+	var err error
+	buf := p
+	fields := []*int64{
+		&m.ActiveSessions, &m.TotalSessions, &m.InFlight, &m.Requests,
+		&m.Errors, &m.BytesIn, &m.BytesOut, (*int64)(&m.P50), (*int64)(&m.P99),
+	}
+	for _, f := range fields {
+		if *f, buf, err = readVarint(buf); err != nil {
+			return ServerStats{}, err
+		}
+	}
+	m.Generation, _, err = readUvarint(buf)
+	return m, err
+}

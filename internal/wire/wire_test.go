@@ -1,0 +1,166 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"dkbms/internal/rel"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello")
+	wn, err := WriteFrame(&buf, MsgQuery, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wn != 5+len(payload) {
+		t.Fatalf("wrote %d bytes, want %d", wn, 5+len(payload))
+	}
+	ty, got, rn, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ty != MsgQuery || string(got) != "hello" || rn != wn {
+		t.Fatalf("read %v %q (%d bytes)", ty, got, rn)
+	}
+	// Clean EOF between frames is io.EOF, undecorated.
+	if _, _, _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("EOF read: %v", err)
+	}
+}
+
+func TestFrameLimit(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteFrame(&buf, MsgLoad, make([]byte, MaxFrameSize+1)); err == nil {
+		t.Fatal("oversized write accepted")
+	}
+	// An adversarial header with a huge length must be refused without
+	// allocating the payload.
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, byte(MsgLoad)})
+	if _, _, _, err := ReadFrame(&buf); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized read: %v", err)
+	}
+}
+
+func TestTruncatedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteFrame(&buf, MsgPing, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-2]
+	_, _, _, err := ReadFrame(bytes.NewReader(trunc))
+	if err == nil || err == io.EOF {
+		t.Fatalf("truncated read: %v", err)
+	}
+}
+
+func TestMessageRoundTrips(t *testing.T) {
+	opts := QueryOpts{Naive: true, Parallel: true}
+
+	q, err := DecodeQuery(Query{Src: "?- a(X).", Opts: opts}.Encode())
+	if err != nil || q.Src != "?- a(X)." || q.Opts != opts {
+		t.Fatalf("query round trip: %+v %v", q, err)
+	}
+	p, err := DecodePrepare(Prepare{Src: "?- b(Y).", Opts: opts}.Encode())
+	if err != nil || p.Src != "?- b(Y)." || p.Opts != opts {
+		t.Fatalf("prepare round trip: %+v %v", p, err)
+	}
+	l, err := DecodeLoad(Load{Src: "a(1)."}.Encode())
+	if err != nil || l.Src != "a(1)." {
+		t.Fatalf("load round trip: %+v %v", l, err)
+	}
+	e, err := DecodeExecP(ExecP{ID: 42}.Encode())
+	if err != nil || e.ID != 42 {
+		t.Fatalf("execp round trip: %+v %v", e, err)
+	}
+	r, err := DecodeRetract(Retract{Pattern: "a(1, X)"}.Encode())
+	if err != nil || r.Pattern != "a(1, X)" {
+		t.Fatalf("retract round trip: %+v %v", r, err)
+	}
+	rd, err := DecodeRetracted(Retracted{N: -3}.Encode())
+	if err != nil || rd.N != -3 {
+		t.Fatalf("retracted round trip: %+v %v", rd, err)
+	}
+	ee, err := DecodeError(Error{Msg: "boom"}.Encode())
+	if err != nil || ee.Msg != "boom" {
+		t.Fatalf("error round trip: %+v %v", ee, err)
+	}
+	pr, err := DecodePrepared(Prepared{ID: 7, Generation: 9}.Encode())
+	if err != nil || pr.ID != 7 || pr.Generation != 9 {
+		t.Fatalf("prepared round trip: %+v %v", pr, err)
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	in := Result{
+		Vars: []string{"X", "Y"},
+		Rows: []rel.Tuple{
+			{rel.NewString("john"), rel.NewInt(1)},
+			{rel.NewString("o'hara"), rel.NewInt(-5)},
+		},
+		Optimized: true,
+		Strategy:  "semi-naive",
+	}
+	out, err := DecodeResult(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Optimized != in.Optimized || out.Strategy != in.Strategy {
+		t.Fatalf("flags: %+v", out)
+	}
+	if len(out.Vars) != 2 || out.Vars[0] != "X" || out.Vars[1] != "Y" {
+		t.Fatalf("vars: %v", out.Vars)
+	}
+	if len(out.Rows) != 2 {
+		t.Fatalf("rows: %v", out.Rows)
+	}
+	for i := range in.Rows {
+		for j := range in.Rows[i] {
+			if !rel.Equal(in.Rows[i][j], out.Rows[i][j]) {
+				t.Fatalf("row %d col %d: %v != %v", i, j, in.Rows[i][j], out.Rows[i][j])
+			}
+		}
+	}
+	// Empty result.
+	empty, err := DecodeResult(Result{Strategy: "naive"}.Encode())
+	if err != nil || len(empty.Rows) != 0 || len(empty.Vars) != 0 {
+		t.Fatalf("empty result: %+v %v", empty, err)
+	}
+}
+
+func TestServerStatsRoundTrip(t *testing.T) {
+	in := ServerStats{
+		ActiveSessions: 3, TotalSessions: 100, InFlight: 2,
+		Requests: 12345, Errors: 6, BytesIn: 1 << 30, BytesOut: 1 << 31,
+		P50: 150 * time.Microsecond, P99: 3 * time.Millisecond,
+		Generation: 17,
+	}
+	out, err := DecodeServerStats(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("got %+v, want %+v", out, in)
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	// None of the decoders may panic or succeed on truncated payloads.
+	corrupt := [][]byte{nil, {}, {0xFF}, {0x05, 'a'}}
+	for _, p := range corrupt {
+		if _, err := DecodeLoad(p); err == nil && len(p) != 0 {
+			// empty string payload is legal for Load only when complete
+			t.Errorf("DecodeLoad(%v) accepted", p)
+		}
+		if _, err := DecodeResult(p); err == nil {
+			t.Errorf("DecodeResult(%v) accepted", p)
+		}
+		if _, err := DecodeServerStats(p); err == nil {
+			t.Errorf("DecodeServerStats(%v) accepted", p)
+		}
+	}
+}

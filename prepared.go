@@ -26,6 +26,9 @@ type Prepared struct {
 
 // Prepare compiles a query once for repeated execution.
 func (tb *Testbed) Prepare(src string, opts *QueryOptions) (*Prepared, error) {
+	if tb.closed {
+		return nil, ErrClosed
+	}
 	q, err := dlog.ParseQuery(src)
 	if err != nil {
 		return nil, err
@@ -41,8 +44,12 @@ func (tb *Testbed) Prepare(src string, opts *QueryOptions) (*Prepared, error) {
 }
 
 // Run executes the prepared query, recompiling first if the rule base
-// changed since the last compilation.
+// changed since the last compilation. Running against a closed testbed
+// returns ErrClosed.
 func (p *Prepared) Run() (*QueryResult, error) {
+	if p.tb.closed {
+		return nil, ErrClosed
+	}
 	if err := p.ensure(); err != nil {
 		return nil, err
 	}

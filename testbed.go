@@ -30,6 +30,7 @@
 package dkbms
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -42,13 +43,18 @@ import (
 	"dkbms/internal/stored"
 )
 
+// ErrClosed is returned by every Testbed (and Prepared) operation
+// attempted after Close.
+var ErrClosed = errors.New("dkbms: testbed is closed")
+
 // Testbed is one D/KBMS instance: a workspace D/KB, a DBMS, and a
 // stored D/KB inside that DBMS.
 //
 // A Testbed is not safe for concurrent use; callers running queries
-// from multiple goroutines must serialize access. (QueryOptions.
-// Parallel is internal parallelism within one evaluation and does not
-// change this.)
+// from multiple goroutines must serialize access or wrap the testbed in
+// a ConcurrentTestbed, which lets read-only queries run concurrently
+// while serializing updates. (QueryOptions.Parallel is internal
+// parallelism within one evaluation and does not change this.)
 type Testbed struct {
 	ws *core.Workspace
 	db *db.DB
@@ -56,6 +62,8 @@ type Testbed struct {
 	// ruleGen counts rule-base changes; prepared queries recompile when
 	// it moves past the generation they were compiled at.
 	ruleGen uint64
+	// closed is set by Close; every later operation returns ErrClosed.
+	closed bool
 }
 
 // NewMemory opens a testbed over an in-memory database.
@@ -83,8 +91,18 @@ func Open(path string) (*Testbed, error) {
 	return &Testbed{ws: core.NewWorkspace(), db: d, st: st}, nil
 }
 
-// Close shuts the testbed down, flushing the database.
-func (tb *Testbed) Close() error { return tb.db.Close() }
+// Close shuts the testbed down, flushing the database. A second Close,
+// like any other operation on a closed testbed, returns ErrClosed.
+func (tb *Testbed) Close() error {
+	if tb.closed {
+		return ErrClosed
+	}
+	tb.closed = true
+	return tb.db.Close()
+}
+
+// Closed reports whether Close has been called.
+func (tb *Testbed) Closed() bool { return tb.closed }
 
 // DB exposes the underlying DBMS (for direct SQL, ad-hoc inspection and
 // the benchmark harness).
@@ -101,6 +119,9 @@ func (tb *Testbed) Workspace() *core.Workspace { return tb.ws }
 // rules stay in the workspace until Update commits them to the stored
 // D/KB. Queries are not allowed in Load input.
 func (tb *Testbed) Load(src string) error {
+	if tb.closed {
+		return ErrClosed
+	}
 	prog, err := dlog.ParseProgram(src)
 	if err != nil {
 		return err
@@ -147,6 +168,9 @@ func (tb *Testbed) Assert(fact dlog.Atom) error {
 // AssertTuples bulk-loads facts for one predicate (the workload
 // generators and the loader use this).
 func (tb *Testbed) AssertTuples(pred string, tuples []rel.Tuple) error {
+	if tb.closed {
+		return ErrClosed
+	}
 	// Creating a new fact relation can change compiled programs (mixed
 	// rules/facts normalization), so it bumps the rule generation;
 	// appending to an existing relation does not.
@@ -159,7 +183,65 @@ func (tb *Testbed) AssertTuples(pred string, tuples []rel.Tuple) error {
 // CreateFactIndex builds a B+tree index on the given columns (0-based)
 // of a fact relation.
 func (tb *Testbed) CreateFactIndex(pred string, cols ...int) error {
+	if tb.closed {
+		return ErrClosed
+	}
 	return tb.st.CreateFactIndex(pred, cols)
+}
+
+// Retract deletes stored facts matching the pattern atom: constant
+// arguments must match exactly, variable arguments match anything
+// (retract(parent(john, X)) removes every parent fact about john). It
+// returns the number of facts removed; retracting from a predicate with
+// no fact relation removes nothing. Rules are not retractable — they
+// live in the workspace until committed, and the stored rule base is
+// append-only as in the paper.
+func (tb *Testbed) Retract(pattern dlog.Atom) (int, error) {
+	if tb.closed {
+		return 0, ErrClosed
+	}
+	table := BaseTableName(pattern.Pred)
+	t := tb.db.Catalog().Table(table)
+	if t == nil {
+		return 0, nil
+	}
+	if t.Schema.Len() != pattern.Arity() {
+		return 0, fmt.Errorf("dkbms: retract %s: predicate has arity %d, pattern has %d",
+			pattern.String(), t.Schema.Len(), pattern.Arity())
+	}
+	var where []string
+	for i, a := range pattern.Args {
+		if a.IsVar() {
+			continue
+		}
+		where = append(where, fmt.Sprintf("c%d = %s", i, a.Val.SQL()))
+	}
+	stmt := "DELETE FROM " + table
+	if len(where) > 0 {
+		stmt += " WHERE " + strings.Join(where, " AND ")
+	}
+	before := t.Rows()
+	if err := tb.db.Exec(stmt); err != nil {
+		return 0, err
+	}
+	return before - t.Rows(), nil
+}
+
+// RetractSrc is Retract for a source-syntax pattern ("parent(john, X)."
+// — the trailing period optional).
+func (tb *Testbed) RetractSrc(src string) (int, error) {
+	src = strings.TrimSpace(src)
+	if !strings.HasSuffix(src, ".") {
+		src += "."
+	}
+	c, err := dlog.ParseClause(src)
+	if err != nil {
+		return 0, err
+	}
+	if len(c.Body) > 0 {
+		return 0, fmt.Errorf("dkbms: retract takes a fact pattern, not a rule")
+	}
+	return tb.Retract(c.Head)
 }
 
 // QueryOptions tune query compilation and evaluation.
@@ -220,6 +302,9 @@ func (tb *Testbed) RunQuery(q dlog.Query, opts *QueryOptions) (*QueryResult, err
 // evaluation program (used by benchmarks that measure t_c and t_e
 // separately, and by the precompiled-query cache).
 func (tb *Testbed) Compile(q dlog.Query, opts *QueryOptions) (*core.Compiled, error) {
+	if tb.closed {
+		return nil, ErrClosed
+	}
 	if opts == nil {
 		opts = &QueryOptions{}
 	}
@@ -233,6 +318,9 @@ func (tb *Testbed) Compile(q dlog.Query, opts *QueryOptions) (*core.Compiled, er
 
 // Evaluate runs a compiled program.
 func (tb *Testbed) Evaluate(compiled *core.Compiled, opts *QueryOptions) (*QueryResult, error) {
+	if tb.closed {
+		return nil, ErrClosed
+	}
 	if opts == nil {
 		opts = &QueryOptions{}
 	}
@@ -261,6 +349,9 @@ func (tb *Testbed) Evaluate(compiled *core.Compiled, opts *QueryOptions) (*Query
 // incrementally maintaining the compiled rule storage structures, and
 // clears the workspace. It returns the update-time breakdown.
 func (tb *Testbed) Update() (stored.UpdateStats, error) {
+	if tb.closed {
+		return stored.UpdateStats{}, ErrClosed
+	}
 	st, err := tb.st.Update(tb.ws.Rules())
 	if err != nil {
 		return st, err
