@@ -10,12 +10,14 @@
 //	dkbbench -quick          # shrunken inputs (seconds, for smoke runs)
 //	dkbbench -list           # list experiment IDs
 //	dkbbench -reps 5         # repetitions per measured point
+//	dkbbench -json DIR       # additionally write BENCH_<exp>.json per experiment
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -24,10 +26,11 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
-		quick = flag.Bool("quick", false, "shrunken inputs for a fast smoke run")
-		reps  = flag.Int("reps", 3, "repetitions per measured point (minimum reported)")
-		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		exp     = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		quick   = flag.Bool("quick", false, "shrunken inputs for a fast smoke run")
+		reps    = flag.Int("reps", 3, "repetitions per measured point (minimum reported)")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		jsonDir = flag.String("json", "", "directory to write machine-readable BENCH_<exp>.json results into (empty: don't)")
 	)
 	flag.Parse()
 
@@ -64,7 +67,23 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dkbbench: %s: %v\n", r.ID, err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start)
 		fmt.Print(rep.Format())
-		fmt.Printf("(%s in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s in %v)\n\n", r.ID, elapsed.Round(time.Millisecond))
+		if *jsonDir != "" {
+			out, err := rep.JSON(cfg, elapsed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dkbbench: %s: render json: %v\n", r.ID, err)
+				os.Exit(1)
+			}
+			// Experiment IDs use dashes; the artifact names use
+			// underscores (BENCH_server_scaling.json).
+			path := filepath.Join(*jsonDir, "BENCH_"+strings.ReplaceAll(rep.ID, "-", "_")+".json")
+			if err := os.WriteFile(path, out, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "dkbbench: %s: %v\n", r.ID, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
 	}
 }

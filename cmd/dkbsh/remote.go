@@ -107,6 +107,13 @@ func (s *remoteShell) handle(line string) error {
 			st.ActiveSessions, st.TotalSessions, st.InFlight)
 		fmt.Fprintf(s.out, "requests %d (%d errors), p50 %v, p99 %v\n",
 			st.Requests, st.Errors, st.P50, st.P99)
+		planLookups := st.PlanResultHits + st.PlanHits + st.PlanMisses
+		fmt.Fprintf(s.out, "plan cache: %d result hits, %d plan hits, %d misses (hit rate %s)\n",
+			st.PlanResultHits, st.PlanHits, st.PlanMisses,
+			rate(st.PlanResultHits+st.PlanHits, planLookups))
+		fmt.Fprintf(s.out, "buffer pool: %d hits, %d misses, %d evictions (hit rate %s)\n",
+			st.PoolHits, st.PoolMisses, st.PoolEvictions,
+			rate(st.PoolHits, st.PoolHits+st.PoolMisses))
 		fmt.Fprintf(s.out, "traffic in %d B, out %d B; rule-base generation %d\n",
 			st.BytesIn, st.BytesOut, st.Generation)
 		return nil
@@ -124,6 +131,14 @@ func (s *remoteShell) handle(line string) error {
 	default:
 		return s.c.Load(line)
 	}
+}
+
+// rate formats part/whole as a percentage, "n/a" when nothing counted.
+func rate(part, whole int64) string {
+	if whole <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.0f%%", 100*float64(part)/float64(whole))
 }
 
 func (s *remoteShell) printResult(res *wire.Result) {

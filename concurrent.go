@@ -4,6 +4,8 @@ import (
 	"sync"
 
 	"dkbms/internal/dlog"
+	"dkbms/internal/rel"
+	"dkbms/internal/storage"
 	"dkbms/internal/stored"
 )
 
@@ -20,16 +22,30 @@ import (
 //   - Load, Assert, Retract, Update and Close take the write lock and
 //     run exclusively, so a query never observes a half-applied update.
 //
+// Query additionally consults a shared plan cache: compiled evaluation
+// programs are keyed by (query text, options) and reused across sessions
+// while the rule-base generation stands still, and a query's answer is
+// memoized until any rule or fact changes — so a hot query repeated by
+// many sessions skips the whole parse→typecheck→magic→codegen pipeline
+// (and, when the D/KB is unchanged, the LFP evaluation too).
+//
 // The zero value is not usable; wrap an open Testbed with NewConcurrent.
 type ConcurrentTestbed struct {
-	mu sync.RWMutex
-	tb *Testbed
+	mu    sync.RWMutex
+	tb    *Testbed
+	plans *planCache
 }
 
 // NewConcurrent wraps a testbed for concurrent use. The caller must not
 // use the wrapped testbed directly afterwards.
 func NewConcurrent(tb *Testbed) *ConcurrentTestbed {
-	return &ConcurrentTestbed{tb: tb}
+	return &ConcurrentTestbed{tb: tb, plans: newPlanCache(DefaultPlanCacheEntries)}
+}
+
+// NewConcurrentWithCache is NewConcurrent with an explicit plan-cache
+// capacity (entries; <= 0 selects DefaultPlanCacheEntries).
+func NewConcurrentWithCache(tb *Testbed, planEntries int) *ConcurrentTestbed {
+	return &ConcurrentTestbed{tb: tb, plans: newPlanCache(planEntries)}
 }
 
 // Testbed returns the wrapped testbed for single-goroutine phases
@@ -48,43 +64,109 @@ func (c *ConcurrentTestbed) Close() error {
 func (c *ConcurrentTestbed) Load(src string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.tb.Load(src)
+	err := c.tb.Load(src)
+	c.invalidate()
+	return err
 }
 
 // Assert adds one ground fact exclusively.
 func (c *ConcurrentTestbed) Assert(fact dlog.Atom) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.tb.Assert(fact)
+	err := c.tb.Assert(fact)
+	c.invalidate()
+	return err
 }
 
 // Retract deletes matching facts exclusively.
 func (c *ConcurrentTestbed) Retract(pattern dlog.Atom) (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.tb.Retract(pattern)
+	n, err := c.tb.Retract(pattern)
+	c.invalidate()
+	return n, err
 }
 
 // RetractSrc is Retract for a source-syntax pattern.
 func (c *ConcurrentTestbed) RetractSrc(src string) (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.tb.RetractSrc(src)
+	n, err := c.tb.RetractSrc(src)
+	c.invalidate()
+	return n, err
 }
 
 // Update commits workspace rules to the stored D/KB exclusively.
 func (c *ConcurrentTestbed) Update() (stored.UpdateStats, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.tb.Update()
+	st, err := c.tb.Update()
+	c.invalidate()
+	return st, err
 }
 
-// Query compiles and evaluates a query under the read lock, concurrently
-// with other queries.
+// invalidate reconciles the plan cache with the generations after an
+// exclusive update. Caller holds the write lock. Even a partially failed
+// update may have moved a generation, so this runs on every exit path.
+func (c *ConcurrentTestbed) invalidate() {
+	c.plans.purgeStale(c.tb.ruleGen, c.tb.dataGen)
+}
+
+// Query evaluates a query under the read lock, concurrently with other
+// queries, consulting the shared plan cache first: an unchanged D/KB
+// serves repeated identical queries from the memoized answer; a fact
+// change (LOAD of facts, RETRACT) keeps the compiled program but
+// re-evaluates; a rule change recompiles from scratch.
 func (c *ConcurrentTestbed) Query(src string, opts *QueryOptions) (*QueryResult, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return c.tb.Query(src, opts)
+	if opts == nil {
+		opts = &QueryOptions{}
+	}
+	key := planKey{src: src, opts: *opts}
+	ruleGen, dataGen := c.tb.ruleGen, c.tb.dataGen
+	compiled, cached := c.plans.lookup(key, ruleGen, dataGen)
+	if cached != nil {
+		return shareResult(cached), nil
+	}
+	if compiled == nil {
+		q, err := dlog.ParseQuery(src)
+		if err != nil {
+			return nil, err
+		}
+		if compiled, err = c.tb.Compile(q, opts); err != nil {
+			return nil, err
+		}
+	}
+	res, err := c.tb.Evaluate(compiled, opts)
+	if err != nil {
+		return nil, err
+	}
+	c.plans.store(key, ruleGen, compiled, dataGen, res)
+	return shareResult(res), nil
+}
+
+// shareResult returns a caller-private view of a cached result: the
+// struct and row slice are copied so callers may append to or reorder
+// Rows, while the tuples themselves (treated as immutable everywhere)
+// stay shared.
+func shareResult(res *QueryResult) *QueryResult {
+	out := *res
+	out.Rows = append([]rel.Tuple(nil), res.Rows...)
+	return &out
+}
+
+// PlanStats snapshots the shared plan cache's counters.
+func (c *ConcurrentTestbed) PlanStats() PlanCacheStats {
+	return c.plans.snapshot()
+}
+
+// PagerStats snapshots the underlying buffer pool's counters, aggregated
+// across its shards.
+func (c *ConcurrentTestbed) PagerStats() storage.PagerStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tb.db.PagerStats()
 }
 
 // RunQuery is Query for a pre-parsed query.

@@ -7,7 +7,9 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -68,6 +70,59 @@ func (r *Report) Format() string {
 		fmt.Fprintf(&b, "note: %s\n", n)
 	}
 	return b.String()
+}
+
+// JSONReport is the machine-readable form of a finished experiment,
+// written by dkbbench as BENCH_<id>.json so the perf trajectory can be
+// tracked across commits. Rows carry the per-point measurements exactly
+// as the text table does; the environment block records what hardware
+// and settings produced them.
+type JSONReport struct {
+	ID    string     `json:"id"`
+	Title string     `json:"title"`
+	Paper string     `json:"paper,omitempty"`
+	Cols  []string   `json:"cols"`
+	Rows  [][]string `json:"rows"`
+	Notes []string   `json:"notes,omitempty"`
+
+	// Environment and run parameters.
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Quick      bool   `json:"quick"`
+	Reps       int    `json:"reps"`
+	// ElapsedMS is the wall time of the whole experiment run.
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// Timestamp is the run's completion time (RFC 3339, UTC).
+	Timestamp string `json:"timestamp"`
+}
+
+// JSON renders the report with its run environment as indented JSON.
+func (r *Report) JSON(cfg Config, elapsed time.Duration) ([]byte, error) {
+	jr := JSONReport{
+		ID:         r.ID,
+		Title:      r.Title,
+		Paper:      r.Paper,
+		Cols:       r.Cols,
+		Rows:       r.Rows,
+		Notes:      r.Notes,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      cfg.Quick,
+		Reps:       cfg.reps(),
+		ElapsedMS:  float64(elapsed.Microseconds()) / 1000,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+	out, err := json.MarshalIndent(jr, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
 }
 
 // Config scales the experiments. Full (the default from dkbbench)

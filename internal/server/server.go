@@ -176,8 +176,11 @@ func (s *Server) beginDrain() {
 }
 
 // Stats returns a snapshot of the server counters, including request
-// latency percentiles over the recent window.
-func (s *Server) Stats() Stats { return s.stats.snapshot(s.tb.Generation()) }
+// latency percentiles over the recent window, the shared plan cache's
+// hit counters and the buffer pool's aggregated shard counters.
+func (s *Server) Stats() Stats {
+	return s.stats.snapshot(s.tb.Generation(), s.tb.PlanStats(), s.tb.PagerStats())
+}
 
 // Logf is a ready-made Options.Logf writing through the standard logger.
 func Logf(format string, args ...any) { log.Printf(format, args...) }

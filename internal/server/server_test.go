@@ -153,6 +153,14 @@ func TestServerBasic(t *testing.T) {
 		t.Fatalf("connection unusable after server-side error: %v", err)
 	}
 
+	// Repeated identical QUERYs on a standing D/KB hit the shared plan
+	// cache, and the reply surfaces it along with buffer-pool traffic.
+	for i := 0; i < 3; i++ {
+		if _, err := c.Query("?- ancestor(c0, X).", wire.QueryOpts{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
 	st, err := c.Stats()
 	if err != nil {
 		t.Fatal(err)
@@ -162,6 +170,12 @@ func TestServerBasic(t *testing.T) {
 	}
 	if st.BytesIn == 0 || st.BytesOut == 0 {
 		t.Fatalf("traffic counters empty: %+v", st)
+	}
+	if st.PlanResultHits < 2 || st.PlanMisses == 0 {
+		t.Fatalf("plan-cache counters missing from stats: %+v", st)
+	}
+	if st.PoolHits == 0 {
+		t.Fatalf("buffer-pool counters missing from stats: %+v", st)
 	}
 }
 

@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dkbms"
+	"dkbms/internal/storage"
 	"dkbms/internal/wire"
 )
 
@@ -67,7 +69,7 @@ func (c *counters) percentiles() (p50, p99 time.Duration) {
 }
 
 // snapshot assembles the wire-form stats.
-func (c *counters) snapshot(generation uint64) Stats {
+func (c *counters) snapshot(generation uint64, plan dkbms.PlanCacheStats, pool storage.PagerStats) Stats {
 	p50, p99 := c.percentiles()
 	return Stats{
 		ActiveSessions: c.activeSessions.Load(),
@@ -79,6 +81,12 @@ func (c *counters) snapshot(generation uint64) Stats {
 		BytesOut:       c.bytesOut.Load(),
 		P50:            p50,
 		P99:            p99,
+		PlanResultHits: plan.ResultHits,
+		PlanHits:       plan.PlanHits,
+		PlanMisses:     plan.Misses,
+		PoolHits:       pool.Hits,
+		PoolMisses:     pool.Misses,
+		PoolEvictions:  pool.Evictions,
 		Generation:     generation,
 	}
 }

@@ -1,14 +1,16 @@
 // Package storage implements the testbed's page-based storage engine:
 // fixed-size slotted pages, heap files addressed by record ID, and a
-// buffer pool with LRU eviction. The paper's DBMS layer is a commercial
-// relational system; this package supplies the equivalent storage
-// substrate so that the engine above it has realistic cost structure
-// (page-at-a-time I/O, slot indirection, free-space management).
+// sharded buffer pool with per-shard LRU eviction. The paper's DBMS
+// layer is a commercial relational system; this package supplies the
+// equivalent storage substrate so that the engine above it has realistic
+// cost structure (page-at-a-time I/O, slot indirection, free-space
+// management).
 package storage
 
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 )
 
 // PageSize is the size of every page in bytes. 4 KiB matches common
@@ -40,12 +42,18 @@ const (
 )
 
 // Page is a fixed-size byte buffer with slotted-record accessors. It is
-// not safe for concurrent mutation; the buffer pool serializes access.
+// not safe for concurrent mutation: the buffer pool no longer serializes
+// page access behind one latch — concurrent readers may share a pinned
+// page, but anyone mutating a page must hold a pin and be the only
+// writer (the engine's upper layers guarantee this: updates run
+// exclusively, and concurrent queries only write session-private temp
+// tables). The pin count is atomic so Unpin is lock-free and eviction
+// can test it under the owning shard's latch alone.
 type Page struct {
 	ID    PageID
 	Data  [PageSize]byte
 	Dirty bool
-	pins  int
+	pins  atomic.Int32
 }
 
 // Init formats the page as an empty slotted page.

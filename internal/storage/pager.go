@@ -5,35 +5,65 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 )
 
 // Pager provides page-granular access to a backing store — either a file
-// on disk or an anonymous in-memory store — through a buffer pool with
-// LRU eviction. All tables and indexes of one database share one Pager
+// on disk or an anonymous in-memory store — through a sharded buffer
+// pool. All tables and indexes of one database share one Pager
 // (single-file database layout).
+//
+// Concurrency model: pages are striped across lock-striped shards by
+// PageID, each shard owning its own frame table, LRU list and traffic
+// counters, so concurrent Fetch/Unpin of pages in different shards never
+// contend on a common latch. Pin counts are atomics: Unpin is lock-free,
+// and eviction (which runs under the owning shard's latch) only removes
+// frames whose pin count is zero. Page growth (Allocate) serializes on a
+// dedicated allocation latch; free-list transactions serialize on flMu
+// as before.
 type Pager struct {
-	mu        sync.Mutex
-	file      *os.File // nil for in-memory databases
-	mem       [][]byte // in-memory backing store when file == nil
-	pageCount PageID
-	hasSuper  bool // page 0 is a superblock (set by EnsureSuperblock)
+	file *os.File // nil for in-memory databases
+
+	// mem is the in-memory backing store when file == nil. The outer
+	// slice is guarded by memMu (Allocate appends may relocate it);
+	// the inner page buffers are only touched by readPage/writePage
+	// under the owning shard's latch.
+	mem   [][]byte
+	memMu sync.RWMutex
+
+	// pageCount is read lock-free by Fetch's bounds check; Allocate
+	// publishes it only after the backing store has grown.
+	pageCount atomic.Uint32
+
+	// allocMu serializes store growth (file truncate / mem append) and
+	// page-ID assignment.
+	allocMu sync.Mutex
+
+	hasSuper atomic.Bool // page 0 is a superblock (set by EnsureSuperblock)
 
 	// flMu serializes whole free-list transactions (pop in
 	// AllocateReusable, push in FreeChain), which span several page
-	// fetches and so cannot rely on mu alone. Always acquired before mu.
+	// fetches and so cannot rely on the shard latches alone. Always
+	// acquired before any shard latch.
 	flMu sync.Mutex
 
+	shards []shard
+	mask   uint32 // len(shards)-1; shards is a power of two
+}
+
+// shard is one stripe of the buffer pool: a frame table with its own
+// latch, LRU list, capacity share and counters.
+type shard struct {
+	mu       sync.Mutex
 	capacity int
 	frames   map[PageID]*frame
 	lruHead  *frame // most recently used
 	lruTail  *frame // least recently used
-
-	// stats counts buffer-pool traffic (guarded by mu); read it through
-	// Stats().
-	stats PagerStats
+	stats    PagerStats
 }
 
-// PagerStats are cumulative counters for buffer-pool activity.
+// PagerStats are cumulative counters for buffer-pool activity,
+// aggregated across shards by Stats().
 type PagerStats struct {
 	Hits      int64
 	Misses    int64
@@ -41,13 +71,21 @@ type PagerStats struct {
 	Writes    int64
 }
 
-// Stats returns a consistent snapshot of the buffer-pool counters; used
-// by tests and the bench harness to confirm the engine touches pages as
-// expected. Safe to call while other goroutines use the pager.
+// Stats returns a snapshot of the buffer-pool counters summed over all
+// shards. Safe to call while other goroutines use the pager; the sum is
+// not a single atomic cut across shards, which is fine for monitoring.
 func (p *Pager) Stats() PagerStats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	var out PagerStats
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		out.Hits += sh.stats.Hits
+		out.Misses += sh.stats.Misses
+		out.Evictions += sh.stats.Evictions
+		out.Writes += sh.stats.Writes
+		sh.mu.Unlock()
+	}
+	return out
 }
 
 type frame struct {
@@ -57,6 +95,15 @@ type frame struct {
 
 // DefaultPoolPages is the default buffer-pool capacity (pages).
 const DefaultPoolPages = 1024
+
+// maxShards caps the stripe count; beyond ~16 ways the shard latches
+// stop being the bottleneck and the map/LRU bookkeeping dominates.
+const maxShards = 16
+
+// minShardPages is the smallest per-shard capacity worth striping for:
+// smaller pools stay single-sharded so tiny test pools keep a usable
+// LRU instead of thrashing one-frame stripes.
+const minShardPages = 4
 
 // OpenPager opens (creating if necessary) a file-backed pager. poolPages
 // of 0 selects DefaultPoolPages.
@@ -76,7 +123,7 @@ func OpenPager(path string, poolPages int) (*Pager, error) {
 	}
 	p := newPager(poolPages)
 	p.file = f
-	p.pageCount = PageID(st.Size() / PageSize)
+	p.pageCount.Store(uint32(st.Size() / PageSize))
 	return p, nil
 }
 
@@ -91,105 +138,139 @@ func newPager(poolPages int) *Pager {
 	if poolPages <= 0 {
 		poolPages = DefaultPoolPages
 	}
-	return &Pager{
-		capacity: poolPages,
-		frames:   make(map[PageID]*frame, poolPages),
+	n := 1
+	for n < maxShards && (n*2)*minShardPages <= poolPages {
+		n *= 2
 	}
+	p := &Pager{shards: make([]shard, n), mask: uint32(n - 1)}
+	base, extra := poolPages/n, poolPages%n
+	for i := range p.shards {
+		cap := base
+		if i < extra {
+			cap++
+		}
+		p.shards[i] = shard{
+			capacity: cap,
+			frames:   make(map[PageID]*frame, cap),
+		}
+	}
+	return p
 }
+
+// shardOf returns the stripe owning the page.
+func (p *Pager) shardOf(id PageID) *shard {
+	return &p.shards[uint32(id)&p.mask]
+}
+
+// Shards returns the stripe count (diagnostics and tests).
+func (p *Pager) Shards() int { return len(p.shards) }
 
 // PageCount returns the number of allocated pages.
 func (p *Pager) PageCount() PageID {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.pageCount
+	return PageID(p.pageCount.Load())
 }
 
 // Allocate creates a new zero page and returns it pinned.
 func (p *Pager) Allocate() (*Page, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	id := p.pageCount
-	p.pageCount++
+	p.allocMu.Lock()
+	id := PageID(p.pageCount.Load())
 	if p.file == nil {
+		p.memMu.Lock()
 		p.mem = append(p.mem, make([]byte, PageSize))
+		p.memMu.Unlock()
 	} else {
-		if err := p.file.Truncate(int64(p.pageCount) * PageSize); err != nil {
+		if err := p.file.Truncate((int64(id) + 1) * PageSize); err != nil {
+			p.allocMu.Unlock()
 			return nil, fmt.Errorf("storage: grow file: %w", err)
 		}
 	}
+	// Publish the count only after the backing store covers the page, so
+	// a concurrent Fetch that passes the bounds check can always read.
+	p.pageCount.Store(uint32(id) + 1)
+	p.allocMu.Unlock()
+
 	pg := &Page{ID: id}
 	pg.Init()
-	pg.pins = 1
-	if err := p.install(pg); err != nil {
-		return nil, err
-	}
+	pg.pins.Store(1)
+	sh := p.shardOf(id)
+	sh.mu.Lock()
+	sh.install(p, pg)
+	sh.mu.Unlock()
 	return pg, nil
 }
 
 // Fetch returns the page pinned; the caller must Unpin it.
 func (p *Pager) Fetch(id PageID) (*Page, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if id >= p.pageCount {
-		return nil, fmt.Errorf("storage: fetch of unallocated page %d (have %d)", id, p.pageCount)
+	if uint32(id) >= p.pageCount.Load() {
+		return nil, fmt.Errorf("storage: fetch of unallocated page %d (have %d)", id, p.PageCount())
 	}
-	if fr, ok := p.frames[id]; ok {
-		p.stats.Hits++
-		fr.page.pins++
-		p.touch(fr)
+	sh := p.shardOf(id)
+	sh.mu.Lock()
+	if fr, ok := sh.frames[id]; ok {
+		sh.stats.Hits++
+		fr.page.pins.Add(1)
+		sh.touch(fr)
+		sh.mu.Unlock()
 		return fr.page, nil
 	}
-	p.stats.Misses++
+	sh.stats.Misses++
 	pg := &Page{ID: id}
 	if err := p.readPage(id, pg.Data[:]); err != nil {
+		sh.mu.Unlock()
 		return nil, err
 	}
-	pg.pins = 1
-	if err := p.install(pg); err != nil {
-		return nil, err
-	}
+	pg.pins.Store(1)
+	sh.install(p, pg)
+	sh.mu.Unlock()
 	return pg, nil
 }
 
-// Unpin releases a pin taken by Fetch or Allocate.
+// Unpin releases a pin taken by Fetch or Allocate. It is lock-free: the
+// pin count is atomic, and eviction re-checks it under the shard latch.
 func (p *Pager) Unpin(pg *Page) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if pg.pins > 0 {
-		pg.pins--
+	for {
+		n := pg.pins.Load()
+		if n <= 0 {
+			return
+		}
+		if pg.pins.CompareAndSwap(n, n-1) {
+			return
+		}
 	}
 }
 
-// install places a page in the pool, evicting if needed. Caller holds mu.
-func (p *Pager) install(pg *Page) error {
-	for len(p.frames) >= p.capacity {
-		if !p.evictOne() {
+// install places a page in the shard, evicting if needed. Caller holds
+// the shard latch.
+func (sh *shard) install(p *Pager, pg *Page) {
+	for len(sh.frames) >= sh.capacity {
+		if !sh.evictOne(p) {
 			// Everything is pinned; run over capacity rather than fail.
 			break
 		}
 	}
 	fr := &frame{page: pg}
-	p.frames[pg.ID] = fr
-	p.pushFront(fr)
-	return nil
+	sh.frames[pg.ID] = fr
+	sh.pushFront(fr)
 }
 
 // evictOne writes back and drops the least recently used unpinned page.
-func (p *Pager) evictOne() bool {
-	for fr := p.lruTail; fr != nil; fr = fr.prev {
-		if fr.page.pins > 0 {
+// Caller holds the shard latch, which excludes new pins on this shard's
+// pages: a page observed unpinned here cannot gain a pin mid-eviction.
+func (sh *shard) evictOne(p *Pager) bool {
+	for fr := sh.lruTail; fr != nil; fr = fr.prev {
+		if fr.page.pins.Load() > 0 {
 			continue
 		}
 		if fr.page.Dirty {
-			if err := p.writePage(fr.page); err != nil {
+			if err := p.writePage(&sh.stats, fr.page); err != nil {
 				// Eviction write failures are unrecoverable mid-flight;
 				// keep the page resident and report pressure by refusing.
 				return false
 			}
 		}
-		p.remove(fr)
-		delete(p.frames, fr.page.ID)
-		p.stats.Evictions++
+		sh.remove(fr)
+		delete(sh.frames, fr.page.ID)
+		sh.stats.Evictions++
 		return true
 	}
 	return false
@@ -197,7 +278,9 @@ func (p *Pager) evictOne() bool {
 
 func (p *Pager) readPage(id PageID, buf []byte) error {
 	if p.file == nil {
+		p.memMu.RLock()
 		copy(buf, p.mem[id])
+		p.memMu.RUnlock()
 		return nil
 	}
 	_, err := p.file.ReadAt(buf, int64(id)*PageSize)
@@ -207,10 +290,12 @@ func (p *Pager) readPage(id PageID, buf []byte) error {
 	return nil
 }
 
-func (p *Pager) writePage(pg *Page) error {
-	p.stats.Writes++
+func (p *Pager) writePage(stats *PagerStats, pg *Page) error {
+	stats.Writes++
 	if p.file == nil {
+		p.memMu.RLock()
 		copy(p.mem[pg.ID], pg.Data[:])
+		p.memMu.RUnlock()
 		pg.Dirty = false
 		return nil
 	}
@@ -223,14 +308,18 @@ func (p *Pager) writePage(pg *Page) error {
 
 // Flush writes all dirty resident pages to the backing store.
 func (p *Pager) Flush() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, fr := range p.frames {
-		if fr.page.Dirty {
-			if err := p.writePage(fr.page); err != nil {
-				return err
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for _, fr := range sh.frames {
+			if fr.page.Dirty {
+				if err := p.writePage(&sh.stats, fr.page); err != nil {
+					sh.mu.Unlock()
+					return err
+				}
 			}
 		}
+		sh.mu.Unlock()
 	}
 	if p.file != nil {
 		if err := p.file.Sync(); err != nil {
@@ -245,8 +334,6 @@ func (p *Pager) Close() error {
 	if err := p.Flush(); err != nil {
 		return err
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.file != nil {
 		err := p.file.Close()
 		p.file = nil
@@ -255,35 +342,35 @@ func (p *Pager) Close() error {
 	return nil
 }
 
-// --- LRU list maintenance (caller holds mu) ---
+// --- LRU list maintenance (caller holds the shard latch) ---
 
-func (p *Pager) pushFront(fr *frame) {
+func (sh *shard) pushFront(fr *frame) {
 	fr.prev = nil
-	fr.next = p.lruHead
-	if p.lruHead != nil {
-		p.lruHead.prev = fr
+	fr.next = sh.lruHead
+	if sh.lruHead != nil {
+		sh.lruHead.prev = fr
 	}
-	p.lruHead = fr
-	if p.lruTail == nil {
-		p.lruTail = fr
+	sh.lruHead = fr
+	if sh.lruTail == nil {
+		sh.lruTail = fr
 	}
 }
 
-func (p *Pager) remove(fr *frame) {
+func (sh *shard) remove(fr *frame) {
 	if fr.prev != nil {
 		fr.prev.next = fr.next
 	} else {
-		p.lruHead = fr.next
+		sh.lruHead = fr.next
 	}
 	if fr.next != nil {
 		fr.next.prev = fr.prev
 	} else {
-		p.lruTail = fr.prev
+		sh.lruTail = fr.prev
 	}
 	fr.prev, fr.next = nil, nil
 }
 
-func (p *Pager) touch(fr *frame) {
-	p.remove(fr)
-	p.pushFront(fr)
+func (sh *shard) touch(fr *frame) {
+	sh.remove(fr)
+	sh.pushFront(fr)
 }

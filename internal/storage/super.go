@@ -62,15 +62,11 @@ func (p *Pager) EnsureSuperblock() (PageID, error) {
 }
 
 func (p *Pager) setHasSuper() {
-	p.mu.Lock()
-	p.hasSuper = true
-	p.mu.Unlock()
+	p.hasSuper.Store(true)
 }
 
 func (p *Pager) superblockPresent() bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.hasSuper
+	return p.hasSuper.Load()
 }
 
 // SetRoot records the catalog heap head in the superblock.

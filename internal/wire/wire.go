@@ -459,6 +459,18 @@ type ServerStats struct {
 	// P50 and P99 are request-latency percentiles over a recent window.
 	P50 time.Duration
 	P99 time.Duration
+	// PlanResultHits, PlanHits and PlanMisses are the shared plan
+	// cache's counters: queries answered from the memoized result,
+	// queries that reused a compiled program but re-evaluated, and full
+	// compilations.
+	PlanResultHits int64
+	PlanHits       int64
+	PlanMisses     int64
+	// PoolHits, PoolMisses and PoolEvictions are the buffer pool's
+	// counters aggregated across its shards.
+	PoolHits      int64
+	PoolMisses    int64
+	PoolEvictions int64
 	// Generation is the rule-base generation at snapshot time.
 	Generation uint64
 }
@@ -469,6 +481,8 @@ func (m ServerStats) Encode() []byte {
 	for _, v := range []int64{
 		m.ActiveSessions, m.TotalSessions, m.InFlight, m.Requests,
 		m.Errors, m.BytesIn, m.BytesOut, int64(m.P50), int64(m.P99),
+		m.PlanResultHits, m.PlanHits, m.PlanMisses,
+		m.PoolHits, m.PoolMisses, m.PoolEvictions,
 	} {
 		buf = binary.AppendVarint(buf, v)
 	}
@@ -483,6 +497,8 @@ func DecodeServerStats(p []byte) (ServerStats, error) {
 	fields := []*int64{
 		&m.ActiveSessions, &m.TotalSessions, &m.InFlight, &m.Requests,
 		&m.Errors, &m.BytesIn, &m.BytesOut, (*int64)(&m.P50), (*int64)(&m.P99),
+		&m.PlanResultHits, &m.PlanHits, &m.PlanMisses,
+		&m.PoolHits, &m.PoolMisses, &m.PoolEvictions,
 	}
 	for _, f := range fields {
 		if *f, buf, err = readVarint(buf); err != nil {

@@ -137,6 +137,8 @@ func TestServerStatsRoundTrip(t *testing.T) {
 		ActiveSessions: 3, TotalSessions: 100, InFlight: 2,
 		Requests: 12345, Errors: 6, BytesIn: 1 << 30, BytesOut: 1 << 31,
 		P50: 150 * time.Microsecond, P99: 3 * time.Millisecond,
+		PlanResultHits: 40, PlanHits: 9, PlanMisses: 3,
+		PoolHits: 1 << 20, PoolMisses: 512, PoolEvictions: 77,
 		Generation: 17,
 	}
 	out, err := DecodeServerStats(in.Encode())

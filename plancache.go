@@ -1,0 +1,189 @@
+package dkbms
+
+import (
+	"sync"
+
+	"dkbms/internal/core"
+)
+
+// DefaultPlanCacheEntries bounds the shared plan cache of a
+// ConcurrentTestbed. Each entry holds one compiled evaluation program
+// and, while the D/KB stands still, its memoized answer.
+const DefaultPlanCacheEntries = 128
+
+// planKey identifies a cacheable query: its source text plus the
+// compilation/evaluation options (QueryOptions is a comparable struct
+// of booleans, so the key is directly usable in a map).
+type planKey struct {
+	src  string
+	opts QueryOptions
+}
+
+// planEntry is one cached compilation. The compiled program is valid
+// while the rule-base generation matches; the memoized result
+// additionally requires the data generation to match (LOAD/RETRACT of
+// facts move it). Entries form an LRU list under the cache mutex.
+type planEntry struct {
+	key      planKey
+	compiled *core.Compiled
+	ruleGen  uint64
+	result   *QueryResult
+	dataGen  uint64
+
+	prev, next *planEntry
+}
+
+// PlanCacheStats snapshots the shared plan cache's traffic counters.
+type PlanCacheStats struct {
+	// ResultHits counts queries answered entirely from the memoized
+	// result (no compilation, no evaluation).
+	ResultHits int64
+	// PlanHits counts queries that reused a compiled program but
+	// re-evaluated it (the data generation had moved).
+	PlanHits int64
+	// Misses counts full compilations.
+	Misses int64
+	// Invalidations counts entries dropped because a rule-base change
+	// outdated their compiled program.
+	Invalidations int64
+	// Entries is the current cache population.
+	Entries int64
+}
+
+// planCache is the server-wide compiled-plan and result cache behind
+// ConcurrentTestbed.Query. It is safe for concurrent use; lookups and
+// stores run under the testbed's read lock from many sessions at once.
+type planCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[planKey]*planEntry
+	head     *planEntry // most recently used
+	tail     *planEntry // least recently used
+	stats    PlanCacheStats
+}
+
+func newPlanCache(capacity int) *planCache {
+	if capacity <= 0 {
+		capacity = DefaultPlanCacheEntries
+	}
+	return &planCache{
+		capacity: capacity,
+		entries:  make(map[planKey]*planEntry, capacity),
+	}
+}
+
+// lookup returns the cached compilation for the key, if its generations
+// still hold: (compiled, result) on a full result hit, (compiled, nil)
+// when only the plan is reusable, (nil, nil) on a miss. Hit counters are
+// updated here; the miss counter is charged in store, so a lookup/store
+// pair counts once.
+func (pc *planCache) lookup(key planKey, ruleGen, dataGen uint64) (*core.Compiled, *QueryResult) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	e, ok := pc.entries[key]
+	if !ok {
+		return nil, nil
+	}
+	if e.ruleGen != ruleGen {
+		// The rule base moved: the compiled program is stale.
+		pc.unlink(e)
+		delete(pc.entries, key)
+		pc.stats.Invalidations++
+		return nil, nil
+	}
+	pc.touch(e)
+	if e.result != nil && e.dataGen == dataGen {
+		pc.stats.ResultHits++
+		return e.compiled, e.result
+	}
+	pc.stats.PlanHits++
+	return e.compiled, nil
+}
+
+// store records a compilation and its result, evicting the least
+// recently used entry beyond capacity.
+func (pc *planCache) store(key planKey, ruleGen uint64, compiled *core.Compiled, dataGen uint64, result *QueryResult) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if e, ok := pc.entries[key]; ok {
+		// A concurrent reader (or this one, refreshing a stale result)
+		// raced us here; keep the newest state.
+		if e.compiled != compiled {
+			pc.stats.Misses++
+		}
+		e.compiled, e.ruleGen = compiled, ruleGen
+		e.result, e.dataGen = result, dataGen
+		pc.touch(e)
+		return
+	}
+	pc.stats.Misses++
+	e := &planEntry{key: key, compiled: compiled, ruleGen: ruleGen, result: result, dataGen: dataGen}
+	pc.entries[key] = e
+	pc.pushFront(e)
+	for len(pc.entries) > pc.capacity {
+		lru := pc.tail
+		pc.unlink(lru)
+		delete(pc.entries, lru.key)
+	}
+}
+
+// purgeStale runs after an exclusive update: entries compiled at an old
+// rule-base generation are dropped, and memoized results from an old
+// data generation are cleared (their plans stay).
+func (pc *planCache) purgeStale(ruleGen, dataGen uint64) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	for key, e := range pc.entries {
+		if e.ruleGen != ruleGen {
+			pc.unlink(e)
+			delete(pc.entries, key)
+			pc.stats.Invalidations++
+			continue
+		}
+		if e.dataGen != dataGen {
+			e.result = nil
+		}
+	}
+}
+
+// snapshot returns the counters plus current population.
+func (pc *planCache) snapshot() PlanCacheStats {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	out := pc.stats
+	out.Entries = int64(len(pc.entries))
+	return out
+}
+
+// --- LRU list maintenance (caller holds mu) ---
+
+func (pc *planCache) pushFront(e *planEntry) {
+	e.prev = nil
+	e.next = pc.head
+	if pc.head != nil {
+		pc.head.prev = e
+	}
+	pc.head = e
+	if pc.tail == nil {
+		pc.tail = e
+	}
+}
+
+func (pc *planCache) unlink(e *planEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		pc.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		pc.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (pc *planCache) touch(e *planEntry) {
+	pc.unlink(e)
+	pc.pushFront(e)
+}

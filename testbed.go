@@ -62,6 +62,10 @@ type Testbed struct {
 	// ruleGen counts rule-base changes; prepared queries recompile when
 	// it moves past the generation they were compiled at.
 	ruleGen uint64
+	// dataGen counts extensional-data changes (fact inserts and
+	// retractions). Cached query results are valid only while both
+	// generations stand still; cached plans only depend on ruleGen.
+	dataGen uint64
 	// closed is set by Close; every later operation returns ErrClosed.
 	closed bool
 }
@@ -177,6 +181,7 @@ func (tb *Testbed) AssertTuples(pred string, tuples []rel.Tuple) error {
 	if !tb.db.HasTable(BaseTableName(pred)) {
 		tb.ruleGen++
 	}
+	tb.dataGen++
 	return tb.st.InsertFacts(pred, tuples)
 }
 
@@ -224,7 +229,11 @@ func (tb *Testbed) Retract(pattern dlog.Atom) (int, error) {
 	if err := tb.db.Exec(stmt); err != nil {
 		return 0, err
 	}
-	return before - t.Rows(), nil
+	n := before - t.Rows()
+	if n > 0 {
+		tb.dataGen++
+	}
+	return n, nil
 }
 
 // RetractSrc is Retract for a source-syntax pattern ("parent(john, X)."
