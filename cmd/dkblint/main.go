@@ -1,0 +1,104 @@
+// Command dkblint runs the D/KB testbed's domain analyzer suite over Go
+// packages:
+//
+//	pinpair     pinned buffer-pool pages reach Unpin on every path
+//	lockscope   no storage or network I/O under latches; locks released
+//	atomicfield variables touched by sync/atomic are atomic everywhere
+//	opcodecheck wire opcodes are dispatched exhaustively with codecs
+//
+// Usage:
+//
+//	dkblint [-json] [packages]
+//
+// Packages default to ./... relative to the current directory. Exit
+// status is 0 for a clean run, 1 if any analyzer reported a finding,
+// and 2 on a load or usage error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+
+	"dkbms/internal/lint/atomicfield"
+	"dkbms/internal/lint/lintkit"
+	"dkbms/internal/lint/lockscope"
+	"dkbms/internal/lint/opcodecheck"
+	"dkbms/internal/lint/pinpair"
+)
+
+// Analyzers is the dkblint suite, in report order.
+var Analyzers = []*lintkit.Analyzer{
+	atomicfield.Analyzer,
+	lockscope.Analyzer,
+	opcodecheck.Analyzer,
+	pinpair.Analyzer,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("dkblint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: dkblint [-json] [packages]\n\nAnalyzers:\n")
+		for _, a := range Analyzers {
+			fmt.Fprintf(fs.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	fset := token.NewFileSet()
+	pkgs, err := lintkit.Load(fset, ".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	diags, err := lintkit.Run(fset, pkgs, Analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	if *jsonOut {
+		type finding struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, finding{
+				File: d.Pos.Filename, Line: d.Pos.Line, Column: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"go/token"
+	"testing"
+
+	"dkbms/internal/lint/lintkit"
+)
+
+// TestModuleClean runs the full suite over the real module and asserts
+// zero findings: the tree must stay dkblint-clean. (Each analyzer's
+// fixtures prove the checks fire; this proves the code obeys them.)
+func TestModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	fset := token.NewFileSet()
+	pkgs, err := lintkit.Load(fset, ".", "dkbms/...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := lintkit.Run(fset, pkgs, Analyzers)
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestJSONExit exercises the -json path end to end on one clean
+// package.
+func TestJSONExit(t *testing.T) {
+	if code := run([]string{"-json", "dkbms/internal/wire"}); code != 0 {
+		t.Fatalf("dkblint -json dkbms/internal/wire: exit %d, want 0", code)
+	}
+}

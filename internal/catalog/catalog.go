@@ -58,15 +58,26 @@ type Index struct {
 
 // Catalog is the schema manager for one database.
 //
-// The table and index registries are guarded by an RWMutex so that
-// sessions may create and drop their own temp tables while other
-// sessions resolve names concurrently. The mutex protects the catalog
-// maps only: tuple traffic on a *Table* (Insert/DeleteRID/Scan) is not
-// serialized here — concurrent writers of one table must coordinate
-// above this layer (the server's ConcurrentTestbed lock does).
+// Two locks with a strict order (ddlMu before mu, never mu alone
+// around I/O) split the DDL path:
+//
+//   - ddlMu serializes whole DDL operations, including their heap-file
+//     I/O (catalog records, table heap creation, index builds). Only
+//     DDL mutates the registries, so holding ddlMu makes a read-check /
+//     build / register sequence atomic against other DDL.
+//   - mu guards the name→table/index maps only, and is held just long
+//     enough to read or swap map entries. No storage I/O ever happens
+//     under it (dkblint's lockscope analyzer enforces this), so name
+//     resolution never waits on disk latency behind a concurrent
+//     CREATE/DROP — a regression the original single-mutex layout had.
+//
+// Tuple traffic on a *Table* (Insert/DeleteRID/Scan) is not serialized
+// here — concurrent writers of one table must coordinate above this
+// layer (the server's ConcurrentTestbed lock does).
 type Catalog struct {
 	pager   *storage.Pager
 	heap    *storage.HeapFile // nil until Open
+	ddlMu   sync.Mutex
 	mu      sync.RWMutex
 	tables  map[string]*Table
 	indexes map[string]*Index
@@ -149,16 +160,21 @@ func (c *Catalog) load() error {
 		if !ok {
 			return fmt.Errorf("catalog: index %s references missing table %s", idx.Name, idx.Table)
 		}
-		if err := c.attachIndex(t, idx); err != nil {
+		if err := buildIndex(t, idx); err != nil {
 			return err
 		}
+		// Open runs single-threaded before the catalog is published, so
+		// registration needs no locking here.
+		t.Indexes = append(t.Indexes, idx)
+		c.indexes[idx.Name] = idx
 	}
 	return nil
 }
 
-// attachIndex resolves column ordinals, registers the index and builds
-// its tree from the table heap.
-func (c *Catalog) attachIndex(t *Table, idx *Index) error {
+// buildIndex resolves column ordinals and builds the index tree from
+// the table heap. It performs heap I/O and must not be called with c.mu
+// held; registration into the catalog maps is the caller's job.
+func buildIndex(t *Table, idx *Index) error {
 	idx.Ords = make([]int, len(idx.Cols))
 	for i, col := range idx.Cols {
 		o := t.Schema.Ordinal(col)
@@ -168,19 +184,13 @@ func (c *Catalog) attachIndex(t *Table, idx *Index) error {
 		idx.Ords[i] = o
 	}
 	idx.Tree = newIndexTree()
-	err := t.Heap.Scan(func(rid storage.RID, rec []byte) error {
+	return t.Heap.Scan(func(rid storage.RID, rec []byte) error {
 		tu, err := rel.DecodeTuple(rec, t.Schema)
 		if err != nil {
 			return err
 		}
 		return idx.Tree.Insert(keyOf(tu, idx.Ords), rid)
 	})
-	if err != nil {
-		return err
-	}
-	t.Indexes = append(t.Indexes, idx)
-	c.indexes[idx.Name] = idx
-	return nil
 }
 
 func keyOf(tu rel.Tuple, ords []int) rel.Tuple {
@@ -222,9 +232,13 @@ func (c *Catalog) CreateTable(name string, schema *rel.Schema, temp bool) (*Tabl
 	if name == "" {
 		return nil, fmt.Errorf("catalog: empty table name")
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, exists := c.tables[name]; exists {
+	c.ddlMu.Lock()
+	defer c.ddlMu.Unlock()
+	c.mu.RLock()
+	_, exists := c.tables[name]
+	c.mu.RUnlock()
+	if exists {
+		// Stable under ddlMu: only DDL adds or removes map entries.
 		return nil, fmt.Errorf("catalog: table %s already exists", name)
 	}
 	h, err := storage.CreateHeap(c.pager)
@@ -235,24 +249,29 @@ func (c *Catalog) CreateTable(name string, schema *rel.Schema, temp bool) (*Tabl
 	if !temp {
 		rid, err := c.heap.Insert(encodeTableRecord(t))
 		if err != nil {
+			t.Heap.Drop() // compensate: don't leak the fresh heap's pages
 			return nil, err
 		}
 		t.rid = rid
 	}
+	c.mu.Lock()
 	c.tables[name] = t
+	c.mu.Unlock()
 	return t, nil
 }
 
 // DropTable removes a table, its indexes, and releases its pages.
 func (c *Catalog) DropTable(name string) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.ddlMu.Lock()
+	defer c.ddlMu.Unlock()
+	c.mu.RLock()
 	t, ok := c.tables[name]
+	c.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("catalog: no table %s", name)
 	}
 	for _, idx := range append([]*Index(nil), t.Indexes...) {
-		if err := c.dropIndexLocked(idx.Name); err != nil {
+		if err := c.dropIndexDDL(idx.Name); err != nil {
 			return err
 		}
 	}
@@ -261,18 +280,28 @@ func (c *Catalog) DropTable(name string) error {
 			return err
 		}
 	}
+	c.mu.Lock()
 	delete(c.tables, name)
+	c.mu.Unlock()
 	return t.Heap.Drop()
 }
 
 // CreateIndex creates an index on table columns and builds it.
+//
+// The build scans the table heap outside any catalog lock; excluding
+// concurrent writers of that table during DDL is, as for all tuple
+// traffic, the caller's contract (the server's testbed lock provides
+// it).
 func (c *Catalog) CreateIndex(name, table string, cols []string, temp bool) (*Index, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, exists := c.indexes[name]; exists {
+	c.ddlMu.Lock()
+	defer c.ddlMu.Unlock()
+	c.mu.RLock()
+	_, exists := c.indexes[name]
+	t, ok := c.tables[table]
+	c.mu.RUnlock()
+	if exists {
 		return nil, fmt.Errorf("catalog: index %s already exists", name)
 	}
-	t, ok := c.tables[table]
 	if !ok {
 		return nil, fmt.Errorf("catalog: no table %s", table)
 	}
@@ -280,7 +309,7 @@ func (c *Catalog) CreateIndex(name, table string, cols []string, temp bool) (*In
 		return nil, fmt.Errorf("catalog: index %s has no columns", name)
 	}
 	idx := &Index{Name: name, Table: table, Cols: cols, Temp: temp || t.Temp}
-	if err := c.attachIndex(t, idx); err != nil {
+	if err := buildIndex(t, idx); err != nil {
 		return nil, err
 	}
 	if !idx.Temp {
@@ -290,19 +319,26 @@ func (c *Catalog) CreateIndex(name, table string, cols []string, temp bool) (*In
 		}
 		idx.rid = rid
 	}
+	c.mu.Lock()
+	t.Indexes = append(t.Indexes, idx)
+	c.indexes[idx.Name] = idx
+	c.mu.Unlock()
 	return idx, nil
 }
 
 // DropIndex removes an index.
 func (c *Catalog) DropIndex(name string) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.dropIndexLocked(name)
+	c.ddlMu.Lock()
+	defer c.ddlMu.Unlock()
+	return c.dropIndexDDL(name)
 }
 
-// dropIndexLocked is DropIndex with c.mu already held.
-func (c *Catalog) dropIndexLocked(name string) error {
+// dropIndexDDL is DropIndex with c.ddlMu already held (c.mu must not
+// be: the catalog-record delete is heap I/O).
+func (c *Catalog) dropIndexDDL(name string) error {
+	c.mu.RLock()
 	idx, ok := c.indexes[name]
+	c.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("catalog: no index %s", name)
 	}
@@ -311,6 +347,7 @@ func (c *Catalog) dropIndexLocked(name string) error {
 			return err
 		}
 	}
+	c.mu.Lock()
 	if t := c.tables[idx.Table]; t != nil {
 		for i, ti := range t.Indexes {
 			if ti == idx {
@@ -320,6 +357,7 @@ func (c *Catalog) dropIndexLocked(name string) error {
 		}
 	}
 	delete(c.indexes, name)
+	c.mu.Unlock()
 	return nil
 }
 

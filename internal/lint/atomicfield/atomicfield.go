@@ -1,0 +1,220 @@
+// Package atomicfield enforces all-or-nothing atomicity: once any code
+// in the module accesses a struct field or package-level variable
+// through sync/atomic, every access must go through sync/atomic. A
+// single plain read or write silently races with the atomic ones — the
+// exact class of bug the testbed's Stats counters (db, stored, server)
+// and rtlib's run sequencing had before they were converted.
+//
+// The analyzer runs a module-wide census over every target package
+// (Pass.All) collecting variables whose address is passed to a
+// sync/atomic call, then flags plain uses of those variables in the
+// package under analysis. Composite-literal keys and pre-publication
+// initialization inside composite literals are exempt by convention.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"dkbms/internal/lint/lintkit"
+)
+
+// Analyzer is the atomicfield pass.
+var Analyzer = &lintkit.Analyzer{
+	Name: "atomicfield",
+	Doc:  "a variable accessed via sync/atomic anywhere must be accessed atomically everywhere",
+	Run:  run,
+}
+
+func run(pass *lintkit.Pass) error {
+	census := map[types.Object]token.Position{}
+	for _, pkg := range pass.All {
+		if !pkg.Target || pkg.Info == nil {
+			continue
+		}
+		collect(pass.Fset, pkg, census)
+	}
+	if len(census) == 0 {
+		return nil
+	}
+	for _, file := range pass.Pkg.Files {
+		flag(pass, file, census)
+	}
+	return nil
+}
+
+// atomicAddr returns the expression whose address is handed to a
+// sync/atomic call, or nil.
+func atomicAddr(info *types.Info, call *ast.CallExpr) ast.Expr {
+	fn := lintkit.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return nil
+	}
+	switch {
+	case strings.HasPrefix(fn.Name(), "Add"),
+		strings.HasPrefix(fn.Name(), "Load"),
+		strings.HasPrefix(fn.Name(), "Store"),
+		strings.HasPrefix(fn.Name(), "Swap"),
+		strings.HasPrefix(fn.Name(), "CompareAndSwap"):
+	default:
+		return nil
+	}
+	if len(call.Args) == 0 {
+		return nil
+	}
+	if ua, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr); ok && ua.Op == token.AND {
+		return ua.X
+	}
+	return nil
+}
+
+// addrObject resolves the variable named by an addressable expression:
+// a package-level var (x) or a struct field (s.F, possibly nested).
+func addrObject(info *types.Info, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok {
+		return nil
+	}
+	// Only fields and package-level vars carry cross-function sharing
+	// obligations; a local used atomically is its own function's
+	// business.
+	if v.IsField() || (v.Pkg() != nil && v.Parent() == v.Pkg().Scope()) {
+		return v
+	}
+	return nil
+}
+
+// collect records every variable atomically accessed in pkg.
+func collect(fset *token.FileSet, pkg *lintkit.Package, census map[types.Object]token.Position) {
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if e := atomicAddr(pkg.Info, call); e != nil {
+				if v := addrObject(pkg.Info, e); v != nil {
+					if _, seen := census[v]; !seen {
+						census[v] = fset.Position(call.Pos())
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// flag reports plain uses of censused variables in one file.
+func flag(pass *lintkit.Pass, file *ast.File, census map[types.Object]token.Position) {
+	info := pass.Pkg.Info
+
+	// First mark sanctioned idents: the &x operand of atomic calls, and
+	// the key side of composite-literal elements (naming a field in a
+	// literal is not an access; reads in the value side still count).
+	sanctioned := map[*ast.Ident]bool{}
+	sanctionIdents := func(e ast.Expr) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				sanctioned[id] = true
+			}
+			return true
+		})
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if e := atomicAddr(info, n); e != nil {
+				sanctionIdents(e)
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						sanctioned[id] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Map each selector's field ident to its base expression so field
+	// accesses can be tested for sharedness.
+	selBase := map[*ast.Ident]ast.Expr{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			selBase[sel.Sel] = sel.X
+		}
+		return true
+	})
+
+	ast.Inspect(file, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || sanctioned[id] {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		first, tracked := census[v]
+		if !tracked {
+			return true
+		}
+		// A field read off a value copy (snapshot-style APIs like
+		// StatsSnapshot return one) touches private memory, not the
+		// shared instance the atomic calls guard.
+		if base, isField := selBase[id]; isField && !sharedExpr(info, base) {
+			return true
+		}
+		pass.Reportf(id.Pos(), "non-atomic access to %s, which is accessed with sync/atomic (e.g. at %s); this races", v.Name(), first)
+		return true
+	})
+}
+
+// sharedExpr conservatively reports whether e denotes storage reachable
+// by other goroutines: anything behind a pointer, a package-level var,
+// or an element of a slice/map/array. Plain value copies (call results,
+// local value variables, literals) are private. A local struct whose
+// field address escaped to an atomic call is misclassified as private —
+// the census sanctions those call sites themselves, and cross-goroutine
+// sharing of locals requires taking an address we would see.
+func sharedExpr(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	// Selecting through a pointer dereferences it: shared.
+	if tv, ok := info.Types[e]; ok {
+		if _, ptr := tv.Type.Underlying().(*types.Pointer); ptr {
+			return true
+		}
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		v, ok := info.Uses[e].(*types.Var)
+		if !ok {
+			return true // conservative
+		}
+		if v.IsField() {
+			return true // embedded-field shorthand inside a method
+		}
+		return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+	case *ast.SelectorExpr:
+		return sharedExpr(info, e.X)
+	case *ast.CallExpr, *ast.CompositeLit, *ast.BasicLit:
+		return false // a fresh value
+	case *ast.TypeAssertExpr:
+		return sharedExpr(info, e.X)
+	default:
+		return true // index, star, unary &, ...: assume shared
+	}
+}

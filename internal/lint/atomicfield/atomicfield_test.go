@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"dkbms/internal/lint/atomicfield"
+	"dkbms/internal/lint/lintkit"
+)
+
+func TestFixtures(t *testing.T) {
+	lintkit.RunFixtures(t, atomicfield.Analyzer, "testdata/src")
+}

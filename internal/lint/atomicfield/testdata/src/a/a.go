@@ -1,0 +1,46 @@
+package a
+
+import "sync/atomic"
+
+type Counters struct {
+	Hits   int64
+	Misses int64
+}
+
+type Server struct {
+	stats Counters
+}
+
+var generation uint64
+
+func (s *Server) hit()  { atomic.AddInt64(&s.stats.Hits, 1) }
+func (s *Server) miss() { atomic.AddInt64(&s.stats.Misses, 1) }
+
+func bumpGen() { atomic.AddUint64(&generation, 1) }
+
+func (s *Server) badRead() int64 { return s.stats.Hits } // want "non-atomic access to Hits"
+
+func (s *Server) badWrite() { s.stats.Misses = 0 } // want "non-atomic access to Misses"
+
+func badGen() uint64 { return generation } // want "non-atomic access to generation"
+
+// Snapshot reads atomically and returns a value copy.
+func (s *Server) Snapshot() Counters {
+	return Counters{
+		Hits:   atomic.LoadInt64(&s.stats.Hits),
+		Misses: atomic.LoadInt64(&s.stats.Misses),
+	}
+}
+
+// Reading a field off the returned copy touches private memory.
+func goodCopyRead(s *Server) int64 {
+	return s.Snapshot().Hits
+}
+
+// Fields never touched by sync/atomic carry no obligation.
+type Plain struct{ N int64 }
+
+func goodPlain(p *Plain) int64 {
+	p.N++
+	return p.N
+}

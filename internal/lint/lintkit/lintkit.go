@@ -1,0 +1,195 @@
+// Package lintkit is the foundation of the dkblint analyzer suite: a
+// deliberately small, dependency-free re-creation of the parts of
+// golang.org/x/tools/go/analysis that the suite needs. The module's
+// build environment has no network access to fetch x/tools, so the kit
+// mirrors its Analyzer/Pass shape closely enough that the analyzers
+// could be ported to the real framework by swapping imports.
+//
+// The kit provides three things:
+//
+//   - a package loader (load.go) that shells out to `go list -json
+//     -deps` and type-checks the result from source with go/types,
+//     skipping function bodies of dependency packages for speed;
+//   - a statement-level control-flow graph builder (cfg.go) used by the
+//     flow-sensitive analyzers (pinpair, lockscope);
+//   - a fixture runner (fixture.go) in the spirit of analysistest: a
+//     testdata/src tree of small packages annotated with `// want`
+//     comments.
+package lintkit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named check. Run inspects pass.Pkg and reports
+// findings through the pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string
+	Name  string
+	Dir   string
+	Files []*ast.File
+	// Types and Info are nil only if type checking failed entirely.
+	Types *types.Package
+	Info  *types.Info
+	// Target marks packages named by the load patterns (as opposed to
+	// dependencies); analyzers run over targets only.
+	Target bool
+	// TypeErrors collects soft type-check errors (analysis proceeds on
+	// the partial information).
+	TypeErrors []error
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package
+	// All lists every target package of the run, so analyzers that need
+	// module-wide facts (atomicfield's atomic-access census) can collect
+	// them without a separate facts protocol.
+	All []*Package
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies each analyzer to each target package and returns the
+// findings in source order.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		for _, pkg := range pkgs {
+			if !pkg.Target || pkg.Types == nil {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     fset,
+				Pkg:      pkg,
+				All:      pkgs,
+				report:   func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return diags, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	for i := 1; i < len(diags); i++ {
+		for j := i; j > 0 && lessDiag(diags[j], diags[j-1]); j-- {
+			diags[j], diags[j-1] = diags[j-1], diags[j]
+		}
+	}
+}
+
+func lessDiag(a, b Diagnostic) bool {
+	if a.Pos.Filename != b.Pos.Filename {
+		return a.Pos.Filename < b.Pos.Filename
+	}
+	if a.Pos.Line != b.Pos.Line {
+		return a.Pos.Line < b.Pos.Line
+	}
+	if a.Pos.Column != b.Pos.Column {
+		return a.Pos.Column < b.Pos.Column
+	}
+	return a.Analyzer < b.Analyzer
+}
+
+// --- shared type-query helpers ---
+
+// Callee resolves the called function or method object of a call, or
+// nil for calls through function values, built-ins and conversions.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// ReceiverTypeName returns the named type of a method's receiver (minus
+// any pointer indirection), or "" for plain functions.
+func ReceiverTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name()
+}
+
+// PkgName returns the name of the package declaring fn ("" for
+// builtins).
+func PkgName(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Name()
+}
+
+// IsMethod reports whether call invokes a method with the given name on
+// the named type declared in a package with the given name. Matching is
+// by name, not import path, so fixtures can stand in for the real
+// packages.
+func IsMethod(info *types.Info, call *ast.CallExpr, pkg, typ, method string) bool {
+	fn := Callee(info, call)
+	if fn == nil || fn.Name() != method {
+		return false
+	}
+	return PkgName(fn) == pkg && ReceiverTypeName(fn) == typ
+}
+
+// IsFunc reports whether call invokes the named package-level function.
+func IsFunc(info *types.Info, call *ast.CallExpr, pkg, name string) bool {
+	fn := Callee(info, call)
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	return PkgName(fn) == pkg && ReceiverTypeName(fn) == ""
+}

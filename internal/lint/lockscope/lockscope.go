@@ -1,0 +1,409 @@
+// Package lockscope enforces the testbed's lock-scope discipline. Each
+// tracked mutex guards an in-memory structure, and the rule that keeps
+// the concurrent server responsive is that no storage or network I/O
+// happens while one is held:
+//
+//   - catalog.Catalog.mu guards the name→table/index registry maps.
+//     Holding it across heap-file I/O serializes every DDL *and* every
+//     name lookup behind disk latency.
+//   - storage.(shard).mu is a buffer-pool latch. The write-back design
+//     sanctions readPage/writePage under it (a miss must not release
+//     the latch between victim selection and frame reuse), but
+//     re-entering the pager (Fetch/Allocate/Flush/...) or taking
+//     Pager.flMu/allocMu under it inverts the documented flMu → latch
+//     order and deadlocks.
+//   - server.Server.mu guards the session table. Conn I/O or testbed
+//     query execution under it stalls accept/drain for every session.
+//
+// The analyzer also reports any tracked Lock/RLock that is not paired
+// with its Unlock on every path out of the function (defer counts).
+// Analysis is intra-procedural: it inspects direct calls in the held
+// region, plus the bodies of functions that hold a lock by convention
+// (methods of storage.shard; catalog functions named *Locked).
+package lockscope
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dkbms/internal/lint/lintkit"
+)
+
+// Analyzer is the lockscope pass.
+var Analyzer = &lintkit.Analyzer{
+	Name: "lockscope",
+	Doc:  "no storage or network I/O while a latch or registry mutex is held; all locks released on every path",
+	Run:  run,
+}
+
+// class describes one tracked mutex field and what is forbidden while
+// it is held.
+type class struct {
+	pkg, typ, field string
+	doc             string
+	// forbidCall returns a reason if calling fn while held is illegal.
+	forbidCall func(fn *types.Func) string
+	// forbidLock returns a reason if acquiring the described mutex
+	// field while held is illegal. op is "Lock" or "RLock".
+	forbidLock func(pkg, typ, field, op string) string
+}
+
+var classes = []*class{
+	{
+		pkg: "catalog", typ: "Catalog", field: "mu",
+		doc: "the catalog registry mutex",
+		forbidCall: func(fn *types.Func) string {
+			if isStorageIO(fn) {
+				return "performs storage I/O"
+			}
+			return ""
+		},
+		forbidLock: func(pkg, typ, field, op string) string {
+			if pkg == "catalog" && typ == "Catalog" && field == "mu" {
+				return "is not reentrant"
+			}
+			return ""
+		},
+	},
+	{
+		pkg: "storage", typ: "shard", field: "mu",
+		doc: "a buffer-pool shard latch",
+		forbidCall: func(fn *types.Func) string {
+			if lintkit.PkgName(fn) != "storage" {
+				return ""
+			}
+			switch lintkit.ReceiverTypeName(fn) {
+			case "Pager":
+				switch fn.Name() {
+				case "Fetch", "Allocate", "AllocateReusable", "FreeChain", "Flush", "Close":
+					return "re-enters the pager"
+				}
+			case "HeapFile":
+				return "performs heap-file I/O"
+			}
+			return ""
+		},
+		forbidLock: func(pkg, typ, field, op string) string {
+			if pkg != "storage" {
+				return ""
+			}
+			if typ == "shard" && field == "mu" {
+				return "would nest two shard latches"
+			}
+			// flMu and allocMu are ordered before the shard latch;
+			// memMu write-locking under a latch inverts resize order.
+			// memMu.RLock under a latch is the sanctioned miss path.
+			if typ == "Pager" {
+				switch field {
+				case "flMu", "allocMu":
+					return "inverts the " + field + " → shard-latch lock order"
+				case "memMu":
+					if op == "Lock" {
+						return "inverts the resize lock order"
+					}
+				}
+			}
+			return ""
+		},
+	},
+	{
+		pkg: "server", typ: "Server", field: "mu",
+		doc: "the server session-table mutex",
+		forbidCall: func(fn *types.Func) string {
+			pkg := lintkit.PkgName(fn)
+			recv := lintkit.ReceiverTypeName(fn)
+			switch {
+			case pkg == "wire" && (fn.Name() == "WriteFrame" || fn.Name() == "ReadFrame"):
+				return "performs connection I/O"
+			case recv == "Conn" && pkg == "net":
+				return "performs connection I/O"
+			case pkg == "dkbms" && recv == "ConcurrentTestbed":
+				return "executes testbed work"
+			case pkg == "server" && recv == "session" && fn.Name() == "interruptIdleRead":
+				return "touches the session's connection"
+			}
+			return ""
+		},
+		forbidLock: func(pkg, typ, field, op string) string {
+			if pkg == "server" && typ == "Server" && field == "mu" {
+				return "is not reentrant"
+			}
+			return ""
+		},
+	},
+}
+
+// lockOp is one Lock/RLock/Unlock/RUnlock call on a sync mutex.
+type lockOp struct {
+	call *ast.CallExpr
+	op   string
+	recv string // types.ExprString of the mutex expression, for pairing
+	// owner of the mutex field, when it is a struct field
+	ownerPkg, ownerTyp, field string
+	class                     *class // non-nil if tracked
+}
+
+// asLockOp decodes a call as a mutex operation, or returns nil.
+func asLockOp(info *types.Info, call *ast.CallExpr) *lockOp {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return nil
+	}
+	fn := lintkit.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil
+	}
+	switch lintkit.ReceiverTypeName(fn) {
+	case "Mutex", "RWMutex":
+	default:
+		return nil
+	}
+	op := &lockOp{call: call, op: sel.Sel.Name, recv: types.ExprString(sel.X)}
+	// Resolve the owning struct when the mutex is a field (c.mu,
+	// sh.mu, p.flMu, ...). A local mutex variable stays untracked but
+	// still gets pairing checks.
+	if fieldSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+		if s, ok := info.Selections[fieldSel]; ok && s.Kind() == types.FieldVal {
+			if v, ok := s.Obj().(*types.Var); ok && v.Pkg() != nil {
+				op.field = v.Name()
+				op.ownerPkg = v.Pkg().Name()
+				t := s.Recv()
+				if p, ok := t.(*types.Pointer); ok {
+					t = p.Elem()
+				}
+				if named, ok := t.(*types.Named); ok {
+					op.ownerTyp = named.Obj().Name()
+				}
+			}
+		}
+	}
+	for _, c := range classes {
+		if op.ownerPkg == c.pkg && op.ownerTyp == c.typ && op.field == c.field {
+			op.class = c
+		}
+	}
+	return op
+}
+
+// unlockFor maps an acquire op to its release op name.
+func unlockFor(op string) string {
+	if op == "RLock" {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+func run(pass *lintkit.Pass) error {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				checkFunc(pass, fn)
+			}
+		}
+	}
+	return nil
+}
+
+// heldOnEntry returns the class a function holds by convention when it
+// is called: shard methods run under their shard's latch; catalog
+// helpers named *Locked run under the registry mutex.
+func heldOnEntry(pass *lintkit.Pass, fn *ast.FuncDecl) *class {
+	pkgName := pass.Pkg.Name
+	if fn.Recv != nil && len(fn.Recv.List) == 1 {
+		t := fn.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if id, ok := t.(*ast.Ident); ok && id.Name == "shard" && pkgName == "storage" {
+			return classByName("storage", "shard", "mu")
+		}
+	}
+	if pkgName == "catalog" && len(fn.Name.Name) > len("Locked") &&
+		fn.Name.Name[len(fn.Name.Name)-len("Locked"):] == "Locked" {
+		return classByName("catalog", "Catalog", "mu")
+	}
+	return nil
+}
+
+func classByName(pkg, typ, field string) *class {
+	for _, c := range classes {
+		if c.pkg == pkg && c.typ == typ && c.field == field {
+			return c
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *lintkit.Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	cfg := lintkit.BuildCFG(fn.Body)
+	if cfg.Unsupported {
+		return
+	}
+
+	// checkNode flags forbidden work inside one statement headline
+	// while `held` is held.
+	checkNode := func(held *class, n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false // runs at call time, not while held here
+			}
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if op := asLockOp(info, call); op != nil {
+				if op.op == "Lock" || op.op == "RLock" {
+					if why := held.forbidLock(op.ownerPkg, op.ownerTyp, op.field, op.op); why != "" {
+						pass.Reportf(call.Pos(), "%s.%s while holding %s: %s", op.recv, op.op, held.doc, why)
+					}
+				}
+				return true
+			}
+			if callee := lintkit.Callee(info, call); callee != nil {
+				if why := held.forbidCall(callee); why != "" {
+					pass.Reportf(call.Pos(), "call to %s while holding %s: %s", calleeLabel(callee), held.doc, why)
+				}
+			}
+			return true
+		})
+	}
+
+	onHeadline := func(s ast.Stmt, f func(ast.Node)) {
+		for _, h := range lintkit.Headline(s) {
+			f(h)
+		}
+	}
+
+	// Convention-held classes cover the whole body, with no release.
+	if held := heldOnEntry(pass, fn); held != nil {
+		cfg.VisitFrom(nil, nil, func(s ast.Stmt) {
+			onHeadline(s, func(h ast.Node) { checkNode(held, h) })
+		})
+	}
+
+	// Find explicit acquisitions at statement level.
+	cfg.VisitFrom(nil, nil, func(s ast.Stmt) {
+		for _, h := range lintkit.Headline(s) {
+			ast.Inspect(h, func(m ast.Node) bool {
+				if _, ok := m.(*ast.FuncLit); ok {
+					return false // a closure's locks belong to its own call frame
+				}
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				op := asLockOp(info, call)
+				if op == nil || (op.op != "Lock" && op.op != "RLock") {
+					return true
+				}
+				checkAcquire(pass, cfg, fn, s, op, checkNode, onHeadline)
+				return true
+			})
+		}
+	})
+}
+
+// checkAcquire verifies one Lock/RLock: forbidden work in its held
+// region, and release on every path.
+func checkAcquire(pass *lintkit.Pass, cfg *lintkit.CFG, fn *ast.FuncDecl, at ast.Stmt, acq *lockOp,
+	checkNode func(*class, ast.Node), onHeadline func(ast.Stmt, func(ast.Node))) {
+	info := pass.Pkg.Info
+	want := unlockFor(acq.op)
+
+	isRelease := func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if op := asLockOp(info, call); op != nil && op.op == want && op.recv == acq.recv {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+
+	// A deferred release covers all paths; the held region then runs to
+	// the end of the function.
+	deferred := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if isRelease(d.Call) {
+			deferred = true
+		} else if fl, ok := d.Call.Fun.(*ast.FuncLit); ok && isRelease(fl.Body) {
+			deferred = true
+		}
+		return true
+	})
+
+	if acq.class != nil {
+		stop := func(s ast.Stmt) bool { return !deferred && stmtReleases(s, isRelease, onHeadline) }
+		cfg.VisitFrom(at, stop, func(s ast.Stmt) {
+			onHeadline(s, func(h ast.Node) { checkNode(acq.class, h) })
+		})
+	}
+
+	if !deferred {
+		release := func(s ast.Stmt) bool { return stmtReleases(s, isRelease, onHeadline) }
+		if leakAt, found := cfg.ReachesExitWithout(at, release, nil, nil); found {
+			if leakAt == at {
+				pass.Reportf(acq.call.Pos(), "%s.%s is still held when the loop re-acquires it", acq.recv, acq.op)
+			} else {
+				pass.Reportf(acq.call.Pos(), "%s.%s is not released on every path out of %s (missing %s or defer)", acq.recv, acq.op, fn.Name.Name, want)
+			}
+		}
+	}
+}
+
+func stmtReleases(s ast.Stmt, isRelease func(ast.Node) bool, onHeadline func(ast.Stmt, func(ast.Node))) bool {
+	found := false
+	onHeadline(s, func(h ast.Node) {
+		if isRelease(h) {
+			found = true
+		}
+	})
+	return found
+}
+
+// isStorageIO reports whether fn is a storage-layer operation that hits
+// the pager or a heap file.
+func isStorageIO(fn *types.Func) bool {
+	if lintkit.PkgName(fn) != "storage" {
+		return false
+	}
+	switch lintkit.ReceiverTypeName(fn) {
+	case "Pager", "HeapFile":
+		return true
+	case "":
+		switch fn.Name() {
+		case "CreateHeap", "OpenHeap":
+			return true
+		}
+	}
+	return false
+}
+
+func calleeLabel(fn *types.Func) string {
+	if recv := lintkit.ReceiverTypeName(fn); recv != "" {
+		return recv + "." + fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

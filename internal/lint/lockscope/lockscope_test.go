@@ -1,0 +1,12 @@
+package lockscope_test
+
+import (
+	"testing"
+
+	"dkbms/internal/lint/lintkit"
+	"dkbms/internal/lint/lockscope"
+)
+
+func TestFixtures(t *testing.T) {
+	lintkit.RunFixtures(t, lockscope.Analyzer, "testdata/src")
+}

@@ -1,0 +1,52 @@
+// Package catalog is a fixture stub: no storage I/O under the registry
+// mutex, including in *Locked helpers that run with it held.
+package catalog
+
+import (
+	"sync"
+
+	"storage"
+)
+
+type Catalog struct {
+	mu     sync.RWMutex
+	pager  *storage.Pager
+	heap   *storage.HeapFile
+	tables map[string]bool
+}
+
+func (c *Catalog) lookupOK(name string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tables[name]
+}
+
+func (c *Catalog) createBad(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, err := storage.CreateHeap(c.pager) // want "performs storage I/O"
+	if err != nil {
+		return err
+	}
+	_ = h
+	c.tables[name] = true
+	return nil
+}
+
+// registerLocked runs with c.mu held (the *Locked naming convention).
+func (c *Catalog) registerLocked(rec []byte) error {
+	_, err := c.heap.Insert(rec) // want "performs heap-file I/O|performs storage I/O"
+	return err
+}
+
+func (c *Catalog) createOK(name string) error {
+	h, err := storage.CreateHeap(c.pager)
+	if err != nil {
+		return err
+	}
+	_ = h
+	c.mu.Lock()
+	c.tables[name] = true
+	c.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,36 @@
+// Package server is a fixture stub: no connection I/O while the
+// session-table mutex is held; collect-then-release is the sanctioned
+// shape.
+package server
+
+import (
+	"io"
+	"sync"
+
+	"wire"
+)
+
+type Server struct {
+	mu       sync.Mutex
+	sessions map[int]io.Writer
+}
+
+func (s *Server) broadcastBad(payload []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, w := range s.sessions {
+		wire.WriteFrame(w, 1, payload) // want "performs connection I/O"
+	}
+}
+
+func (s *Server) broadcastOK(payload []byte) {
+	s.mu.Lock()
+	targets := make([]io.Writer, 0, len(s.sessions))
+	for _, w := range s.sessions {
+		targets = append(targets, w)
+	}
+	s.mu.Unlock()
+	for _, w := range targets {
+		wire.WriteFrame(w, 1, payload)
+	}
+}

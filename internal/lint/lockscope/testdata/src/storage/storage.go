@@ -1,0 +1,90 @@
+// Package storage is a fixture stub for lockscope: shard-latch rules,
+// the flMu → latch lock order, and the sanctioned write-back path.
+package storage
+
+import "sync"
+
+type PageID uint32
+
+type Page struct{ Data []byte }
+
+type Pager struct {
+	flMu    sync.Mutex
+	allocMu sync.Mutex
+	memMu   sync.RWMutex
+	shards  []shard
+}
+
+type shard struct {
+	mu   sync.Mutex
+	hits int64
+}
+
+func (p *Pager) Fetch(id PageID) (*Page, error) { return &Page{}, nil }
+func (p *Pager) Allocate() (*Page, error)       { return &Page{}, nil }
+func (p *Pager) Flush() error                   { return nil }
+func (p *Pager) Unpin(pg *Page)                 {}
+func (p *Pager) writePage(pg *Page)             {}
+func (p *Pager) readPage(pg *Page)              {}
+
+type HeapFile struct{ p *Pager }
+
+func (h *HeapFile) Insert(rec []byte) (int, error) { return 0, nil }
+
+func CreateHeap(p *Pager) (*HeapFile, error) { return &HeapFile{p: p}, nil }
+
+// shard methods run under their shard's latch by convention: the
+// write-back calls are sanctioned, re-entering the pager is not.
+func (sh *shard) evictOK(p *Pager, pg *Page) {
+	p.writePage(pg)
+	p.readPage(pg)
+}
+
+func (sh *shard) evictBad(p *Pager, pg *Page) {
+	p.writePage(pg)
+	p.Flush() // want "re-enters the pager"
+}
+
+func (p *Pager) statsOK() int64 {
+	var total int64
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		total += sh.hits
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+func (p *Pager) badUnderLatch(id PageID) {
+	sh := &p.shards[0]
+	sh.mu.Lock()
+	p.flMu.Lock() // want "inverts the flMu"
+	p.flMu.Unlock()
+	pg, _ := p.Fetch(id) // want "re-enters the pager"
+	_ = pg
+	sh.mu.Unlock()
+}
+
+func (p *Pager) badForgot(c bool) {
+	sh := &p.shards[0]
+	sh.mu.Lock() // want "not released on every path"
+	if c {
+		return
+	}
+	sh.mu.Unlock()
+}
+
+// The miss path may read-lock memMu under the latch; write-locking it
+// there inverts the resize order.
+func (p *Pager) memOrder(c bool) {
+	sh := &p.shards[0]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	p.memMu.RLock()
+	p.memMu.RUnlock()
+	if c {
+		p.memMu.Lock() // want "inverts the resize lock order"
+		p.memMu.Unlock()
+	}
+}

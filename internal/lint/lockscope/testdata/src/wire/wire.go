@@ -1,0 +1,9 @@
+// Package wire is a fixture stub: lockscope only needs the WriteFrame
+// shape.
+package wire
+
+import "io"
+
+func WriteFrame(w io.Writer, t byte, payload []byte) (int, error) {
+	return w.Write(payload)
+}

@@ -1,0 +1,256 @@
+// Package opcodecheck keeps the wire protocol closed under extension.
+// Adding a wire.MsgType constant without updating every consumer is the
+// classic protocol bug: the server's dispatch switch silently routes the
+// new request to its default error arm, or the new message has no
+// payload codec. The analyzer enforces two rules:
+//
+//  1. Exhaustive switches: any switch whose tag is wire.MsgType must
+//     cover every request constant if it handles any request, and every
+//     response constant if it handles any response (the boundary is
+//     0x10, the first response value). This covers both the server
+//     dispatch switch and MsgType.String.
+//  2. Payload convention (checked inside the wire package itself): each
+//     constant MsgFoo must have a payload struct Foo with an Encode
+//     method and a DecodeFoo function. Messages with no payload carry a
+//     `//dkblint:nopayload` directive; an irregular payload name is
+//     declared with `//dkblint:payload=Name`.
+package opcodecheck
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+
+	"dkbms/internal/lint/lintkit"
+)
+
+// Analyzer is the opcodecheck pass.
+var Analyzer = &lintkit.Analyzer{
+	Name: "opcodecheck",
+	Doc:  "every wire opcode is dispatched exhaustively and has its payload codec",
+	Run:  run,
+}
+
+// responseBase is the first response opcode value; requests sit below.
+const responseBase = 0x10
+
+func run(pass *lintkit.Pass) error {
+	checkSwitches(pass)
+	if declaresMsgType(pass.Pkg) {
+		checkPayloadConvention(pass)
+	}
+	return nil
+}
+
+// msgTypeOf returns the named wire.MsgType type if t is it (possibly
+// via the package under analysis being wire itself).
+func msgTypeOf(t types.Type) *types.Named {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "MsgType" {
+		return nil
+	}
+	if named.Obj().Pkg() == nil || named.Obj().Pkg().Name() != "wire" {
+		return nil
+	}
+	return named
+}
+
+func declaresMsgType(pkg *lintkit.Package) bool {
+	if pkg.Types == nil || pkg.Types.Name() != "wire" {
+		return false
+	}
+	_, ok := pkg.Types.Scope().Lookup("MsgType").(*types.TypeName)
+	return ok
+}
+
+// opcode is one MsgType constant.
+type opcode struct {
+	obj   *types.Const
+	value int64
+}
+
+func (o opcode) request() bool { return o.value < responseBase }
+
+// opcodesOf lists the MsgType constants declared in the package owning
+// the type, sorted by value.
+func opcodesOf(named *types.Named) []opcode {
+	scope := named.Obj().Pkg().Scope()
+	var out []opcode
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || c.Type() != named {
+			continue
+		}
+		v, ok := constant.Int64Val(constant.ToInt(c.Val()))
+		if !ok {
+			continue
+		}
+		out = append(out, opcode{obj: c, value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].value < out[j].value })
+	return out
+}
+
+// checkSwitches enforces rule 1 over every switch in the package.
+func checkSwitches(pass *lintkit.Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := info.Types[sw.Tag]
+			if !ok {
+				return true
+			}
+			named := msgTypeOf(tv.Type)
+			if named == nil {
+				return true
+			}
+			handled := map[types.Object]bool{}
+			for _, clause := range sw.Body.List {
+				cc, ok := clause.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, e := range cc.List {
+					var id *ast.Ident
+					switch e := ast.Unparen(e).(type) {
+					case *ast.Ident:
+						id = e
+					case *ast.SelectorExpr:
+						id = e.Sel
+					default:
+						continue
+					}
+					if c, ok := info.Uses[id].(*types.Const); ok {
+						handled[c] = true
+					}
+				}
+			}
+			ops := opcodesOf(named)
+			anyReq, anyResp := false, false
+			for _, op := range ops {
+				if handled[op.obj] {
+					if op.request() {
+						anyReq = true
+					} else {
+						anyResp = true
+					}
+				}
+			}
+			var missing []string
+			for _, op := range ops {
+				if handled[op.obj] {
+					continue
+				}
+				if (op.request() && anyReq) || (!op.request() && anyResp) {
+					missing = append(missing, op.obj.Name())
+				}
+			}
+			if len(missing) > 0 {
+				pass.Reportf(sw.Pos(), "switch on wire.MsgType does not handle %s", strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+}
+
+// checkPayloadConvention enforces rule 2 inside the wire package.
+func checkPayloadConvention(pass *lintkit.Pass) {
+	scope := pass.Pkg.Types.Scope()
+	mt, _ := scope.Lookup("MsgType").(*types.TypeName)
+	named, ok := mt.Type().(*types.Named)
+	if !ok {
+		return
+	}
+	directives := constDirectives(pass)
+	for _, op := range opcodesOf(named) {
+		name := op.obj.Name()
+		dir := directives[name]
+		if dir == "nopayload" {
+			continue
+		}
+		payload := strings.TrimPrefix(name, "Msg")
+		if strings.HasPrefix(dir, "payload=") {
+			payload = strings.TrimPrefix(dir, "payload=")
+		} else if !strings.HasPrefix(name, "Msg") {
+			pass.Reportf(op.obj.Pos(), "opcode %s does not follow the Msg<Name> naming convention", name)
+			continue
+		}
+		tn, _ := scope.Lookup(payload).(*types.TypeName)
+		if tn == nil {
+			pass.Reportf(op.obj.Pos(), "opcode %s has no payload type %s (declare it, or mark the opcode //dkblint:nopayload)", name, payload)
+			continue
+		}
+		if !hasEncode(tn) {
+			pass.Reportf(op.obj.Pos(), "payload type %s for opcode %s has no Encode method", payload, name)
+		}
+		if _, ok := scope.Lookup("Decode" + payload).(*types.Func); !ok {
+			pass.Reportf(op.obj.Pos(), "opcode %s has no Decode%s function", name, payload)
+		}
+	}
+}
+
+func hasEncode(tn *types.TypeName) bool {
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return false
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i).Name() == "Encode" {
+			return true
+		}
+	}
+	return false
+}
+
+// constDirectives maps constant names to their //dkblint:... directive,
+// read from the doc or line comment of the declaring spec.
+func constDirectives(pass *lintkit.Pass) map[string]string {
+	out := map[string]string{}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				dir := directiveIn(vs.Doc)
+				if dir == "" {
+					dir = directiveIn(vs.Comment)
+				}
+				if dir == "" {
+					continue
+				}
+				for _, name := range vs.Names {
+					out[name.Name] = dir
+				}
+			}
+		}
+	}
+	return out
+}
+
+func directiveIn(cg *ast.CommentGroup) string {
+	if cg == nil {
+		return ""
+	}
+	for _, c := range cg.List {
+		if rest, ok := strings.CutPrefix(c.Text, "//dkblint:"); ok {
+			// Only the first token is the directive; anything after
+			// whitespace is ordinary comment text.
+			if f := strings.Fields(rest); len(f) > 0 {
+				return f[0]
+			}
+		}
+	}
+	return ""
+}

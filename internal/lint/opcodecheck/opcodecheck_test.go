@@ -1,0 +1,12 @@
+package opcodecheck_test
+
+import (
+	"testing"
+
+	"dkbms/internal/lint/lintkit"
+	"dkbms/internal/lint/opcodecheck"
+)
+
+func TestFixtures(t *testing.T) {
+	lintkit.RunFixtures(t, opcodecheck.Analyzer, "testdata/src")
+}

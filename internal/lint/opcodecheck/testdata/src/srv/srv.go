@@ -1,0 +1,46 @@
+// Package srv exercises opcodecheck's dispatch-exhaustiveness rule
+// from a package importing the protocol.
+package srv
+
+import "wire"
+
+func dispatchBad(t wire.MsgType) string {
+	switch t { // want "does not handle MsgQuery, MsgBad"
+	case wire.MsgPing:
+		return "ping"
+	case wire.MsgLoad:
+		return "load"
+	default:
+		return "?"
+	}
+}
+
+func dispatchOK(t wire.MsgType) string {
+	switch t {
+	case wire.MsgPing:
+		return "ping"
+	case wire.MsgLoad, wire.MsgQuery:
+		return "load/query"
+	case wire.MsgBad:
+		fallthrough
+	default:
+		return "?"
+	}
+}
+
+// A switch over responses only must cover the responses, not requests.
+func replyBad(t wire.MsgType) bool {
+	switch t { // want "does not handle MsgErr"
+	case wire.MsgPong:
+		return true
+	}
+	return false
+}
+
+func replyOK(t wire.MsgType) bool {
+	switch t {
+	case wire.MsgPong, wire.MsgErr:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,51 @@
+// Package wire is a fixture stub exercising opcodecheck's payload
+// convention: MsgFoo → type Foo with Encode + func DecodeFoo, with
+// directives declaring the exceptions.
+package wire
+
+type MsgType uint8
+
+const (
+	MsgPing MsgType = iota + 1 //dkblint:nopayload
+	MsgLoad
+	MsgQuery
+	MsgBad // want "no payload type Bad"
+)
+
+const (
+	MsgPong MsgType = iota + 0x10 //dkblint:nopayload
+	MsgErr                        //dkblint:payload=Failure // want "has no Encode method" "has no DecodeFailure function"
+)
+
+type Load struct{ Src string }
+
+func (m Load) Encode() []byte { return nil }
+
+func DecodeLoad(p []byte) (Load, error) { return Load{}, nil }
+
+type Query struct{ Src string }
+
+func (m Query) Encode() []byte { return nil }
+
+func DecodeQuery(p []byte) (Query, error) { return Query{}, nil }
+
+// Failure is declared as MsgErr's payload but has no codec yet.
+type Failure struct{ Msg string }
+
+func (t MsgType) String() string {
+	switch t {
+	case MsgPing:
+		return "PING"
+	case MsgLoad:
+		return "LOAD"
+	case MsgQuery:
+		return "QUERY"
+	case MsgBad:
+		return "BAD"
+	case MsgPong:
+		return "PONG"
+	case MsgErr:
+		return "ERR"
+	}
+	return "?"
+}

@@ -1,0 +1,288 @@
+// Package pinpair checks the buffer pool's central resource invariant:
+// a page pinned by storage.Pager.Fetch / Allocate / AllocateReusable
+// must reach Pager.Unpin on every control-flow path out of the function
+// that pinned it — including error returns — unless the page itself
+// escapes (is returned or handed to another owner), in which case the
+// unpin obligation transfers with it. A `defer pager.Unpin(pg)`
+// satisfies the obligation on all paths, panics included.
+//
+// PR 2 made pin counts atomic so eviction trusts them without a global
+// latch; a leaked pin therefore wedges a frame in its shard forever and
+// shrinks the pool silently. This analyzer turns that rule into a build
+// failure.
+package pinpair
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dkbms/internal/lint/lintkit"
+)
+
+// Analyzer is the pinpair pass.
+var Analyzer = &lintkit.Analyzer{
+	Name: "pinpair",
+	Doc:  "every Pager.Fetch/Allocate must be paired with Unpin on all paths",
+	Run:  run,
+}
+
+// pinSources are the Pager methods that return a pinned page.
+var pinSources = map[string]bool{
+	"Fetch":            true,
+	"Allocate":         true,
+	"AllocateReusable": true,
+}
+
+func run(pass *lintkit.Pass) error {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				checkFunc(pass, fn)
+			}
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *lintkit.Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	var cfg *lintkit.CFG // built lazily, once per function
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := lintkit.Callee(info, call)
+		if callee == nil || !pinSources[callee.Name()] ||
+			lintkit.PkgName(callee) != "storage" || lintkit.ReceiverTypeName(callee) != "Pager" {
+			return true
+		}
+		if len(as.Lhs) == 0 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true // stored straight into a field/index: owner changed
+		}
+		if id.Name == "_" {
+			pass.Reportf(as.Pos(), "pinned page from %s is discarded without Unpin", callee.Name())
+			return true
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return true
+		}
+		if cfg == nil {
+			cfg = lintkit.BuildCFG(fn.Body)
+		}
+		if cfg.Unsupported {
+			return false // goto/labels: skip the function
+		}
+		// The error result's object, for pruning failure-branch paths
+		// (the page is nil when the acquisition errored).
+		var errObj types.Object
+		if len(as.Lhs) == 2 {
+			if eid, ok := as.Lhs[1].(*ast.Ident); ok && eid.Name != "_" {
+				errObj = info.Defs[eid]
+				if errObj == nil {
+					errObj = info.Uses[eid]
+				}
+			}
+		}
+		checkPin(pass, cfg, fn, as, callee.Name(), obj, errObj)
+		return true
+	})
+}
+
+// checkPin verifies that one acquisition is released on every path.
+func checkPin(pass *lintkit.Pass, cfg *lintkit.CFG, fn *ast.FuncDecl, acquire ast.Stmt, srcName string, obj, errObj types.Object) {
+	info := pass.Pkg.Info
+
+	isObj := func(id *ast.Ident) bool {
+		return info.Uses[id] == obj || info.Defs[id] == obj
+	}
+	usesObj := func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && isObj(id) {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+
+	// isUnpinNode reports whether n contains an Unpin(obj) call.
+	isUnpinNode := func(n ast.Node) bool {
+		unpinned := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if lintkit.IsMethod(info, call, "storage", "Pager", "Unpin") &&
+				len(call.Args) == 1 && usesObj(call.Args[0]) {
+				unpinned = true
+				return false
+			}
+			return true
+		})
+		return unpinned
+	}
+
+	// escapesNode reports whether n passes the page to another owner:
+	// returned, address taken, placed in a composite literal, passed to
+	// a call other than Unpin, captured by a closure, sent on a channel,
+	// or aliased by an assignment. Selector uses (pg.Data, pg.Next())
+	// and comparisons are plain uses, not escapes.
+	var escapesNode func(n ast.Node) bool
+	escapesNode = func(n ast.Node) bool {
+		escaped := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if escaped {
+				return false
+			}
+			switch m := m.(type) {
+			case *ast.CallExpr:
+				if lintkit.IsMethod(info, m, "storage", "Pager", "Unpin") {
+					return false // a release, not an escape
+				}
+				for _, arg := range m.Args {
+					if id, ok := ast.Unparen(arg).(*ast.Ident); ok && isObj(id) {
+						escaped = true
+						return false
+					}
+				}
+				return true
+			case *ast.SelectorExpr:
+				// pg.Field / pg.Method(): inspect only the base for
+				// nested expressions like f(pg).X — the Sel side cannot
+				// be the page object itself.
+				if escapesNode(m.X) {
+					escaped = true
+				}
+				return false
+			case *ast.AssignStmt:
+				for _, rhs := range m.Rhs {
+					if id, ok := ast.Unparen(rhs).(*ast.Ident); ok && isObj(id) {
+						escaped = true // aliased: tracking ends
+						return false
+					}
+				}
+				return true
+			case *ast.ReturnStmt:
+				if usesObj(m) {
+					escaped = true
+					return false
+				}
+				return true
+			case *ast.UnaryExpr:
+				if m.Op == token.AND && usesObj(m.X) {
+					escaped = true
+					return false
+				}
+				return true
+			case *ast.CompositeLit:
+				if usesObj(m) {
+					escaped = true
+				}
+				return false
+			case *ast.FuncLit:
+				if usesObj(m.Body) {
+					escaped = true
+				}
+				return false
+			case *ast.SendStmt:
+				if usesObj(m.Value) {
+					escaped = true
+					return false
+				}
+				return true
+			}
+			return true
+		})
+		return escaped
+	}
+
+	// A deferred Unpin (directly or inside a deferred closure) satisfies
+	// every path, panics included.
+	deferSatisfied := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if isUnpinNode(d.Call) {
+			deferSatisfied = true
+		} else if fl, ok := d.Call.Fun.(*ast.FuncLit); ok && isUnpinNode(fl.Body) {
+			deferSatisfied = true
+		}
+		return true
+	})
+	if deferSatisfied {
+		return
+	}
+
+	onHeadline := func(s ast.Stmt, pred func(ast.Node) bool) bool {
+		for _, h := range lintkit.Headline(s) {
+			if pred(h) {
+				return true
+			}
+		}
+		return false
+	}
+	release := func(s ast.Stmt) bool { return onHeadline(s, isUnpinNode) }
+	kill := func(s ast.Stmt) bool { return onHeadline(s, escapesNode) }
+
+	// Prune branches taken only when the acquisition failed: the page is
+	// nil there, so no pin obligation exists. (An `err` reused by later
+	// calls makes this prune over-broad, trading false positives for
+	// possible false negatives on already-released paths.)
+	skipEdge := func(ec lintkit.EdgeCond) bool {
+		if errObj == nil {
+			return false
+		}
+		bin, ok := ast.Unparen(ec.Cond).(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.NEQ && bin.Op != token.EQL) {
+			return false
+		}
+		errSide := bin.X
+		if isNilIdent(bin.X) {
+			errSide = bin.Y
+		} else if !isNilIdent(bin.Y) {
+			return false
+		}
+		id, ok := ast.Unparen(errSide).(*ast.Ident)
+		if !ok || (info.Uses[id] != errObj && info.Defs[id] != errObj) {
+			return false
+		}
+		// `err != nil` then-branch, or `err == nil` else-branch.
+		return (bin.Op == token.NEQ) != ec.Negated
+	}
+
+	if leakAt, found := cfg.ReachesExitWithout(acquire, release, kill, skipEdge); found {
+		switch {
+		case leakAt == acquire:
+			pass.Reportf(acquire.Pos(), "page pinned by %s is still pinned when the loop re-executes the pin; the previous pin leaks", srcName)
+		case leakAt != nil:
+			pass.Reportf(acquire.Pos(), "page pinned by %s is not released on the path to %s: missing Unpin", srcName, pass.Fset.Position(leakAt.Pos()))
+		default:
+			pass.Reportf(acquire.Pos(), "page pinned by %s may leave the function without Unpin", srcName)
+		}
+	}
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}

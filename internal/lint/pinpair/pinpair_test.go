@@ -1,0 +1,12 @@
+package pinpair_test
+
+import (
+	"testing"
+
+	"dkbms/internal/lint/lintkit"
+	"dkbms/internal/lint/pinpair"
+)
+
+func TestFixtures(t *testing.T) {
+	lintkit.RunFixtures(t, pinpair.Analyzer, "testdata/src")
+}

@@ -1,0 +1,122 @@
+package a
+
+import "storage"
+
+func goodDefer(p *storage.Pager) error {
+	pg, err := p.Fetch(1)
+	if err != nil {
+		return err
+	}
+	defer p.Unpin(pg)
+	_ = pg.Data
+	return nil
+}
+
+func goodDeferClosure(p *storage.Pager) error {
+	pg, err := p.Fetch(1)
+	if err != nil {
+		return err
+	}
+	defer func() { p.Unpin(pg) }()
+	return nil
+}
+
+func goodBothBranches(p *storage.Pager, c bool) {
+	pg, err := p.Fetch(1)
+	if err != nil {
+		return
+	}
+	if c {
+		p.Unpin(pg)
+		return
+	}
+	p.Unpin(pg)
+}
+
+// The error-return branch carries no pin obligation: pg is nil there.
+func goodErrGuard(p *storage.Pager) error {
+	pg, err := p.Fetch(1)
+	if err != nil {
+		return err
+	}
+	_ = pg.Data
+	p.Unpin(pg)
+	return nil
+}
+
+// Returning the page transfers the unpin obligation to the caller.
+func goodEscapeReturn(p *storage.Pager) (*storage.Page, error) {
+	pg, err := p.Fetch(1)
+	if err != nil {
+		return nil, err
+	}
+	return pg, nil
+}
+
+// Passing the page to another function transfers ownership too.
+func goodEscapeCall(p *storage.Pager) {
+	pg, err := p.Fetch(1)
+	if err != nil {
+		return
+	}
+	consume(pg)
+}
+
+func consume(pg *storage.Page) {}
+
+// The fallthrough edge carries the obligation into the next clause.
+func goodFallthrough(p *storage.Pager, k int) {
+	pg, _ := p.Fetch(1)
+	switch k {
+	case 0:
+		_ = pg.Data
+		fallthrough
+	case 1:
+		p.Unpin(pg)
+	default:
+		p.Unpin(pg)
+	}
+}
+
+func badEarlyReturn(p *storage.Pager) error {
+	pg, err := p.Fetch(1) // want "not released on the path"
+	if err != nil {
+		return err
+	}
+	if len(pg.Data) == 0 {
+		return nil // leaks the pin
+	}
+	p.Unpin(pg)
+	return nil
+}
+
+func badDiscard(p *storage.Pager) {
+	_, _ = p.Allocate() // want "discarded without Unpin"
+}
+
+func badLoop(p *storage.Pager, n int) {
+	var pg *storage.Page
+	for i := 0; i < n; i++ {
+		pg, _ = p.Fetch(1) // want "loop re-executes the pin"
+		_ = pg.Data
+	}
+	if pg != nil {
+		p.Unpin(pg)
+	}
+}
+
+func badSwitch(p *storage.Pager, k int) {
+	pg, _ := p.Fetch(1) // want "may leave the function without Unpin"
+	switch k {
+	case 0:
+		p.Unpin(pg)
+	}
+}
+
+func badNoUnpin(p *storage.Pager) {
+	pg, err := p.AllocateReusable() // want "not released on the path"
+	if err != nil {
+		return
+	}
+	_ = pg.Data
+}

@@ -1,0 +1,17 @@
+// Package storage is a fixture stub standing in for the real
+// internal/storage package: pinpair matches by package, type and method
+// name, so only the shapes matter.
+package storage
+
+type PageID uint32
+
+// Page is a pinned buffer-pool page.
+type Page struct{ Data []byte }
+
+// Pager hands out pinned pages.
+type Pager struct{}
+
+func (p *Pager) Fetch(id PageID) (*Page, error)   { return &Page{}, nil }
+func (p *Pager) Allocate() (*Page, error)         { return &Page{}, nil }
+func (p *Pager) AllocateReusable() (*Page, error) { return &Page{}, nil }
+func (p *Pager) Unpin(pg *Page)                   {}

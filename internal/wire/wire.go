@@ -29,26 +29,29 @@ const MaxFrameSize = 16 << 20
 // MsgType identifies a frame's message.
 type MsgType uint8
 
-// Request messages.
+// Request messages. dkblint's opcodecheck pass enforces that every
+// constant here is handled by the server dispatch switch and follows
+// the payload convention MsgFoo → type Foo + DecodeFoo; the directives
+// declare the exceptions.
 const (
-	MsgPing MsgType = iota + 1
+	MsgPing MsgType = iota + 1 //dkblint:nopayload
 	MsgLoad
 	MsgQuery
 	MsgPrepare
 	MsgExecP
 	MsgRetract
-	MsgStats
+	MsgStats //dkblint:nopayload
 )
 
 // Response messages.
 const (
-	MsgPong MsgType = iota + 0x10
-	MsgOK
+	MsgPong MsgType = iota + 0x10 //dkblint:nopayload
+	MsgOK                         //dkblint:nopayload
 	MsgError
 	MsgResult
 	MsgPrepared
 	MsgRetracted
-	MsgStatsReply
+	MsgStatsReply //dkblint:payload=ServerStats
 )
 
 // String names the message type.

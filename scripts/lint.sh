@@ -1,0 +1,20 @@
+#!/bin/sh
+# Lint entry point: go vet, the dkblint domain analyzers, and — when
+# installed — the generic linters CI pins. Extra arguments are passed
+# to dkblint (e.g. scripts/lint.sh -json).
+set -e
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go run ./cmd/dkblint "$@" ./...
+
+if command -v staticcheck >/dev/null 2>&1; then
+	staticcheck ./...
+else
+	echo "lint.sh: staticcheck not installed, skipping" >&2
+fi
+if command -v govulncheck >/dev/null 2>&1; then
+	govulncheck ./...
+else
+	echo "lint.sh: govulncheck not installed, skipping" >&2
+fi
