@@ -407,3 +407,26 @@ func BenchmarkQueryEndToEnd(b *testing.B) {
 		runQuery(b, tb, q, nil)
 	}
 }
+
+// BenchmarkQueryTrace pins the observability overhead contract from
+// both sides: "off" is the same end-to-end query with the instrumented
+// code paths compiled in but tracing disabled (must match
+// BenchmarkQueryEndToEnd within noise), "on" shows what full span
+// recording costs when requested.
+func BenchmarkQueryTrace(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		trace bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			tb := treeTestbed(b, 8)
+			q := fmt.Sprintf("?- ancestor(%s, W).", workload.TreeNode(2))
+			opts := &dkbms.QueryOptions{Trace: mode.trace}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				runQuery(b, tb, q, opts)
+			}
+		})
+	}
+}

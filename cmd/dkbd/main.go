@@ -8,6 +8,7 @@
 //	dkbd                          # in-memory D/KB on :7407
 //	dkbd -db family.db -addr :9000
 //	dkbd -load family.dl          # preload a program at startup
+//	dkbd -debug-addr 127.0.0.1:7408   # HTTP /metrics JSON snapshot
 //
 // dkbd shuts down gracefully on SIGINT/SIGTERM: the listener closes at
 // once, in-flight requests finish and receive their responses, then the
@@ -20,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -35,15 +37,16 @@ func main() {
 	load := flag.String("load", "", "Horn-clause program to load at startup")
 	maxConns := flag.Int("maxconns", server.DefaultMaxConns, "max simultaneous sessions")
 	ioTimeout := flag.Duration("iotimeout", server.DefaultIOTimeout, "per-request I/O deadline (negative disables)")
+	debugAddr := flag.String("debug-addr", "", "HTTP debug listen address serving /metrics (empty = disabled)")
 	flag.Parse()
 
-	if err := run(*addr, *dbPath, *load, *maxConns, *ioTimeout); err != nil {
+	if err := run(*addr, *dbPath, *load, *maxConns, *ioTimeout, *debugAddr); err != nil {
 		fmt.Fprintf(os.Stderr, "dkbd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dbPath, load string, maxConns int, ioTimeout time.Duration) error {
+func run(addr, dbPath, load string, maxConns int, ioTimeout time.Duration, debugAddr string) error {
 	var tb *dkbms.Testbed
 	var err error
 	if dbPath == "" {
@@ -76,6 +79,27 @@ func run(addr, dbPath, load string, maxConns int, ioTimeout time.Duration) error
 		IOTimeout: ioTimeout,
 		Logf:      server.Logf,
 	})
+	if debugAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if err := srv.Registry().WriteJSON(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		dbg := &http.Server{Addr: debugAddr, Handler: mux}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "dkbd: debug server: %v\n", err)
+			}
+		}()
+		go func() {
+			<-ctx.Done()
+			dbg.Close()
+		}()
+		fmt.Printf("dkbd: debug metrics on http://%s/metrics\n", debugAddr)
+	}
+
 	ready := make(chan net.Addr, 1)
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe(ctx, addr, ready) }()

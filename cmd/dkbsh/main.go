@@ -130,6 +130,8 @@ func (s *shell) handle(line string) error {
 		return s.rawSQL(strings.TrimPrefix(line, ".sql "))
 	case strings.HasPrefix(line, ".explain "):
 		return s.explain(strings.TrimPrefix(line, ".explain "))
+	case strings.HasPrefix(line, ".trace "):
+		return s.trace(strings.TrimSpace(strings.TrimPrefix(line, ".trace ")))
 	case strings.HasPrefix(line, "."):
 		return fmt.Errorf("unknown command %q (.help)", line)
 	case strings.HasPrefix(line, "?-"):
@@ -164,6 +166,27 @@ func (s *shell) query(line string) error {
 			fmt.Fprintf(s.out, "  %s %v: %v in %d iterations, %d tuples\n",
 				kind, ns.Preds, ns.Elapsed, ns.Iterations, ns.Tuples)
 		}
+	}
+	return nil
+}
+
+// trace runs one query with tracing on and prints the span tree — the
+// per-phase, per-iteration, per-operator account of the evaluation.
+func (s *shell) trace(q string) error {
+	opts := s.opts
+	opts.Trace = true
+	res, err := s.tb.Query(q, &opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(s.out, res.Format())
+	fmt.Fprintf(s.out, "%d rows", len(res.Rows))
+	if res.Optimized {
+		fmt.Fprint(s.out, " (magic sets)")
+	}
+	fmt.Fprintf(s.out, " [%s]\n", res.Strategy)
+	if res.Trace != nil {
+		fmt.Fprint(s.out, res.Trace.Format())
 	}
 	return nil
 }
@@ -251,6 +274,7 @@ commands:
   .opts WORDS     naive|seminaive  magic|nomagic|adaptive  parallel|serial
   .timing on|off  print compile/eval breakdowns per query
   .explain Q      show the compiled evaluation program for a query
+  .trace Q        run a query with tracing and print its span tree
   .sql STMT       raw SQL against the DBMS
   .quit
 `)

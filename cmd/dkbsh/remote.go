@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"dkbms/internal/client"
+	"dkbms/internal/obs"
 	"dkbms/internal/wire"
 )
 
@@ -119,6 +120,20 @@ func (s *remoteShell) handle(line string) error {
 		return nil
 	case strings.HasPrefix(line, ".opts "):
 		return s.setOpts(strings.Fields(strings.TrimPrefix(line, ".opts ")))
+	case strings.HasPrefix(line, ".trace "):
+		// Same query path with the TRACE bit set: the server evaluates
+		// with tracing and ships the span tree back in the RESULT frame.
+		opts := s.opts
+		opts.Trace = true
+		res, err := s.c.Query(strings.TrimSpace(strings.TrimPrefix(line, ".trace ")), opts)
+		if err != nil {
+			return err
+		}
+		s.printResult(res)
+		if res.Trace != nil {
+			fmt.Fprint(s.out, obs.Adopt(res.Trace).Format())
+		}
+		return nil
 	case strings.HasPrefix(line, "."):
 		return fmt.Errorf("unknown command %q (.help)", line)
 	case strings.HasPrefix(line, "?-"):
@@ -199,6 +214,7 @@ commands (remote session):
   .prepare Q      compile a query server-side; returns an id
   .exec ID        run a prepared query
   .stats          server activity counters
+  .trace Q        run a query with server-side tracing and print its span tree
   .opts WORDS     naive|seminaive  magic|nomagic|adaptive  parallel|serial
   .quit
 `)

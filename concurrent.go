@@ -1,9 +1,11 @@
 package dkbms
 
 import (
+	"context"
 	"sync"
 
 	"dkbms/internal/dlog"
+	"dkbms/internal/obs"
 	"dkbms/internal/rel"
 	"dkbms/internal/storage"
 	"dkbms/internal/stored"
@@ -118,31 +120,49 @@ func (c *ConcurrentTestbed) invalidate() {
 // change (LOAD of facts, RETRACT) keeps the compiled program but
 // re-evaluates; a rule change recompiles from scratch.
 func (c *ConcurrentTestbed) Query(src string, opts *QueryOptions) (*QueryResult, error) {
+	return c.QueryContext(context.Background(), src, opts)
+}
+
+// QueryContext is Query under a context: cancellation is observed at
+// LFP iteration boundaries (see Testbed.QueryContext). Traced queries
+// (opts.Trace) share compiled plans with untraced ones but bypass the
+// memoized-answer path in both directions, so a returned trace always
+// describes an evaluation that actually ran.
+func (c *ConcurrentTestbed) QueryContext(ctx context.Context, src string, opts *QueryOptions) (*QueryResult, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	if opts == nil {
 		opts = &QueryOptions{}
 	}
 	key := planKey{src: src, opts: *opts}
+	key.opts.Trace = false // the trace flag does not change the plan
 	ruleGen, dataGen := c.tb.ruleGen, c.tb.dataGen
 	compiled, cached := c.plans.lookup(key, ruleGen, dataGen)
-	if cached != nil {
+	if cached != nil && !opts.Trace {
 		return shareResult(cached), nil
+	}
+	var tr *obs.Trace
+	if opts.Trace {
+		tr = obs.NewTrace("query")
 	}
 	if compiled == nil {
 		q, err := dlog.ParseQuery(src)
 		if err != nil {
-			return nil, err
+			return nil, parseErr(err)
 		}
-		if compiled, err = c.tb.Compile(q, opts); err != nil {
+		if compiled, err = c.tb.compile(q, opts, tr); err != nil {
 			return nil, err
 		}
 	}
-	res, err := c.tb.Evaluate(compiled, opts)
+	res, err := c.tb.evaluate(ctx, compiled, opts, tr)
 	if err != nil {
 		return nil, err
 	}
-	c.plans.store(key, ruleGen, compiled, dataGen, res)
+	if opts.Trace {
+		c.plans.store(key, ruleGen, compiled, dataGen, nil)
+	} else {
+		c.plans.store(key, ruleGen, compiled, dataGen, res)
+	}
 	return shareResult(res), nil
 }
 

@@ -1,0 +1,47 @@
+package dkbms
+
+import (
+	"errors"
+	"fmt"
+
+	"dkbms/internal/typeinf"
+)
+
+// Typed errors. Every failure surfaced by Load, Query, Retract and
+// friends wraps one of these sentinels, so callers branch with
+// errors.Is instead of matching message text — and the dkbd wire
+// protocol carries the classification as a stable code byte that the
+// client maps back to the same sentinels (see internal/wire).
+var (
+	// ErrParse marks Horn-clause syntax errors (Load sources, query
+	// text, retract patterns).
+	ErrParse = errors.New("dkbms: parse error")
+	// ErrSemantic marks clauses or queries that parse but are rejected
+	// by the semantic checker: range-restriction violations, reserved
+	// predicate names, arity or type conflicts.
+	ErrSemantic = errors.New("dkbms: semantic error")
+	// ErrUnknownPredicate marks queries or rules over a predicate with
+	// neither defining rules nor a fact relation.
+	ErrUnknownPredicate = errors.New("dkbms: unknown predicate")
+)
+
+// parseErr wraps an error from the Horn-clause parser.
+func parseErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %w", ErrParse, err)
+}
+
+// semanticErr classifies a compilation (or clause-admission) failure:
+// definedness violations become ErrUnknownPredicate, everything else
+// ErrSemantic.
+func semanticErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, typeinf.ErrUndefined) {
+		return fmt.Errorf("%w: %w", ErrUnknownPredicate, err)
+	}
+	return fmt.Errorf("%w: %w", ErrSemantic, err)
+}

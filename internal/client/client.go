@@ -54,7 +54,9 @@ func (c *Client) roundTrip(t wire.MsgType, payload []byte, want wire.MsgType) ([
 		if derr != nil {
 			return nil, fmt.Errorf("client: undecodable server error: %v", derr)
 		}
-		return nil, fmt.Errorf("dkbd: %s", e.Msg)
+		// The code byte maps the failure back onto the dkbms sentinels,
+		// so errors.Is(err, dkbms.ErrParse) etc. work through the wire.
+		return nil, e.Err()
 	}
 	if rt != want {
 		return nil, fmt.Errorf("client: server sent %v, want %v", rt, want)

@@ -11,6 +11,7 @@ import (
 
 	"dkbms/internal/catalog"
 	"dkbms/internal/exec"
+	"dkbms/internal/obs"
 	"dkbms/internal/plan"
 	"dkbms/internal/rel"
 	"dkbms/internal/sql"
@@ -99,7 +100,13 @@ type Rows struct {
 
 // Exec parses and executes a statement that returns no rows (DDL, DML).
 // Executing a SELECT through Exec is an error; use Query.
-func (d *DB) Exec(stmt string) error {
+func (d *DB) Exec(stmt string) error { return d.ExecTraced(stmt, nil) }
+
+// ExecTraced is Exec with optional operator-level tracing: when sp is
+// non-nil, an INSERT ... SELECT statement records its operator tree
+// (rows emitted per scan/join/filter) as child spans of sp. A nil sp
+// costs one nil check over Exec.
+func (d *DB) ExecTraced(stmt string, sp *obs.Span) error {
 	st, err := sql.Parse(stmt)
 	if err != nil {
 		return err
@@ -117,7 +124,7 @@ func (d *DB) Exec(stmt string) error {
 		atomic.AddInt64(&d.Stats.DDL, 1)
 		return d.cat.DropIndex(s.Name)
 	case sql.Insert:
-		return d.execInsert(s)
+		return d.execInsert(s, sp)
 	case sql.Delete:
 		return d.execDelete(s)
 	default:
@@ -126,7 +133,12 @@ func (d *DB) Exec(stmt string) error {
 }
 
 // Query parses, plans and fully evaluates a SELECT.
-func (d *DB) Query(stmt string) (*Rows, error) {
+func (d *DB) Query(stmt string) (*Rows, error) { return d.QueryTraced(stmt, nil) }
+
+// QueryTraced is Query with optional operator-level tracing: when sp is
+// non-nil the SELECT's operator tree (rows emitted per operator) is
+// recorded as child spans of sp. A nil sp costs one nil check.
+func (d *DB) QueryTraced(stmt string, sp *obs.Span) (*Rows, error) {
 	st, err := sql.Parse(stmt)
 	if err != nil {
 		return nil, err
@@ -135,7 +147,7 @@ func (d *DB) Query(stmt string) (*Rows, error) {
 	if !ok {
 		return nil, fmt.Errorf("db: Query called with a non-SELECT %T; use Exec", st)
 	}
-	return d.runSelect(sel)
+	return d.runSelect(sel, sp)
 }
 
 // QueryCount evaluates a SELECT COUNT(*) (or any single-int-row query)
@@ -151,12 +163,14 @@ func (d *DB) QueryCount(stmt string) (int64, error) {
 	return rows.Tuples[0][0].Int, nil
 }
 
-func (d *DB) runSelect(sel *sql.Select) (*Rows, error) {
+func (d *DB) runSelect(sel *sql.Select, sp *obs.Span) (*Rows, error) {
 	atomic.AddInt64(&d.Stats.Selects, 1)
 	op, err := plan.BuildSelect(d.cat, sel)
 	if err != nil {
 		return nil, err
 	}
+	op, flush := exec.Instrument(op, sp)
+	defer flush()
 	tuples, err := exec.Collect(op)
 	if err != nil {
 		return nil, err
@@ -188,7 +202,7 @@ func (d *DB) execCreateIndex(s sql.CreateIndex) error {
 	return err
 }
 
-func (d *DB) execInsert(s sql.Insert) error {
+func (d *DB) execInsert(s sql.Insert, sp *obs.Span) error {
 	atomic.AddInt64(&d.Stats.Inserts, 1)
 	t := d.cat.Table(s.Table)
 	if t == nil {
@@ -203,6 +217,8 @@ func (d *DB) execInsert(s sql.Insert) error {
 			return fmt.Errorf("db: INSERT INTO %s: select schema %v incompatible with table schema %v",
 				s.Table, op.Schema(), t.Schema)
 		}
+		op, flush := exec.Instrument(op, sp)
+		defer flush()
 		// Materialize before writing so self-referential inserts
 		// (INSERT INTO t SELECT ... FROM t) read a stable snapshot.
 		tuples, err := exec.Collect(op)

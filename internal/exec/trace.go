@@ -1,0 +1,125 @@
+package exec
+
+import (
+	"fmt"
+
+	"dkbms/internal/obs"
+	"dkbms/internal/rel"
+)
+
+// Instrument wraps every operator of the tree in a row counter and
+// returns the instrumented tree plus a flush function. After the tree
+// has been drained (or abandoned on error), flush writes one child span
+// per operator under parent — name, rows emitted — mirroring the tree
+// shape, EXPLAIN ANALYZE-style. With a nil parent the tree is returned
+// untouched and flush is a no-op, so callers thread an optional span
+// unconditionally.
+func Instrument(op Operator, parent *obs.Span) (Operator, func()) {
+	if parent == nil {
+		return op, func() {}
+	}
+	root := &opCount{}
+	wrapped := wrap(op, root)
+	return wrapped, func() { root.emit(parent) }
+}
+
+// opCount is the row counter of one wrapped operator.
+type opCount struct {
+	name string
+	rows int64
+	kids []*opCount
+}
+
+func (c *opCount) emit(parent *obs.Span) {
+	sp := parent.Start(c.name)
+	sp.SetInt("rows", c.rows)
+	for _, k := range c.kids {
+		k.emit(sp)
+	}
+}
+
+// child allocates a counter node under c.
+func (c *opCount) child() *opCount {
+	k := &opCount{}
+	c.kids = append(c.kids, k)
+	return k
+}
+
+// wrap rebuilds the operator tree with counting decorators, recording
+// operator names as it descends. Unknown operator types are counted
+// under their Go type name with no visible children.
+func wrap(op Operator, c *opCount) Operator {
+	switch o := op.(type) {
+	case *SeqScan:
+		c.name = fmt.Sprintf("scan(%s)", o.Table.Name)
+	case *IndexScan:
+		c.name = fmt.Sprintf("idxscan(%s.%s)", o.Table.Name, o.Index.Name)
+	case *Filter:
+		c.name = "filter"
+		o.Input = wrap(o.Input, c.child())
+	case *Project:
+		c.name = "project"
+		o.Input = wrap(o.Input, c.child())
+	case *NLJoin:
+		c.name = "nljoin"
+		o.Left = wrap(o.Left, c.child())
+		o.Right = wrap(o.Right, c.child())
+	case *HashJoin:
+		c.name = "hashjoin"
+		o.Left = wrap(o.Left, c.child())
+		o.Right = wrap(o.Right, c.child())
+	case *Distinct:
+		c.name = "distinct"
+		o.Input = wrap(o.Input, c.child())
+	case *SetOpExec:
+		c.name = setOpName(o.Kind)
+		o.Left = wrap(o.Left, c.child())
+		o.Right = wrap(o.Right, c.child())
+	case *CountStar:
+		c.name = "count"
+		o.Input = wrap(o.Input, c.child())
+	case *Values:
+		c.name = "values"
+	default:
+		c.name = fmt.Sprintf("%T", op)
+	}
+	return &countedOp{inner: op, c: c}
+}
+
+func setOpName(k SetOpKind) string {
+	switch k {
+	case OpUnion:
+		return "union"
+	case OpUnionAll:
+		return "union-all"
+	case OpExcept:
+		return "except"
+	case OpIntersect:
+		return "intersect"
+	}
+	return "setop"
+}
+
+// countedOp forwards the Operator contract, counting emitted rows.
+type countedOp struct {
+	inner Operator
+	c     *opCount
+}
+
+// Schema returns the inner operator's schema.
+func (w *countedOp) Schema() *rel.Schema { return w.inner.Schema() }
+
+// Open opens the inner operator.
+func (w *countedOp) Open() error { return w.inner.Open() }
+
+// Next forwards one tuple, counting it.
+func (w *countedOp) Next() (rel.Tuple, error) {
+	tu, err := w.inner.Next()
+	if tu != nil {
+		w.c.rows++
+	}
+	return tu, err
+}
+
+// Close closes the inner operator.
+func (w *countedOp) Close() error { return w.inner.Close() }

@@ -23,9 +23,37 @@ func (m Load) Encode() []byte { return nil }
 
 func DecodeLoad(p []byte) (Load, error) { return Load{}, nil }
 
-type Query struct{ Src string }
+// QueryOpts carries per-query option bits inside the Query payload.
+// The bit constants are untyped (not MsgType), so the analyzer must
+// neither demand payload codecs for them nor count them as opcodes in
+// dispatch switches.
+type QueryOpts struct {
+	Naive bool
+	Trace bool
+}
 
-func (m Query) Encode() []byte { return nil }
+const (
+	optNaive = 1 << iota
+	optTrace
+)
+
+func (o QueryOpts) encode() byte {
+	var b byte
+	if o.Naive {
+		b |= optNaive
+	}
+	if o.Trace {
+		b |= optTrace
+	}
+	return b
+}
+
+type Query struct {
+	Src  string
+	Opts QueryOpts
+}
+
+func (m Query) Encode() []byte { return []byte{m.Opts.encode()} }
 
 func DecodeQuery(p []byte) (Query, error) { return Query{}, nil }
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"dkbms/internal/codegen"
+	"dkbms/internal/obs"
 	"dkbms/internal/rel"
 )
 
@@ -14,16 +15,32 @@ import (
 // paper's embedded-SQL realization: fresh temporary tables per
 // iteration, a set-difference termination check, and a full table copy
 // to install each round's result.
-func (ev *evaluator) evalCliqueNaive(node *codegen.Node, seeds map[string][]rel.Tuple, ns *NodeStats) error {
+func (ev *evaluator) evalCliqueNaive(node *codegen.Node, seeds map[string][]rel.Tuple, ns *NodeStats, sp *obs.Span) error {
 	for _, p := range node.Preds {
 		if err := ev.createPredTable(p, seeds, ns); err != nil {
 			return err
 		}
 	}
+	// Iteration 0 records the seed contents so per-iteration delta
+	// cardinalities sum to the node's final tuple count.
+	if sp != nil {
+		zero := sp.Start("iteration 0")
+		for _, p := range node.Preds {
+			zero.SetInt("delta("+p+")", int64(ev.d.TableRows(ev.tables[p])))
+		}
+		zero.End()
+	}
 	rules := append(append([]codegen.RuleSQL(nil), node.ExitRules...), node.RecursiveRules...)
 
 	for {
+		if err := ev.checkCtx(); err != nil {
+			return err
+		}
 		ns.Iterations++
+		var itSp *obs.Span
+		if sp != nil {
+			itSp = sp.Start(fmt.Sprintf("iteration %d", ns.Iterations))
+		}
 		// new_p := f(R) for each predicate, into fresh tables.
 		newNames := make(map[string]string, len(node.Preds))
 		for _, p := range node.Preds {
@@ -45,18 +62,25 @@ func (ev *evaluator) evalCliqueNaive(node *codegen.Node, seeds map[string][]rel.
 		for i := range rules {
 			r := &rules[i]
 			target := newNames[r.Head]
+			var ruleSp *obs.Span
+			if itSp != nil {
+				ruleSp = itSp.Start("rule " + r.Head)
+				ruleSp.SetString("src", r.Source)
+			}
 			t0 := time.Now()
 			stmt := fmt.Sprintf("INSERT INTO %s %s EXCEPT SELECT * FROM %s",
 				target, r.SQL(ev.tableOf), target)
-			if err := ev.d.Exec(stmt); err != nil {
+			if err := ev.d.ExecTraced(stmt, ruleSp); err != nil {
 				return fmt.Errorf("rtlib: rule %q: %w", r.Source, err)
 			}
+			ruleSp.End()
 			ns.Eval += time.Since(t0)
 		}
 		// Termination: f(R) added nothing beyond R. The check is the
 		// full set difference the paper calls out as expensive under a
 		// plain SQL interface.
 		grew := false
+		tcSp := itSp.Start("termcheck")
 		for _, p := range node.Preds {
 			t0 := time.Now()
 			diff, err := ev.d.Query(fmt.Sprintf(
@@ -68,7 +92,13 @@ func (ev *evaluator) evalCliqueNaive(node *codegen.Node, seeds map[string][]rel.
 			if len(diff.Tuples) > 0 {
 				grew = true
 			}
+			if itSp != nil {
+				itSp.SetInt("delta("+p+")", int64(len(diff.Tuples)))
+				itSp.SetInt("acc("+p+")", int64(ev.d.TableRows(newNames[p])))
+			}
 		}
+		tcSp.End()
+		itSp.End()
 		// Install the new round: drop old tables, rename-by-copy (the
 		// SQL interface has no rename, as the paper notes — copying is
 		// part of the measured overhead).
@@ -98,7 +128,7 @@ func (ev *evaluator) evalCliqueNaive(node *codegen.Node, seeds map[string][]rel.
 // once per clique occurrence with that occurrence reading the previous
 // iteration's delta, keeps only tuples not already accumulated, and
 // terminates when every delta is empty.
-func (ev *evaluator) evalCliqueSemiNaive(node *codegen.Node, seeds map[string][]rel.Tuple, ns *NodeStats) error {
+func (ev *evaluator) evalCliqueSemiNaive(node *codegen.Node, seeds map[string][]rel.Tuple, ns *NodeStats, sp *obs.Span) error {
 	delta := make(map[string]string, len(node.Preds))
 	for _, p := range node.Preds {
 		if err := ev.createPredTable(p, seeds, ns); err != nil {
@@ -107,15 +137,25 @@ func (ev *evaluator) evalCliqueSemiNaive(node *codegen.Node, seeds map[string][]
 	}
 	// Initialization: exit rules (plus seeds, already inserted) fill
 	// the accumulators; delta_0 is a copy of the initial relations.
+	var zeroSp *obs.Span
+	if sp != nil {
+		zeroSp = sp.Start("iteration 0")
+	}
 	for i := range node.ExitRules {
 		r := &node.ExitRules[i]
 		target := ev.tables[r.Head]
+		var ruleSp *obs.Span
+		if zeroSp != nil {
+			ruleSp = zeroSp.Start("rule " + r.Head)
+			ruleSp.SetString("src", r.Source)
+		}
 		t0 := time.Now()
 		stmt := fmt.Sprintf("INSERT INTO %s %s EXCEPT SELECT * FROM %s",
 			target, r.SQL(ev.tableOf), target)
-		if err := ev.d.Exec(stmt); err != nil {
+		if err := ev.d.ExecTraced(stmt, ruleSp); err != nil {
 			return fmt.Errorf("rtlib: rule %q: %w", r.Source, err)
 		}
+		ruleSp.End()
 		ns.Eval += time.Since(t0)
 	}
 	for _, p := range node.Preds {
@@ -129,10 +169,21 @@ func (ev *evaluator) evalCliqueSemiNaive(node *codegen.Node, seeds map[string][]
 		}
 		ns.TempTable += time.Since(t0)
 		delta[p] = name
+		if zeroSp != nil {
+			zeroSp.SetInt("delta("+p+")", int64(ev.d.TableRows(name)))
+		}
 	}
+	zeroSp.End()
 
 	for {
+		if err := ev.checkCtx(); err != nil {
+			return err
+		}
 		ns.Iterations++
+		var itSp *obs.Span
+		if sp != nil {
+			itSp = sp.Start(fmt.Sprintf("iteration %d", ns.Iterations))
+		}
 		// Evaluate differentials into fresh delta tables.
 		newDelta := make(map[string]string, len(node.Preds))
 		for _, p := range node.Preds {
@@ -159,17 +210,24 @@ func (ev *evaluator) evalCliqueSemiNaive(node *codegen.Node, seeds map[string][]
 						tables[fi] = ev.tableOf(f.Pred)
 					}
 				}
+				var ruleSp *obs.Span
+				if itSp != nil {
+					ruleSp = itSp.Start("rule " + r.Head)
+					ruleSp.SetString("src", r.Source)
+				}
 				t0 := time.Now()
 				stmt := fmt.Sprintf("INSERT INTO %s %s EXCEPT SELECT * FROM %s EXCEPT SELECT * FROM %s",
 					target, r.SQLWithTables(tables), acc, target)
-				if err := ev.d.Exec(stmt); err != nil {
+				if err := ev.d.ExecTraced(stmt, ruleSp); err != nil {
 					return fmt.Errorf("rtlib: rule %q: %w", r.Source, err)
 				}
+				ruleSp.End()
 				ns.Eval += time.Since(t0)
 			}
 		}
 		// Termination check: all deltas empty.
 		done := true
+		tcSp := itSp.Start("termcheck")
 		for _, p := range node.Preds {
 			t0 := time.Now()
 			n, err := ev.d.QueryCount(fmt.Sprintf("SELECT COUNT(*) FROM %s", newDelta[p]))
@@ -180,7 +238,13 @@ func (ev *evaluator) evalCliqueSemiNaive(node *codegen.Node, seeds map[string][]
 			if n > 0 {
 				done = false
 			}
+			if itSp != nil {
+				itSp.SetInt("delta("+p+")", n)
+				itSp.SetInt("acc("+p+")", int64(ev.d.TableRows(ev.tables[p])))
+			}
 		}
+		tcSp.End()
+		itSp.End()
 		if done {
 			for _, p := range node.Preds {
 				t0 := time.Now()

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dkbms/internal/codegen"
+	"dkbms/internal/obs"
 	"dkbms/internal/rel"
 )
 
@@ -16,11 +17,19 @@ import (
 // and indexes are safe for concurrent readers); the new tuples are then
 // deduplicated and installed serially. Results are identical to the
 // sequential semi-naive loop.
-func (ev *evaluator) evalCliqueSemiNaiveParallel(node *codegen.Node, seeds map[string][]rel.Tuple, ns *NodeStats) error {
+func (ev *evaluator) evalCliqueSemiNaiveParallel(node *codegen.Node, seeds map[string][]rel.Tuple, ns *NodeStats, sp *obs.Span) error {
 	for _, p := range node.Preds {
 		if err := ev.createPredTable(p, seeds, ns); err != nil {
 			return err
 		}
+	}
+	var zeroSp *obs.Span
+	if sp != nil {
+		zeroSp = sp.Start("iteration 0")
+	}
+	initLabels := make([]string, len(node.ExitRules))
+	for i := range node.ExitRules {
+		initLabels[i] = "rule " + node.ExitRules[i].Head
 	}
 	// Initialization: exit rules, evaluated concurrently as well.
 	initRows, err := ev.parallelSelects(selectsFor(node.ExitRules, func(r *codegen.RuleSQL) []string {
@@ -29,7 +38,7 @@ func (ev *evaluator) evalCliqueSemiNaiveParallel(node *codegen.Node, seeds map[s
 			tables[i] = ev.tableOf(f.Pred)
 		}
 		return tables
-	}), ns)
+	}), initLabels, ns, zeroSp)
 	if err != nil {
 		return err
 	}
@@ -58,7 +67,11 @@ func (ev *evaluator) evalCliqueSemiNaiveParallel(node *codegen.Node, seeds map[s
 	// Seeds are part of the initial delta too.
 	for _, p := range node.Preds {
 		delta[p] = append(delta[p], seeds[p]...)
+		if zeroSp != nil {
+			zeroSp.SetInt("delta("+p+")", int64(len(delta[p])))
+		}
 	}
+	zeroSp.End()
 
 	// Delta tables are still materialized in the DBMS because the
 	// differential SELECTs read them.
@@ -83,7 +96,14 @@ func (ev *evaluator) evalCliqueSemiNaiveParallel(node *codegen.Node, seeds map[s
 		sql  string
 	}
 	for {
+		if err := ev.checkCtx(); err != nil {
+			return err
+		}
 		ns.Iterations++
+		var itSp *obs.Span
+		if sp != nil {
+			itSp = sp.Start(fmt.Sprintf("iteration %d", ns.Iterations))
+		}
 		var jobs []job
 		for i := range node.RecursiveRules {
 			r := &node.RecursiveRules[i]
@@ -100,10 +120,12 @@ func (ev *evaluator) evalCliqueSemiNaiveParallel(node *codegen.Node, seeds map[s
 			}
 		}
 		sqls := make([]string, len(jobs))
+		labels := make([]string, len(jobs))
 		for i, j := range jobs {
 			sqls[i] = j.sql
+			labels[i] = "rule " + j.head
 		}
-		results, err := ev.parallelSelects(sqls, ns)
+		results, err := ev.parallelSelects(sqls, labels, ns, itSp)
 		if err != nil {
 			return err
 		}
@@ -130,8 +152,13 @@ func (ev *evaluator) evalCliqueSemiNaiveParallel(node *codegen.Node, seeds map[s
 			if len(newDelta[p]) > 0 {
 				done = false
 			}
+			if itSp != nil {
+				itSp.SetInt("delta("+p+")", int64(len(newDelta[p])))
+				itSp.SetInt("acc("+p+")", int64(len(accKeys[p])))
+			}
 		}
 		ns.TermCheck += time.Since(t0)
+		itSp.End()
 		if done {
 			for _, p := range node.Preds {
 				t0 := time.Now()
@@ -167,7 +194,10 @@ func selectsFor(rules []codegen.RuleSQL, tables func(*codegen.RuleSQL) []string)
 }
 
 // parallelSelects evaluates read-only SELECT statements concurrently.
-func (ev *evaluator) parallelSelects(sqls []string, ns *NodeStats) ([][]rel.Tuple, error) {
+// When sp is non-nil each statement records an operator-tree span under
+// it, labelled by the matching labels entry (the trace serializes
+// concurrent appends).
+func (ev *evaluator) parallelSelects(sqls, labels []string, ns *NodeStats, sp *obs.Span) ([][]rel.Tuple, error) {
 	results := make([][]rel.Tuple, len(sqls))
 	errs := make([]error, len(sqls))
 	t0 := time.Now()
@@ -176,7 +206,12 @@ func (ev *evaluator) parallelSelects(sqls []string, ns *NodeStats) ([][]rel.Tupl
 		wg.Add(1)
 		go func(i int, q string) {
 			defer wg.Done()
-			rows, err := ev.d.Query(q)
+			var jobSp *obs.Span
+			if sp != nil {
+				jobSp = sp.Start(labels[i])
+			}
+			rows, err := ev.d.QueryTraced(q, jobSp)
+			jobSp.End()
 			if err != nil {
 				errs[i] = err
 				return

@@ -20,6 +20,7 @@
 package rtlib
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -27,6 +28,7 @@ import (
 
 	"dkbms/internal/codegen"
 	"dkbms/internal/db"
+	"dkbms/internal/obs"
 	"dkbms/internal/rel"
 )
 
@@ -57,6 +59,16 @@ type Options struct {
 	// concurrently (the paper's conclusion 7a). Semi-naive only; the
 	// answer is identical to the sequential loop.
 	Parallel bool
+	// Trace, when non-nil, records an "eval" span tree: one span per
+	// evaluation-order node, per LFP iteration (delta cardinalities,
+	// accumulator sizes, set-difference cost) and per generated SQL
+	// statement's operator tree. Nil disables all recording at the cost
+	// of a nil check.
+	Trace *obs.Trace
+	// Ctx, when non-nil, is polled at LFP iteration boundaries (and
+	// between nodes); cancellation aborts the evaluation with an error
+	// wrapping ctx.Err().
+	Ctx context.Context
 }
 
 // NodeStats records the cost of evaluating one evaluation-order node.
@@ -122,6 +134,7 @@ func Evaluate(d *db.DB, prog *codegen.Program, opts Options) (*Result, error) {
 		opts:   opts,
 		prefix: fmt.Sprintf("dkb%d_", seq),
 		tables: make(map[string]string),
+		ctx:    opts.Ctx,
 	}
 	res, err := ev.run()
 	if err != nil {
@@ -149,6 +162,19 @@ type evaluator struct {
 	tables  map[string]string
 	created []string // temp tables to drop at cleanup
 	stats   Stats
+	ctx     context.Context
+}
+
+// checkCtx polls the run's context (nil = never canceled). It is the
+// LFP iteration-boundary cancellation point.
+func (ev *evaluator) checkCtx() error {
+	if ev.ctx == nil {
+		return nil
+	}
+	if err := ev.ctx.Err(); err != nil {
+		return fmt.Errorf("rtlib: evaluation canceled: %w", err)
+	}
+	return nil
 }
 
 // tableOf resolves a predicate to its current relation name: the temp
@@ -198,22 +224,33 @@ func (ev *evaluator) run() (*Result, error) {
 	}
 	ev.stats.TempTable += preStats.TempTable
 
+	evalSp := ev.opts.Trace.Start("eval")
 	for i := range ev.prog.Nodes {
+		if err := ev.checkCtx(); err != nil {
+			return nil, err
+		}
 		node := &ev.prog.Nodes[i]
 		ns := NodeStats{Preds: node.Preds, Recursive: node.Recursive}
+		var sp *obs.Span
+		if evalSp != nil {
+			sp = evalSp.Start("node " + strings.Join(node.Preds, ","))
+			if node.Recursive {
+				sp.SetString("kind", "recursive")
+			}
+		}
 		nodeStart := time.Now()
 		var err error
 		if node.Recursive {
 			switch {
 			case ev.opts.Strategy == Naive:
-				err = ev.evalCliqueNaive(node, seeds, &ns)
+				err = ev.evalCliqueNaive(node, seeds, &ns, sp)
 			case ev.opts.Parallel:
-				err = ev.evalCliqueSemiNaiveParallel(node, seeds, &ns)
+				err = ev.evalCliqueSemiNaiveParallel(node, seeds, &ns, sp)
 			default:
-				err = ev.evalCliqueSemiNaive(node, seeds, &ns)
+				err = ev.evalCliqueSemiNaive(node, seeds, &ns, sp)
 			}
 		} else {
-			err = ev.evalNonRecursive(node, seeds, &ns)
+			err = ev.evalNonRecursive(node, seeds, &ns, sp)
 		}
 		if err != nil {
 			return nil, err
@@ -222,6 +259,9 @@ func (ev *evaluator) run() (*Result, error) {
 		for _, p := range node.Preds {
 			ns.Tuples += ev.d.TableRows(ev.tableOf(p))
 		}
+		sp.SetInt("iterations", int64(ns.Iterations))
+		sp.SetInt("tuples", int64(ns.Tuples))
+		sp.End()
 		ev.stats.Nodes = append(ev.stats.Nodes, ns)
 		ev.stats.TempTable += ns.TempTable
 		ev.stats.Eval += ns.Eval
@@ -237,6 +277,8 @@ func (ev *evaluator) run() (*Result, error) {
 		return nil, err
 	}
 	ev.stats.Elapsed = time.Since(start)
+	evalSp.SetInt("rows", int64(len(rows.Tuples)))
+	evalSp.End()
 	return &Result{Rows: rows.Tuples, Schema: ev.prog.Schemas[ev.prog.QueryPred], Stats: ev.stats}, nil
 }
 
@@ -304,7 +346,7 @@ func (ev *evaluator) insertTuple(table string, tu rel.Tuple) error {
 
 // evalNonRecursive evaluates a non-recursive predicate node: union of
 // its rules, deduplicated.
-func (ev *evaluator) evalNonRecursive(node *codegen.Node, seeds map[string][]rel.Tuple, ns *NodeStats) error {
+func (ev *evaluator) evalNonRecursive(node *codegen.Node, seeds map[string][]rel.Tuple, ns *NodeStats, sp *obs.Span) error {
 	for _, p := range node.Preds {
 		if err := ev.createPredTable(p, seeds, ns); err != nil {
 			return err
@@ -313,12 +355,18 @@ func (ev *evaluator) evalNonRecursive(node *codegen.Node, seeds map[string][]rel
 	for i := range node.ExitRules {
 		r := &node.ExitRules[i]
 		target := ev.tables[r.Head]
+		var ruleSp *obs.Span
+		if sp != nil {
+			ruleSp = sp.Start("rule " + r.Head)
+			ruleSp.SetString("src", r.Source)
+		}
 		t0 := time.Now()
 		stmt := fmt.Sprintf("INSERT INTO %s %s EXCEPT SELECT * FROM %s",
 			target, r.SQL(ev.tableOf), target)
-		if err := ev.d.Exec(stmt); err != nil {
+		if err := ev.d.ExecTraced(stmt, ruleSp); err != nil {
 			return fmt.Errorf("rtlib: rule %q: %w", r.Source, err)
 		}
+		ruleSp.End()
 		ns.Eval += time.Since(t0)
 	}
 	ns.Iterations = 1

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"dkbms"
+	"dkbms/internal/obs"
 )
 
 // Options tune a server.
@@ -50,6 +51,7 @@ type Server struct {
 	opts Options
 
 	stats counters
+	reg   *obs.Registry
 
 	mu       sync.Mutex
 	sessions map[*session]struct{}
@@ -68,12 +70,45 @@ func New(tb *dkbms.ConcurrentTestbed, opts Options) *Server {
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
 	}
-	return &Server{
+	s := &Server{
 		tb:       tb,
 		opts:     opts,
 		sessions: make(map[*session]struct{}),
 	}
+	s.initRegistry()
+	return s
 }
+
+// initRegistry builds the server's metrics registry: the request
+// counters and the latency histogram live there directly; the plan
+// cache, buffer pool and rule-base generation are read through gauge
+// callbacks at snapshot time (callbacks run outside the registry lock,
+// so taking the testbed's read lock inside them is safe).
+func (s *Server) initRegistry() {
+	r := obs.NewRegistry()
+	s.reg = r
+	s.stats.lat = r.Histogram("server.request_latency_ns")
+	gauge := func(name string, fn func() int64) { r.GaugeFunc(name, fn) }
+	gauge("server.sessions_active", s.stats.activeSessions.Load)
+	gauge("server.sessions_total", s.stats.totalSessions.Load)
+	gauge("server.in_flight", s.stats.inFlight.Load)
+	gauge("server.requests", s.stats.requests.Load)
+	gauge("server.errors", s.stats.errors.Load)
+	gauge("server.bytes_in", s.stats.bytesIn.Load)
+	gauge("server.bytes_out", s.stats.bytesOut.Load)
+	gauge("plan.result_hits", func() int64 { return s.tb.PlanStats().ResultHits })
+	gauge("plan.hits", func() int64 { return s.tb.PlanStats().PlanHits })
+	gauge("plan.misses", func() int64 { return s.tb.PlanStats().Misses })
+	gauge("plan.entries", func() int64 { return s.tb.PlanStats().Entries })
+	gauge("pool.hits", func() int64 { return s.tb.PagerStats().Hits })
+	gauge("pool.misses", func() int64 { return s.tb.PagerStats().Misses })
+	gauge("pool.evictions", func() int64 { return s.tb.PagerStats().Evictions })
+	gauge("dkb.generation", func() int64 { return int64(s.tb.Generation()) })
+}
+
+// Registry exposes the server's metrics registry (the dkbd debug HTTP
+// endpoint serves its snapshot as JSON).
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // ListenAndServe listens on addr ("host:port") and serves until ctx is
 // cancelled. The listener's actual address (useful with ":0") is sent on

@@ -2,6 +2,7 @@ package server_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sort"
@@ -12,6 +13,7 @@ import (
 
 	"dkbms"
 	"dkbms/internal/client"
+	"dkbms/internal/obs"
 	"dkbms/internal/server"
 	"dkbms/internal/wire"
 )
@@ -385,5 +387,96 @@ func TestMaxConnsBackpressure(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("queued session never served after slot freed")
+	}
+}
+
+// TestQueryTraceOverWire sets the TRACE option bit on a QUERY frame and
+// checks the span tree comes back in the RESULT: per-iteration deltas
+// summing to the answer count, exactly as in a local traced query.
+func TestQueryTraceOverWire(t *testing.T) {
+	tb := dkbms.NewConcurrent(dkbms.NewMemory())
+	defer tb.Close()
+	addr, cancel, done := startServer(t, tb, server.Options{})
+	defer func() { cancel(); <-done }()
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Load(baseProgram); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unbound ancestor over the 9-edge chain: closure = 9*10/2 = 45
+	// tuples, each new in exactly one iteration.
+	res, err := c.Query("?- ancestor(X, Y).", wire.QueryOpts{NoOptimize: true, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 45 {
+		t.Fatalf("%d rows, want 45", len(res.Rows))
+	}
+	if res.Trace == nil {
+		t.Fatal("TRACE bit set but RESULT carries no span tree")
+	}
+	var sum int64
+	for _, it := range res.Trace.FindAll("iteration ") {
+		if d, ok := it.Int("delta(ancestor)"); ok {
+			sum += d
+		}
+	}
+	if sum != 45 {
+		t.Fatalf("wire-decoded iteration deltas sum to %d, want 45:\n%s",
+			sum, obs.Adopt(res.Trace).Format())
+	}
+	if res.Trace.Find("compile") == nil || res.Trace.Find("eval") == nil {
+		t.Fatalf("wire trace lacks compile/eval spans:\n%s", obs.Adopt(res.Trace).Format())
+	}
+
+	// Without the bit the result must stay trace-free, and the traced
+	// exchange must not have poisoned the plan cache's memoized answer.
+	plain, err := c.Query("?- ancestor(X, Y).", wire.QueryOpts{NoOptimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Trace != nil {
+		t.Fatal("untraced query returned a trace")
+	}
+	if len(plain.Rows) != 45 {
+		t.Fatalf("untraced query after traced one: %d rows, want 45", len(plain.Rows))
+	}
+}
+
+// TestTypedErrorsOverWire checks that the ERROR frame's code byte maps
+// server-side failures back onto the dkbms sentinels client-side.
+func TestTypedErrorsOverWire(t *testing.T) {
+	tb := dkbms.NewConcurrent(dkbms.NewMemory())
+	defer tb.Close()
+	addr, cancel, done := startServer(t, tb, server.Options{})
+	defer func() { cancel(); <-done }()
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Load("not a clause at all"); !errors.Is(err, dkbms.ErrParse) {
+		t.Errorf("Load syntax error over wire: %v", err)
+	}
+	if _, err := c.Query("?- broken(", wire.QueryOpts{}); !errors.Is(err, dkbms.ErrParse) {
+		t.Errorf("Query syntax error over wire: %v", err)
+	}
+	if _, err := c.Query("?- nosuch(X).", wire.QueryOpts{}); !errors.Is(err, dkbms.ErrUnknownPredicate) {
+		t.Errorf("unknown predicate over wire: %v", err)
+	}
+	if err := c.Load("p(X)."); !errors.Is(err, dkbms.ErrSemantic) {
+		t.Errorf("non-ground fact over wire: %v", err)
+	}
+	// The error text still reaches the caller verbatim-ish.
+	_, err = c.Query("?- nosuch(X).", wire.QueryOpts{})
+	if err == nil || !strings.Contains(err.Error(), "nosuch") {
+		t.Errorf("error text lost over wire: %v", err)
 	}
 }

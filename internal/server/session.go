@@ -20,6 +20,9 @@ const maxPreparedPerSession = 1024
 type session struct {
 	srv  *Server
 	conn net.Conn
+	// ctx is the serve context: shutdown cancels it, which aborts any
+	// in-flight evaluation at its next LFP iteration boundary.
+	ctx context.Context
 
 	// prepared maps session-local ids to prepared queries. Entries are
 	// keyed to the rule-base generation through ConcurrentPrepared, which
@@ -48,6 +51,7 @@ func (s *session) interruptIdleRead() {
 // occurs, or ctx is cancelled between requests.
 func (s *session) serve(ctx context.Context) {
 	defer s.conn.Close()
+	s.ctx = ctx
 	for {
 		if ctx.Err() != nil {
 			return
@@ -123,8 +127,7 @@ func (s *session) handle(t wire.MsgType, payload []byte) (wire.MsgType, []byte) 
 		if err != nil {
 			return errFrame(err)
 		}
-		opts := queryOptions(m.Opts)
-		res, err := s.srv.tb.Query(m.Src, &opts)
+		res, err := s.srv.tb.QueryContext(s.ctx, m.Src, m.Opts.ToOptions())
 		if err != nil {
 			return errFrame(err)
 		}
@@ -138,8 +141,7 @@ func (s *session) handle(t wire.MsgType, payload []byte) (wire.MsgType, []byte) 
 		if len(s.prepared) >= maxPreparedPerSession {
 			return errFrame(fmt.Errorf("server: session holds %d prepared queries; close some or reconnect", len(s.prepared)))
 		}
-		opts := queryOptions(m.Opts)
-		cp, err := s.srv.tb.Prepare(m.Src, &opts)
+		cp, err := s.srv.tb.Prepare(m.Src, m.Opts.ToOptions())
 		if err != nil {
 			return errFrame(err)
 		}
@@ -183,16 +185,7 @@ func (s *session) handle(t wire.MsgType, payload []byte) (wire.MsgType, []byte) 
 }
 
 func errFrame(err error) (wire.MsgType, []byte) {
-	return wire.MsgError, wire.Error{Msg: err.Error()}.Encode()
-}
-
-func queryOptions(o wire.QueryOpts) dkbms.QueryOptions {
-	return dkbms.QueryOptions{
-		Naive:      o.Naive,
-		NoOptimize: o.NoOptimize,
-		Adaptive:   o.Adaptive,
-		Parallel:   o.Parallel,
-	}
+	return wire.MsgError, wire.Error{Code: wire.CodeFor(err), Msg: err.Error()}.Encode()
 }
 
 func encodeResult(res *dkbms.QueryResult) []byte {
@@ -201,5 +194,6 @@ func encodeResult(res *dkbms.QueryResult) []byte {
 		Rows:      res.Rows,
 		Optimized: res.Optimized,
 		Strategy:  res.Strategy.String(),
+		Trace:     res.Trace.Root(),
 	}.Encode()
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dkbms"
+	"dkbms/internal/obs"
 	"dkbms/internal/storage"
 	"dkbms/internal/wire"
 )
@@ -33,6 +34,11 @@ type counters struct {
 	mu        sync.Mutex
 	latencies [latencyWindow]time.Duration
 	nLat      int64 // total samples ever recorded
+
+	// lat mirrors the latency stream into the server's obs registry
+	// (exponential-bucket histogram; the exact ring above still backs
+	// the wire stats' percentiles). Nil-safe when no registry is wired.
+	lat *obs.Histogram
 }
 
 // observe records one completed request.
@@ -41,6 +47,7 @@ func (c *counters) observe(d time.Duration, isError bool) {
 	if isError {
 		c.errors.Add(1)
 	}
+	c.lat.ObserveDuration(d)
 	c.mu.Lock()
 	c.latencies[c.nLat%latencyWindow] = d
 	c.nLat++

@@ -7,12 +7,18 @@
 package typeinf
 
 import (
+	"errors"
 	"fmt"
 
 	"dkbms/internal/dlog"
 	"dkbms/internal/pcg"
 	"dkbms/internal/rel"
 )
+
+// ErrUndefined marks definedness failures — a predicate with neither
+// defining rules nor a base relation. Callers (the root API, the
+// server) classify compilation errors with errors.Is against it.
+var ErrUndefined = errors.New("undefined predicate")
 
 // CheckDefined verifies that every reachable predicate is either derived
 // (has rules) or a base relation with a known schema.
@@ -22,7 +28,7 @@ func CheckDefined(g *pcg.Graph, reachable map[string]bool, baseTypes map[string]
 			continue
 		}
 		if _, ok := baseTypes[p]; !ok {
-			return fmt.Errorf("typeinf: predicate %s has no defining rules and is not a base relation", p)
+			return fmt.Errorf("typeinf: %w %s: it has no defining rules and is not a base relation", ErrUndefined, p)
 		}
 	}
 	return nil
@@ -111,7 +117,7 @@ func inferRule(c dlog.Clause, typeOf func(string) []rel.Type, derived map[string
 	for _, a := range c.Body {
 		sig := typeOf(a.Pred)
 		if sig == nil {
-			return false, fmt.Errorf("typeinf: unknown predicate %s in body of %q", a.Pred, c.String())
+			return false, fmt.Errorf("typeinf: %w %s in body of %q", ErrUndefined, a.Pred, c.String())
 		}
 		if len(sig) != a.Arity() {
 			return false, fmt.Errorf("typeinf: %s used with arity %d but has %d columns (in %q)",

@@ -15,10 +15,13 @@ package wire
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"time"
 
+	"dkbms"
+	"dkbms/internal/obs"
 	"dkbms/internal/rel"
 )
 
@@ -192,12 +195,16 @@ func readValue(buf []byte) (rel.Value, []byte, error) {
 
 // --- Query options ---
 
-// QueryOpts is the wire form of dkbms.QueryOptions.
+// QueryOpts is the wire form of dkbms.QueryOptions. Keep the two
+// structs in sync through FromOptions/ToOptions — they are the single
+// conversion point between the wire and the root API.
 type QueryOpts struct {
 	Naive      bool
 	NoOptimize bool
 	Adaptive   bool
 	Parallel   bool
+	// Trace requests the query's span tree in the RESULT frame.
+	Trace bool
 }
 
 const (
@@ -205,7 +212,34 @@ const (
 	optNoOptimize
 	optAdaptive
 	optParallel
+	optTrace
 )
+
+// FromOptions converts root-API query options to their wire form. A
+// nil input is the zero QueryOpts (the defaults).
+func FromOptions(o *dkbms.QueryOptions) QueryOpts {
+	if o == nil {
+		return QueryOpts{}
+	}
+	return QueryOpts{
+		Naive:      o.Naive,
+		NoOptimize: o.NoOptimize,
+		Adaptive:   o.Adaptive,
+		Parallel:   o.Parallel,
+		Trace:      o.Trace,
+	}
+}
+
+// ToOptions converts wire options back to the root-API form.
+func (o QueryOpts) ToOptions() *dkbms.QueryOptions {
+	return &dkbms.QueryOptions{
+		Naive:      o.Naive,
+		NoOptimize: o.NoOptimize,
+		Adaptive:   o.Adaptive,
+		Parallel:   o.Parallel,
+		Trace:      o.Trace,
+	}
+}
 
 func (o QueryOpts) encode() byte {
 	var b byte
@@ -221,6 +255,9 @@ func (o QueryOpts) encode() byte {
 	if o.Parallel {
 		b |= optParallel
 	}
+	if o.Trace {
+		b |= optTrace
+	}
 	return b
 }
 
@@ -230,6 +267,7 @@ func decodeOpts(b byte) QueryOpts {
 		NoOptimize: b&optNoOptimize != 0,
 		Adaptive:   b&optAdaptive != 0,
 		Parallel:   b&optParallel != 0,
+		Trace:      b&optTrace != 0,
 	}
 }
 
@@ -310,17 +348,92 @@ func DecodeRetract(p []byte) (Retract, error) {
 
 // --- Responses ---
 
-// Error is the ERROR reply carrying the server-side error text.
-type Error struct{ Msg string }
+// ErrCode classifies a server-side error so clients can branch with
+// errors.Is instead of matching message text. Codes are part of the
+// protocol: never renumber, only append.
+type ErrCode uint8
+
+// Stable error codes.
+const (
+	// CodeOther is any error without a finer classification.
+	CodeOther ErrCode = iota
+	// CodeParse maps to dkbms.ErrParse.
+	CodeParse
+	// CodeSemantic maps to dkbms.ErrSemantic.
+	CodeSemantic
+	// CodeUnknownPredicate maps to dkbms.ErrUnknownPredicate.
+	CodeUnknownPredicate
+	// CodeClosed maps to dkbms.ErrClosed.
+	CodeClosed
+)
+
+// CodeFor classifies an error for the wire.
+func CodeFor(err error) ErrCode {
+	switch {
+	case errors.Is(err, dkbms.ErrParse):
+		return CodeParse
+	case errors.Is(err, dkbms.ErrUnknownPredicate):
+		return CodeUnknownPredicate
+	case errors.Is(err, dkbms.ErrSemantic):
+		return CodeSemantic
+	case errors.Is(err, dkbms.ErrClosed):
+		return CodeClosed
+	default:
+		return CodeOther
+	}
+}
+
+// Error is the ERROR reply carrying the server-side error text plus its
+// stable classification code.
+type Error struct {
+	Code ErrCode
+	Msg  string
+}
 
 // Encode renders the payload.
-func (m Error) Encode() []byte { return appendString(nil, m.Msg) }
+func (m Error) Encode() []byte {
+	return appendString([]byte{byte(m.Code)}, m.Msg)
+}
 
 // DecodeError parses an ERROR payload.
 func DecodeError(p []byte) (Error, error) {
-	msg, _, err := readString(p)
-	return Error{Msg: msg}, err
+	if len(p) < 1 {
+		return Error{}, fmt.Errorf("wire: empty ERROR payload")
+	}
+	msg, _, err := readString(p[1:])
+	return Error{Code: ErrCode(p[0]), Msg: msg}, err
 }
+
+// Err converts a decoded ERROR reply back into a Go error wrapping the
+// sentinel its code names, so errors.Is works identically on both sides
+// of the wire. The message is the server-side text verbatim (it already
+// names the sentinel), not re-prefixed.
+func (m Error) Err() error {
+	var sentinel error
+	switch m.Code {
+	case CodeParse:
+		sentinel = dkbms.ErrParse
+	case CodeSemantic:
+		sentinel = dkbms.ErrSemantic
+	case CodeUnknownPredicate:
+		sentinel = dkbms.ErrUnknownPredicate
+	case CodeClosed:
+		sentinel = dkbms.ErrClosed
+	default:
+		return fmt.Errorf("dkbd: %s", m.Msg)
+	}
+	return &codedError{sentinel: sentinel, msg: "dkbd: " + m.Msg}
+}
+
+// codedError reports the server's message verbatim while unwrapping to
+// the sentinel the wire code names.
+type codedError struct {
+	sentinel error
+	msg      string
+}
+
+func (e *codedError) Error() string { return e.msg }
+func (e *codedError) Unwrap() error { return e.sentinel }
 
 // Prepared is the PREPARED reply: the session-local id of a prepared
 // query and the rule-base generation it was compiled at.
@@ -368,6 +481,9 @@ type Result struct {
 	Optimized bool
 	// Strategy is the LFP strategy used ("semi-naive" or "naive").
 	Strategy string
+	// Trace is the query's span tree, present only when the QUERY frame
+	// carried the Trace option bit.
+	Trace *obs.Span
 }
 
 // Encode renders the payload.
@@ -375,6 +491,9 @@ func (m Result) Encode() []byte {
 	var flags byte
 	if m.Optimized {
 		flags |= 1
+	}
+	if m.Trace != nil {
+		flags |= 2
 	}
 	buf := []byte{flags}
 	buf = appendString(buf, m.Strategy)
@@ -389,7 +508,105 @@ func (m Result) Encode() []byte {
 			buf = appendValue(buf, v)
 		}
 	}
+	if m.Trace != nil {
+		buf = appendSpan(buf, m.Trace)
+	}
 	return buf
+}
+
+// Span-tree wire limits: a decoded trace may not nest deeper than
+// maxSpanDepth or carry more than maxSpanNodes spans, bounding the
+// recursion and allocation a hostile peer can force (the frame length
+// itself is already bounded by MaxFrameSize).
+const (
+	maxSpanDepth = 64
+	maxSpanNodes = 1 << 20
+)
+
+func appendSpan(buf []byte, s *obs.Span) []byte {
+	buf = appendString(buf, s.Name)
+	buf = binary.AppendVarint(buf, int64(s.Duration))
+	buf = binary.AppendUvarint(buf, uint64(len(s.Attrs)))
+	for _, a := range s.Attrs {
+		buf = appendString(buf, a.Key)
+		if a.IsStr {
+			buf = append(buf, 1)
+			buf = appendString(buf, a.Str)
+		} else {
+			buf = append(buf, 0)
+			buf = binary.AppendVarint(buf, a.Int)
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(s.Children)))
+	for _, c := range s.Children {
+		buf = appendSpan(buf, c)
+	}
+	return buf
+}
+
+func readSpan(buf []byte, depth int, nodes *int) (*obs.Span, []byte, error) {
+	if depth > maxSpanDepth {
+		return nil, nil, fmt.Errorf("wire: trace nests deeper than %d", maxSpanDepth)
+	}
+	*nodes++
+	if *nodes > maxSpanNodes {
+		return nil, nil, fmt.Errorf("wire: trace exceeds %d spans", maxSpanNodes)
+	}
+	s := &obs.Span{}
+	var err error
+	if s.Name, buf, err = readString(buf); err != nil {
+		return nil, nil, err
+	}
+	var dur int64
+	if dur, buf, err = readVarint(buf); err != nil {
+		return nil, nil, err
+	}
+	s.Duration = time.Duration(dur)
+	nattrs, buf, err := readUvarint(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	if nattrs > uint64(len(buf)) {
+		return nil, nil, fmt.Errorf("wire: corrupt trace attr count")
+	}
+	s.Attrs = make([]obs.Attr, nattrs)
+	for i := range s.Attrs {
+		a := &s.Attrs[i]
+		if a.Key, buf, err = readString(buf); err != nil {
+			return nil, nil, err
+		}
+		if len(buf) < 1 {
+			return nil, nil, fmt.Errorf("wire: corrupt trace attr")
+		}
+		tag := buf[0]
+		buf = buf[1:]
+		if tag == 1 {
+			a.IsStr = true
+			if a.Str, buf, err = readString(buf); err != nil {
+				return nil, nil, err
+			}
+		} else {
+			if a.Int, buf, err = readVarint(buf); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	nkids, buf, err := readUvarint(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	if nkids > uint64(len(buf)) {
+		return nil, nil, fmt.Errorf("wire: corrupt trace child count")
+	}
+	s.Children = make([]*obs.Span, 0, nkids)
+	for i := uint64(0); i < nkids; i++ {
+		var c *obs.Span
+		if c, buf, err = readSpan(buf, depth+1, nodes); err != nil {
+			return nil, nil, err
+		}
+		s.Children = append(s.Children, c)
+	}
+	return s, buf, nil
 }
 
 // DecodeResult parses a RESULT payload.
@@ -440,6 +657,12 @@ func DecodeResult(p []byte) (*Result, error) {
 			}
 		}
 		m.Rows = append(m.Rows, tu)
+	}
+	if p[0]&2 != 0 {
+		var nodes int
+		if m.Trace, _, err = readSpan(buf, 0, &nodes); err != nil {
+			return nil, err
+		}
 	}
 	return m, nil
 }

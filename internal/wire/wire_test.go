@@ -2,11 +2,15 @@ package wire
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"io"
 	"strings"
 	"testing"
 	"time"
 
+	"dkbms"
+	"dkbms/internal/obs"
 	"dkbms/internal/rel"
 )
 
@@ -129,6 +133,148 @@ func TestResultRoundTrip(t *testing.T) {
 	empty, err := DecodeResult(Result{Strategy: "naive"}.Encode())
 	if err != nil || len(empty.Rows) != 0 || len(empty.Vars) != 0 {
 		t.Fatalf("empty result: %+v %v", empty, err)
+	}
+}
+
+// TestQueryOptsRoundTrip drives every combination of the option bools
+// through both conversion paths: root API ↔ wire struct, and wire
+// struct ↔ option byte. If a field is added to one side but not the
+// other, some combination here diverges.
+func TestQueryOptsRoundTrip(t *testing.T) {
+	for bits := 0; bits < 1<<5; bits++ {
+		o := &dkbms.QueryOptions{
+			Naive:      bits&1 != 0,
+			NoOptimize: bits&2 != 0,
+			Adaptive:   bits&4 != 0,
+			Parallel:   bits&8 != 0,
+			Trace:      bits&16 != 0,
+		}
+		w := FromOptions(o)
+		back := w.ToOptions()
+		if *back != *o {
+			t.Errorf("bits %05b: FromOptions/ToOptions: got %+v, want %+v", bits, *back, *o)
+		}
+		if got := decodeOpts(w.encode()); got != w {
+			t.Errorf("bits %05b: encode/decodeOpts: got %+v, want %+v", bits, got, w)
+		}
+		// The full QUERY frame must carry the bits too.
+		q, err := DecodeQuery(Query{Src: "?- p(X).", Opts: w}.Encode())
+		if err != nil || q.Opts != w {
+			t.Errorf("bits %05b: query frame: %+v %v", bits, q.Opts, err)
+		}
+	}
+	if FromOptions(nil) != (QueryOpts{}) {
+		t.Errorf("FromOptions(nil) = %+v, want zero", FromOptions(nil))
+	}
+}
+
+// TestErrorCodes checks that the code byte survives the wire and that
+// Err() reconstructs an error satisfying errors.Is against the sentinel
+// each code names.
+func TestErrorCodes(t *testing.T) {
+	cases := []struct {
+		code     ErrCode
+		in       error
+		sentinel error
+	}{
+		{CodeParse, dkbms.ErrParse, dkbms.ErrParse},
+		{CodeSemantic, dkbms.ErrSemantic, dkbms.ErrSemantic},
+		{CodeUnknownPredicate, dkbms.ErrUnknownPredicate, dkbms.ErrUnknownPredicate},
+		{CodeClosed, dkbms.ErrClosed, dkbms.ErrClosed},
+		{CodeOther, errors.New("disk on fire"), nil},
+	}
+	for _, tc := range cases {
+		if got := CodeFor(tc.in); got != tc.code {
+			t.Errorf("CodeFor(%v) = %d, want %d", tc.in, got, tc.code)
+		}
+		msg := "dkbms: something: " + tc.in.Error()
+		e, err := DecodeError(Error{Code: tc.code, Msg: msg}.Encode())
+		if err != nil || e.Code != tc.code || e.Msg != msg {
+			t.Fatalf("code %d round trip: %+v %v", tc.code, e, err)
+		}
+		out := e.Err()
+		if tc.sentinel != nil && !errors.Is(out, tc.sentinel) {
+			t.Errorf("code %d: %v does not wrap %v", tc.code, out, tc.sentinel)
+		}
+		if !strings.Contains(out.Error(), tc.in.Error()) {
+			t.Errorf("code %d: message %q lost server text %q", tc.code, out.Error(), tc.in.Error())
+		}
+	}
+	// Doubly-wrapped chains (the root API wraps sentinel over cause)
+	// still classify by the sentinel.
+	chain := fmt.Errorf("%w: %w", dkbms.ErrUnknownPredicate, errors.New("no rules for p"))
+	if CodeFor(chain) != CodeUnknownPredicate {
+		t.Errorf("wrapped unknown-predicate classified as %d", CodeFor(chain))
+	}
+}
+
+// TestResultTraceRoundTrip encodes a RESULT carrying a span tree and
+// checks the tree decodes node-for-node.
+func TestResultTraceRoundTrip(t *testing.T) {
+	tr := obs.NewTrace("query")
+	c := tr.Root().Start("eval")
+	it := c.Start("iteration 1")
+	it.SetInt("delta(anc)", 42)
+	it.SetString("strategy", "semi-naive")
+	it.SetDuration(3 * time.Millisecond)
+	it.End()
+	c.End()
+	tr.Finish()
+
+	in := Result{Strategy: "semi-naive", Trace: tr.Root()}
+	out, err := DecodeResult(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Trace == nil {
+		t.Fatal("trace dropped")
+	}
+	var compare func(a, b *obs.Span)
+	compare = func(a, b *obs.Span) {
+		if a.Name != b.Name || a.Duration != b.Duration || len(a.Attrs) != len(b.Attrs) || len(a.Children) != len(b.Children) {
+			t.Fatalf("span mismatch: %+v vs %+v", a, b)
+		}
+		for i := range a.Attrs {
+			if a.Attrs[i] != b.Attrs[i] {
+				t.Fatalf("attr %d of %q: %+v vs %+v", i, a.Name, a.Attrs[i], b.Attrs[i])
+			}
+		}
+		for i := range a.Children {
+			compare(a.Children[i], b.Children[i])
+		}
+	}
+	compare(in.Trace, out.Trace)
+	// Adopted traces format identically to the original.
+	if got, want := obs.Adopt(out.Trace).Format(), tr.Format(); got != want {
+		t.Errorf("formatted trace differs:\n%s\nvs\n%s", got, want)
+	}
+	// A result without the trace bit must decode with a nil trace.
+	plain, err := DecodeResult(Result{Strategy: "naive"}.Encode())
+	if err != nil || plain.Trace != nil {
+		t.Fatalf("traceless result: %+v %v", plain, err)
+	}
+}
+
+// TestTraceDepthGuard builds a chain nested past maxSpanDepth and
+// checks the decoder refuses it instead of recursing unboundedly.
+func TestTraceDepthGuard(t *testing.T) {
+	root := &obs.Span{Name: "0"}
+	cur := root
+	for i := 0; i < maxSpanDepth+2; i++ {
+		next := &obs.Span{Name: "n"}
+		cur.Children = append(cur.Children, next)
+		cur = next
+	}
+	p := Result{Strategy: "naive", Trace: root}.Encode()
+	if _, err := DecodeResult(p); err == nil || !strings.Contains(err.Error(), "nests deeper") {
+		t.Fatalf("deep trace accepted: %v", err)
+	}
+	// Truncated span payloads must error, not panic.
+	ok := Result{Strategy: "naive", Trace: &obs.Span{Name: "x", Attrs: []obs.Attr{{Key: "k", Int: 7}}}}.Encode()
+	for i := len(ok) - 1; i > len(ok)-6; i-- {
+		if _, err := DecodeResult(ok[:i]); err == nil {
+			t.Errorf("truncated trace at %d accepted", i)
+		}
 	}
 }
 

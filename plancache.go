@@ -101,7 +101,9 @@ func (pc *planCache) lookup(key planKey, ruleGen, dataGen uint64) (*core.Compile
 }
 
 // store records a compilation and its result, evicting the least
-// recently used entry beyond capacity.
+// recently used entry beyond capacity. A nil result stores the plan
+// without touching any memoized answer (traced runs share plans with
+// untraced queries but never publish their answers).
 func (pc *planCache) store(key planKey, ruleGen uint64, compiled *core.Compiled, dataGen uint64, result *QueryResult) {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
@@ -112,7 +114,9 @@ func (pc *planCache) store(key planKey, ruleGen uint64, compiled *core.Compiled,
 			pc.stats.Misses++
 		}
 		e.compiled, e.ruleGen = compiled, ruleGen
-		e.result, e.dataGen = result, dataGen
+		if result != nil {
+			e.result, e.dataGen = result, dataGen
+		}
 		pc.touch(e)
 		return
 	}

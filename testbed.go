@@ -30,6 +30,7 @@
 package dkbms
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -38,6 +39,7 @@ import (
 	"dkbms/internal/core"
 	"dkbms/internal/db"
 	"dkbms/internal/dlog"
+	"dkbms/internal/obs"
 	"dkbms/internal/rel"
 	"dkbms/internal/rtlib"
 	"dkbms/internal/stored"
@@ -128,10 +130,10 @@ func (tb *Testbed) Load(src string) error {
 	}
 	prog, err := dlog.ParseProgram(src)
 	if err != nil {
-		return err
+		return parseErr(err)
 	}
 	if len(prog.Queries) > 0 {
-		return fmt.Errorf("dkbms: Load input contains a query; use Query")
+		return fmt.Errorf("%w: Load input contains a query; use Query", ErrSemantic)
 	}
 	for _, c := range prog.Clauses {
 		if c.IsFact() {
@@ -141,7 +143,7 @@ func (tb *Testbed) Load(src string) error {
 			continue
 		}
 		if err := tb.ws.AddClause(c); err != nil {
-			return err
+			return semanticErr(err)
 		}
 		tb.ruleGen++
 	}
@@ -160,7 +162,7 @@ func (tb *Testbed) MustLoad(src string) {
 // use.
 func (tb *Testbed) Assert(fact dlog.Atom) error {
 	if !fact.IsGround() {
-		return fmt.Errorf("dkbms: fact %s is not ground", fact.String())
+		return fmt.Errorf("%w: fact %s is not ground", ErrSemantic, fact.String())
 	}
 	tu := make(rel.Tuple, len(fact.Args))
 	for i, t := range fact.Args {
@@ -211,8 +213,8 @@ func (tb *Testbed) Retract(pattern dlog.Atom) (int, error) {
 		return 0, nil
 	}
 	if t.Schema.Len() != pattern.Arity() {
-		return 0, fmt.Errorf("dkbms: retract %s: predicate has arity %d, pattern has %d",
-			pattern.String(), t.Schema.Len(), pattern.Arity())
+		return 0, fmt.Errorf("%w: retract %s: predicate has arity %d, pattern has %d",
+			ErrSemantic, pattern.String(), t.Schema.Len(), pattern.Arity())
 	}
 	var where []string
 	for i, a := range pattern.Args {
@@ -245,10 +247,10 @@ func (tb *Testbed) RetractSrc(src string) (int, error) {
 	}
 	c, err := dlog.ParseClause(src)
 	if err != nil {
-		return 0, err
+		return 0, parseErr(err)
 	}
 	if len(c.Body) > 0 {
-		return 0, fmt.Errorf("dkbms: retract takes a fact pattern, not a rule")
+		return 0, fmt.Errorf("%w: retract takes a fact pattern, not a rule", ErrSemantic)
 	}
 	return tb.Retract(c.Head)
 }
@@ -267,6 +269,12 @@ type QueryOptions struct {
 	// Parallel evaluates recursive-rule differentials concurrently
 	// within each LFP iteration (paper conclusion 7a; semi-naive only).
 	Parallel bool
+	// Trace records the query's execution as a span tree — compilation
+	// phases, evaluation nodes, LFP iterations with delta cardinalities,
+	// and the operator trees of the generated SQL — in
+	// QueryResult.Trace. Off by default; the off state costs only nil
+	// checks.
+	Trace bool
 }
 
 // QueryResult is the answer to a D/KB query plus its cost breakdown.
@@ -282,35 +290,60 @@ type QueryResult struct {
 	Optimized bool
 	// Strategy is the LFP strategy used.
 	Strategy rtlib.Strategy
+	// Trace is the recorded span tree (nil unless QueryOptions.Trace was
+	// set). Render it with Trace.Format().
+	Trace *obs.Trace
 }
 
 // Query compiles and evaluates a Horn-clause query ("?- goal, goal.")
 // against the workspace and stored D/KBs. opts may be nil for defaults
 // (semi-naive, magic sets on).
 func (tb *Testbed) Query(src string, opts *QueryOptions) (*QueryResult, error) {
+	return tb.QueryContext(context.Background(), src, opts)
+}
+
+// QueryContext is Query under a context: cancellation (or deadline
+// expiry) is checked between compilation and evaluation and at every
+// LFP iteration boundary, aborting the query with an error wrapping
+// ctx.Err(). Long recursive evaluations therefore stop within one
+// iteration of the cancel.
+func (tb *Testbed) QueryContext(ctx context.Context, src string, opts *QueryOptions) (*QueryResult, error) {
 	q, err := dlog.ParseQuery(src)
 	if err != nil {
-		return nil, err
+		return nil, parseErr(err)
 	}
-	return tb.RunQuery(q, opts)
+	return tb.RunQueryContext(ctx, q, opts)
 }
 
 // RunQuery is Query for a pre-parsed query.
 func (tb *Testbed) RunQuery(q dlog.Query, opts *QueryOptions) (*QueryResult, error) {
+	return tb.RunQueryContext(context.Background(), q, opts)
+}
+
+// RunQueryContext is QueryContext for a pre-parsed query.
+func (tb *Testbed) RunQueryContext(ctx context.Context, q dlog.Query, opts *QueryOptions) (*QueryResult, error) {
 	if opts == nil {
 		opts = &QueryOptions{}
 	}
-	compiled, err := tb.Compile(q, opts)
+	var tr *obs.Trace
+	if opts.Trace {
+		tr = obs.NewTrace("query")
+	}
+	compiled, err := tb.compile(q, opts, tr)
 	if err != nil {
 		return nil, err
 	}
-	return tb.Evaluate(compiled, opts)
+	return tb.evaluate(ctx, compiled, opts, tr)
 }
 
 // Compile runs only the Knowledge Manager pipeline, returning the
 // evaluation program (used by benchmarks that measure t_c and t_e
 // separately, and by the precompiled-query cache).
 func (tb *Testbed) Compile(q dlog.Query, opts *QueryOptions) (*core.Compiled, error) {
+	return tb.compile(q, opts, nil)
+}
+
+func (tb *Testbed) compile(q dlog.Query, opts *QueryOptions, tr *obs.Trace) (*core.Compiled, error) {
 	if tb.closed {
 		return nil, ErrClosed
 	}
@@ -322,16 +355,40 @@ func (tb *Testbed) Compile(q dlog.Query, opts *QueryOptions) (*core.Compiled, er
 		optimize = tb.adaptiveOptimize(q)
 	}
 	cp := &core.Compiler{WS: tb.ws, DB: tb.db, Stored: tb.st}
-	return cp.Compile(q, core.CompileOptions{Optimize: optimize})
+	compiled, err := cp.Compile(q, core.CompileOptions{Optimize: optimize, Trace: tr})
+	if err != nil {
+		return nil, semanticErr(err)
+	}
+	return compiled, nil
 }
 
-// Evaluate runs a compiled program.
+// Evaluate runs a compiled program. When opts.Trace is set the result
+// carries an evaluation-only trace (compilation happened elsewhere —
+// e.g. in Prepare).
 func (tb *Testbed) Evaluate(compiled *core.Compiled, opts *QueryOptions) (*QueryResult, error) {
+	return tb.EvaluateContext(context.Background(), compiled, opts)
+}
+
+// EvaluateContext is Evaluate under a context (see QueryContext).
+func (tb *Testbed) EvaluateContext(ctx context.Context, compiled *core.Compiled, opts *QueryOptions) (*QueryResult, error) {
+	var tr *obs.Trace
+	if opts != nil && opts.Trace {
+		tr = obs.NewTrace("query")
+	}
+	return tb.evaluate(ctx, compiled, opts, tr)
+}
+
+func (tb *Testbed) evaluate(ctx context.Context, compiled *core.Compiled, opts *QueryOptions, tr *obs.Trace) (*QueryResult, error) {
 	if tb.closed {
 		return nil, ErrClosed
 	}
 	if opts == nil {
 		opts = &QueryOptions{}
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("dkbms: query canceled: %w", err)
+		}
 	}
 	strategy := rtlib.SemiNaive
 	if opts.Naive {
@@ -340,10 +397,13 @@ func (tb *Testbed) Evaluate(compiled *core.Compiled, opts *QueryOptions) (*Query
 	res, err := rtlib.Evaluate(tb.db, compiled.Program, rtlib.Options{
 		Strategy: strategy,
 		Parallel: opts.Parallel,
+		Trace:    tr,
+		Ctx:      ctx,
 	})
 	if err != nil {
 		return nil, err
 	}
+	tr.Finish()
 	return &QueryResult{
 		Vars:      compiled.Vars,
 		Rows:      res.Rows,
@@ -351,6 +411,7 @@ func (tb *Testbed) Evaluate(compiled *core.Compiled, opts *QueryOptions) (*Query
 		Eval:      res.Stats,
 		Optimized: compiled.Optimized,
 		Strategy:  strategy,
+		Trace:     tr,
 	}, nil
 }
 
