@@ -8,12 +8,15 @@
 //	dkbd                          # in-memory D/KB on :7407
 //	dkbd -db family.db -addr :9000
 //	dkbd -load family.dl          # preload a program at startup
-//	dkbd -debug-addr 127.0.0.1:7408   # HTTP /metrics JSON snapshot
+//	dkbd -debug-addr 127.0.0.1:7408   # HTTP /metrics /slowlog /healthz /debug/pprof
+//	dkbd -log-level debug -log-format json
+//	dkbd -slow-threshold 10ms     # only retain queries at or above 10ms
 //
 // dkbd shuts down gracefully on SIGINT/SIGTERM: the listener closes at
 // once, in-flight requests finish and receive their responses, then the
-// process exits. Connect with `dkbsh -connect HOST:PORT` or the
-// internal/client package.
+// debug HTTP server (if any) is drained and the process exits. Connect
+// with `dkbsh -connect HOST:PORT` or the internal/client package; watch
+// a running server with `dkbtop -addr HOST:DEBUGPORT`.
 package main
 
 import (
@@ -28,31 +31,66 @@ import (
 	"time"
 
 	"dkbms"
+	"dkbms/internal/obs"
 	"dkbms/internal/server"
 )
 
 func main() {
-	addr := flag.String("addr", ":7407", "listen address")
-	dbPath := flag.String("db", "", "database file (empty = in-memory)")
-	load := flag.String("load", "", "Horn-clause program to load at startup")
-	maxConns := flag.Int("maxconns", server.DefaultMaxConns, "max simultaneous sessions")
-	ioTimeout := flag.Duration("iotimeout", server.DefaultIOTimeout, "per-request I/O deadline (negative disables)")
-	debugAddr := flag.String("debug-addr", "", "HTTP debug listen address serving /metrics (empty = disabled)")
+	cfg := config{}
+	flag.StringVar(&cfg.addr, "addr", ":7407", "listen address")
+	flag.StringVar(&cfg.dbPath, "db", "", "database file (empty = in-memory)")
+	flag.StringVar(&cfg.load, "load", "", "Horn-clause program to load at startup")
+	flag.IntVar(&cfg.maxConns, "maxconns", server.DefaultMaxConns, "max simultaneous sessions")
+	flag.DurationVar(&cfg.ioTimeout, "iotimeout", server.DefaultIOTimeout, "per-request I/O deadline (negative disables)")
+	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "HTTP debug listen address serving /metrics /slowlog /healthz /debug/pprof (empty = disabled)")
+	flag.StringVar(&cfg.logLevel, "log-level", "info", "log level: debug|info|warn|error")
+	flag.StringVar(&cfg.logFormat, "log-format", "text", "log format: text|json")
+	flag.IntVar(&cfg.slowSize, "slowlog-size", 0, "slow-query ring capacity (0 = default)")
+	flag.DurationVar(&cfg.slowThreshold, "slow-threshold", 0, "minimum latency to enter the slow-query log (0 retains every query)")
 	flag.Parse()
 
-	if err := run(*addr, *dbPath, *load, *maxConns, *ioTimeout, *debugAddr); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "dkbd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dbPath, load string, maxConns int, ioTimeout time.Duration, debugAddr string) error {
+type config struct {
+	addr, dbPath, load  string
+	maxConns            int
+	ioTimeout           time.Duration
+	debugAddr           string
+	logLevel, logFormat string
+	slowSize            int
+	slowThreshold       time.Duration
+}
+
+// buildLogger turns the -log-level/-log-format flags into the server's
+// structured logger, writing to stderr.
+func buildLogger(level, format string) (*obs.Logger, error) {
+	var l *obs.Logger
+	switch format {
+	case "text", "":
+		l = obs.NewLogger(os.Stderr)
+	case "json":
+		l = obs.NewJSONLogger(os.Stderr)
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (text|json)", format)
+	}
+	return l.SetLevel(obs.ParseLevel(level)), nil
+}
+
+func run(cfg config) error {
+	logger, err := buildLogger(cfg.logLevel, cfg.logFormat)
+	if err != nil {
+		return err
+	}
+
 	var tb *dkbms.Testbed
-	var err error
-	if dbPath == "" {
+	if cfg.dbPath == "" {
 		tb = dkbms.NewMemory()
 	} else {
-		tb, err = dkbms.Open(dbPath)
+		tb, err = dkbms.Open(cfg.dbPath)
 		if err != nil {
 			return err
 		}
@@ -60,57 +98,65 @@ func run(addr, dbPath, load string, maxConns int, ioTimeout time.Duration, debug
 	ctb := dkbms.NewConcurrent(tb)
 	defer ctb.Close()
 
-	if load != "" {
-		src, err := os.ReadFile(load)
+	if cfg.load != "" {
+		src, err := os.ReadFile(cfg.load)
 		if err != nil {
 			return err
 		}
 		if err := ctb.Load(string(src)); err != nil {
-			return fmt.Errorf("load %s: %w", load, err)
+			return fmt.Errorf("load %s: %w", cfg.load, err)
 		}
-		fmt.Printf("dkbd: loaded %s\n", load)
+		logger.Info("program loaded", "file", cfg.load)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	srv := server.New(ctb, server.Options{
-		MaxConns:  maxConns,
-		IOTimeout: ioTimeout,
-		Logf:      server.Logf,
+		MaxConns:      cfg.maxConns,
+		IOTimeout:     cfg.ioTimeout,
+		Logger:        logger,
+		SlowLogSize:   cfg.slowSize,
+		SlowThreshold: cfg.slowThreshold,
 	})
-	if debugAddr != "" {
-		mux := http.NewServeMux()
-		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-			w.Header().Set("Content-Type", "application/json")
-			if err := srv.Registry().WriteJSON(w); err != nil {
-				http.Error(w, err.Error(), http.StatusInternalServerError)
-			}
-		})
-		dbg := &http.Server{Addr: debugAddr, Handler: mux}
+
+	// The debug HTTP server is shut down after the TCP side drains, with
+	// a short deadline: a hung profile download must not wedge exit.
+	var dbgDone func()
+	if cfg.debugAddr != "" {
+		dbg := &http.Server{Addr: cfg.debugAddr, Handler: srv.DebugHandler()}
 		go func() {
 			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				fmt.Fprintf(os.Stderr, "dkbd: debug server: %v\n", err)
+				logger.Error("debug server failed", "addr", cfg.debugAddr, "err", err)
 			}
 		}()
-		go func() {
-			<-ctx.Done()
-			dbg.Close()
-		}()
-		fmt.Printf("dkbd: debug metrics on http://%s/metrics\n", debugAddr)
+		dbgDone = func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := dbg.Shutdown(sctx); err != nil {
+				dbg.Close()
+			}
+		}
+		fmt.Printf("dkbd: debug endpoints on http://%s/{metrics,slowlog,healthz,debug/pprof}\n", cfg.debugAddr)
 	}
 
 	ready := make(chan net.Addr, 1)
 	done := make(chan error, 1)
-	go func() { done <- srv.ListenAndServe(ctx, addr, ready) }()
+	go func() { done <- srv.ListenAndServe(ctx, cfg.addr, ready) }()
 	select {
 	case a := <-ready:
-		fmt.Printf("dkbd: serving on %s (max %d sessions)\n", a, maxConns)
+		fmt.Printf("dkbd: serving on %s (max %d sessions)\n", a, cfg.maxConns)
 	case err := <-done:
+		if dbgDone != nil {
+			dbgDone()
+		}
 		return err
 	}
 
 	err = <-done
+	if dbgDone != nil {
+		dbgDone()
+	}
 	st := srv.Stats()
 	fmt.Printf("dkbd: shut down after %d sessions, %d requests (%d errors)\n",
 		st.TotalSessions, st.Requests, st.Errors)

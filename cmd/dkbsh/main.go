@@ -31,9 +31,11 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"dkbms"
 	"dkbms/internal/dlog"
+	"dkbms/internal/obs"
 )
 
 func main() {
@@ -62,7 +64,8 @@ func main() {
 	}
 	defer tb.Close()
 
-	sh := &shell{tb: tb, opts: dkbms.QueryOptions{}, out: os.Stdout}
+	sh := &shell{tb: tb, opts: dkbms.QueryOptions{}, out: os.Stdout,
+		slow: obs.NewSlowLog(0, 0)}
 	fmt.Println("dkbms testbed shell — .help for commands")
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -90,6 +93,7 @@ type shell struct {
 	opts   dkbms.QueryOptions
 	timing bool
 	out    io.Writer
+	slow   *obs.SlowLog // this session's queries, slowest first (.slowlog)
 }
 
 func (s *shell) handle(line string) error {
@@ -126,6 +130,9 @@ func (s *shell) handle(line string) error {
 	case strings.HasPrefix(line, ".timing"):
 		s.timing = strings.Contains(line, "on")
 		return nil
+	case line == ".slowlog":
+		printSlowlog(s.out, s.slow.Threshold(), s.slow.Capacity(), s.slow.Recorded(), s.slow.Snapshot())
+		return nil
 	case strings.HasPrefix(line, ".sql "):
 		return s.rawSQL(strings.TrimPrefix(line, ".sql "))
 	case strings.HasPrefix(line, ".explain "):
@@ -142,7 +149,9 @@ func (s *shell) handle(line string) error {
 }
 
 func (s *shell) query(line string) error {
+	start := time.Now()
 	res, err := s.tb.Query(line, &s.opts)
+	s.recordSlow(line, start, res, err)
 	if err != nil {
 		return err
 	}
@@ -175,7 +184,9 @@ func (s *shell) query(line string) error {
 func (s *shell) trace(q string) error {
 	opts := s.opts
 	opts.Trace = true
+	start := time.Now()
 	res, err := s.tb.Query(q, &opts)
+	s.recordSlow(q, start, res, err)
 	if err != nil {
 		return err
 	}
@@ -189,6 +200,20 @@ func (s *shell) trace(q string) error {
 		fmt.Fprint(s.out, res.Trace.Format())
 	}
 	return nil
+}
+
+// recordSlow enters one interactive query into the shell's private
+// slow-query ring, mirroring what a dkbd session records server-side.
+func (s *shell) recordSlow(src string, start time.Time, res *dkbms.QueryResult, err error) {
+	e := obs.SlowQuery{Query: src, Start: start, Latency: time.Since(start)}
+	if err != nil {
+		e.Err = err.Error()
+	} else {
+		e.Rows = int64(len(res.Rows))
+		e.Iterations = res.Iterations()
+		e.Trace = res.Trace.Root()
+	}
+	s.slow.Record(e)
 }
 
 func (s *shell) setOpts(words []string) error {
@@ -275,6 +300,7 @@ commands:
   .timing on|off  print compile/eval breakdowns per query
   .explain Q      show the compiled evaluation program for a query
   .trace Q        run a query with tracing and print its span tree
+  .slowlog        this session's queries, slowest first
   .sql STMT       raw SQL against the DBMS
   .quit
 `)

@@ -7,6 +7,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"dkbms/internal/client"
 	"dkbms/internal/obs"
@@ -118,6 +119,13 @@ func (s *remoteShell) handle(line string) error {
 		fmt.Fprintf(s.out, "traffic in %d B, out %d B; rule-base generation %d\n",
 			st.BytesIn, st.BytesOut, st.Generation)
 		return nil
+	case line == ".slowlog":
+		sl, err := s.c.Slowlog()
+		if err != nil {
+			return err
+		}
+		printSlowlog(s.out, time.Duration(sl.ThresholdNs), int(sl.Capacity), sl.Recorded, sl.Entries)
+		return nil
 	case strings.HasPrefix(line, ".opts "):
 		return s.setOpts(strings.Fields(strings.TrimPrefix(line, ".opts ")))
 	case strings.HasPrefix(line, ".trace "):
@@ -214,6 +222,7 @@ commands (remote session):
   .prepare Q      compile a query server-side; returns an id
   .exec ID        run a prepared query
   .stats          server activity counters
+  .slowlog        server slow-query log (slowest first)
   .trace Q        run a query with server-side tracing and print its span tree
   .opts WORDS     naive|seminaive  magic|nomagic|adaptive  parallel|serial
   .quit

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dkbms/internal/obs"
+)
+
+// printSlowlog renders a slow-query snapshot (slowest first), shared by
+// the local shell (its private ring) and the remote shell (the server's
+// ring fetched over SLOWLOG).
+func printSlowlog(w io.Writer, threshold time.Duration, capacity int, recorded int64, entries []obs.SlowQuery) {
+	if threshold > 0 {
+		fmt.Fprintf(w, "slow-query log: %d recorded at or above %v (ring of %d)\n",
+			recorded, threshold, capacity)
+	} else {
+		fmt.Fprintf(w, "slow-query log: %d recorded, no threshold (ring of %d)\n",
+			recorded, capacity)
+	}
+	if len(entries) == 0 {
+		fmt.Fprintln(w, "  (empty)")
+		return
+	}
+	for i, e := range entries {
+		fmt.Fprintf(w, "%3d. %10v  %s\n", i+1, e.Latency.Round(time.Microsecond), e.Query)
+		switch {
+		case e.Err != "":
+			fmt.Fprintf(w, "     error: %s\n", e.Err)
+		default:
+			line := fmt.Sprintf("     %d rows", e.Rows)
+			if e.Iterations > 0 {
+				line += fmt.Sprintf(", %d iterations", e.Iterations)
+			}
+			if e.Cache != "" {
+				line += ", cache " + e.Cache
+			}
+			if e.Session > 0 {
+				line += fmt.Sprintf(", session %d", e.Session)
+			}
+			if e.Trace != nil {
+				line += ", traced"
+			}
+			fmt.Fprintln(w, line)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Command dkbtop is a live terminal monitor for a running dkbd server,
+// in the spirit of top(1): it polls the server's debug HTTP endpoints
+// (/metrics and /slowlog, enabled with `dkbd -debug-addr`) and redraws a
+// one-screen dashboard every interval — request throughput and latency
+// percentiles, session and cache activity, the busiest tables, and the
+// slowest queries.
+//
+// Usage:
+//
+//	dkbtop -addr 127.0.0.1:7408            # poll every 2s until interrupted
+//	dkbtop -addr 127.0.0.1:7408 -interval 500ms
+//	dkbtop -addr 127.0.0.1:7408 -n 1       # one snapshot, then exit (scripts)
+//
+// dkbtop is read-only: it touches nothing but the two debug endpoints.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"dkbms/internal/obs"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7408", "dkbd debug HTTP address (host:port of -debug-addr)")
+	interval := flag.Duration("interval", 2*time.Second, "poll interval")
+	n := flag.Int("n", 0, "number of refreshes before exiting (0 = until interrupted)")
+	flag.Parse()
+
+	if err := run(os.Stdout, "http://"+*addr, *interval, *n); err != nil {
+		fmt.Fprintf(os.Stderr, "dkbtop: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(out io.Writer, baseURL string, interval time.Duration, n int) error {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	var prev *sample
+	prevAt := time.Now()
+	for i := 0; ; i++ {
+		cur, err := fetch(baseURL)
+		now := time.Now()
+		if err != nil {
+			return err
+		}
+		frame := render(prev, cur, now.Sub(prevAt))
+		if n != 1 {
+			fmt.Fprint(out, "\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		fmt.Fprint(out, frame)
+		prev, prevAt = cur, now
+		if n > 0 && i+1 >= n {
+			return nil
+		}
+		select {
+		case <-sig:
+			return nil
+		case <-time.After(interval):
+		}
+	}
+}
+
+// sample is one poll of the server's debug endpoints.
+type sample struct {
+	metrics map[string]obs.Metric
+	slow    obs.SlowLogSnapshot
+}
+
+// get returns the value of a metric, 0 when absent.
+func (s *sample) get(name string) int64 { return s.metrics[name].Value }
+
+// metric returns the full metric (for histogram percentiles).
+func (s *sample) metric(name string) obs.Metric { return s.metrics[name] }
+
+// fetch polls /metrics and /slowlog.
+func fetch(baseURL string) (*sample, error) {
+	var list []obs.Metric
+	if err := getJSON(baseURL+"/metrics", &list); err != nil {
+		return nil, err
+	}
+	s := &sample{metrics: make(map[string]obs.Metric, len(list))}
+	for _, m := range list {
+		s.metrics[m.Name] = m
+	}
+	if err := getJSON(baseURL+"/slowlog", &s.slow); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func getJSON(url string, v any) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// render draws one dashboard frame from the current sample, using the
+// previous one (nil on the first frame) for rates. It is a pure function
+// of its inputs, so the display logic is testable without a server.
+func render(prev, cur *sample, elapsed time.Duration) string {
+	var b strings.Builder
+
+	reqs := cur.get("server.requests")
+	var reqRate float64
+	if prev != nil && elapsed > 0 {
+		reqRate = float64(reqs-prev.get("server.requests")) / elapsed.Seconds()
+	}
+	lat := cur.metric("server.request_latency_ns")
+	fmt.Fprintf(&b, "dkbd  requests %d (%.1f/s)  errors %d  sessions %d/%d active  in-flight %d\n",
+		reqs, reqRate, cur.get("server.errors"),
+		cur.get("server.sessions_active"), cur.get("server.sessions_total"),
+		cur.get("server.in_flight"))
+	fmt.Fprintf(&b, "lat   p50 %v  p99 %v  (over %d requests)\n",
+		time.Duration(lat.P50), time.Duration(lat.P99), lat.Value)
+
+	planHits := cur.get("plan.result_hits") + cur.get("plan.hits")
+	planAll := planHits + cur.get("plan.misses")
+	fmt.Fprintf(&b, "cache pool %d%% hit  plan %s hit (%d result, %d plan, %d miss, %d entries)  gen %d\n",
+		cur.get("pool.hit_rate_pct"), pct(planHits, planAll),
+		cur.get("plan.result_hits"), cur.get("plan.hits"), cur.get("plan.misses"),
+		cur.get("plan.entries"), cur.get("dkb.generation"))
+
+	// Busiest tables by heap traffic (reads + scanned records), top 5.
+	type tableRow struct {
+		name          string
+		rows, traffic int64
+	}
+	var tables []tableRow
+	for name, m := range cur.metrics {
+		if !strings.HasPrefix(name, "table.") || !strings.HasSuffix(name, ".rows") {
+			continue
+		}
+		t := strings.TrimSuffix(strings.TrimPrefix(name, "table."), ".rows")
+		pre := "table." + t + "."
+		tables = append(tables, tableRow{
+			name: t,
+			rows: m.Value,
+			traffic: cur.get(pre+"heap_reads") + cur.get(pre+"heap_recs_scanned") +
+				cur.get(pre+"heap_inserts") + cur.get(pre+"heap_deletes"),
+		})
+	}
+	sort.Slice(tables, func(i, j int) bool {
+		if tables[i].traffic != tables[j].traffic {
+			return tables[i].traffic > tables[j].traffic
+		}
+		return tables[i].name < tables[j].name
+	})
+	if len(tables) > 0 {
+		fmt.Fprintf(&b, "\n%-24s %10s %12s %10s %10s\n", "TABLE", "ROWS", "HEAP-TRAFFIC", "SCANS", "READS")
+		for i, t := range tables {
+			if i == 5 {
+				fmt.Fprintf(&b, "  … %d more\n", len(tables)-5)
+				break
+			}
+			pre := "table." + t.name + "."
+			fmt.Fprintf(&b, "%-24s %10d %12d %10d %10d\n",
+				t.name, t.rows, t.traffic, cur.get(pre+"heap_scans"), cur.get(pre+"heap_reads"))
+		}
+	}
+
+	// Slowest queries, top 5 (the endpoint already sorts slowest first).
+	fmt.Fprintf(&b, "\nSLOW QUERIES (%d recorded", cur.slow.Recorded)
+	if cur.slow.ThresholdNs > 0 {
+		fmt.Fprintf(&b, ", threshold %v", time.Duration(cur.slow.ThresholdNs))
+	}
+	fmt.Fprint(&b, ")\n")
+	if len(cur.slow.Entries) == 0 {
+		fmt.Fprint(&b, "  (none)\n")
+	}
+	for i, e := range cur.slow.Entries {
+		if i == 5 {
+			break
+		}
+		status := e.Cache
+		if e.Err != "" {
+			status = "ERR"
+		}
+		fmt.Fprintf(&b, "%10v %7d rows %-6s  %s\n",
+			e.Latency.Round(time.Microsecond), e.Rows, status, oneLine(e.Query, 60))
+	}
+	return b.String()
+}
+
+// pct formats part-of-whole as "NN%", "n/a" when nothing counted.
+func pct(part, whole int64) string {
+	if whole <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%d%%", part*100/whole)
+}
+
+// oneLine flattens and truncates a query for a single display row.
+func oneLine(s string, max int) string {
+	s = strings.Join(strings.Fields(s), " ")
+	if len(s) > max {
+		return s[:max-1] + "…"
+	}
+	return s
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dkbms/internal/obs"
+)
+
+func sampleFrom(metrics []obs.Metric, slow obs.SlowLogSnapshot) *sample {
+	s := &sample{metrics: make(map[string]obs.Metric, len(metrics)), slow: slow}
+	for _, m := range metrics {
+		s.metrics[m.Name] = m
+	}
+	return s
+}
+
+func TestRender(t *testing.T) {
+	prev := sampleFrom([]obs.Metric{
+		{Name: "server.requests", Kind: "gauge", Value: 100},
+	}, obs.SlowLogSnapshot{})
+	cur := sampleFrom([]obs.Metric{
+		{Name: "server.requests", Kind: "gauge", Value: 150},
+		{Name: "server.errors", Kind: "gauge", Value: 2},
+		{Name: "server.sessions_active", Kind: "gauge", Value: 3},
+		{Name: "server.sessions_total", Kind: "gauge", Value: 7},
+		{Name: "server.request_latency_ns", Kind: "histogram", Value: 150,
+			P50: int64(2 * time.Millisecond), P99: int64(30 * time.Millisecond)},
+		{Name: "pool.hit_rate_pct", Kind: "gauge", Value: 93},
+		{Name: "plan.result_hits", Kind: "gauge", Value: 40},
+		{Name: "plan.hits", Kind: "gauge", Value: 10},
+		{Name: "plan.misses", Kind: "gauge", Value: 50},
+		{Name: "plan.entries", Kind: "gauge", Value: 12},
+		{Name: "dkb.generation", Kind: "gauge", Value: 4},
+		{Name: "table.parent_2.rows", Kind: "gauge", Value: 1022},
+		{Name: "table.parent_2.heap_reads", Kind: "counter", Value: 7},
+		{Name: "table.parent_2.heap_recs_scanned", Kind: "counter", Value: 5000},
+		{Name: "table.parent_2.heap_scans", Kind: "counter", Value: 11},
+		{Name: "table.quiet_2.rows", Kind: "gauge", Value: 3},
+	}, obs.SlowLogSnapshot{
+		Recorded: 2,
+		Entries: []obs.SlowQuery{
+			{Query: "?- ancestor(c0,\n  W).", Latency: 42 * time.Millisecond, Rows: 8194, Cache: "miss"},
+			{Query: "?- nosuch(X).", Latency: time.Millisecond, Err: "unknown predicate"},
+		},
+	})
+
+	out := render(prev, cur, 10*time.Second)
+
+	for _, w := range []string{
+		"requests 150 (5.0/s)",
+		"errors 2",
+		"sessions 3/7 active",
+		"p50 2ms",
+		"p99 30ms",
+		"pool 93% hit",
+		"plan 50% hit",
+		"gen 4",
+		"parent_2",
+		"1022",
+		"SLOW QUERIES (2 recorded)",
+		"8194 rows miss",
+		"?- ancestor(c0, W).", // multi-line query flattened
+		"ERR",
+	} {
+		if !strings.Contains(out, w) {
+			t.Errorf("frame missing %q:\n%s", w, out)
+		}
+	}
+
+	// parent_2 (heavy traffic) must sort above quiet_2.
+	if strings.Index(out, "parent_2") > strings.Index(out, "quiet_2") {
+		t.Errorf("table ordering wrong:\n%s", out)
+	}
+
+	// First frame: no previous sample, rate renders as 0.
+	first := render(nil, cur, 0)
+	if !strings.Contains(first, "(0.0/s)") {
+		t.Errorf("first frame rate:\n%s", first)
+	}
+}
+
+func TestOneLine(t *testing.T) {
+	if got := oneLine("a\n  b\tc", 60); got != "a b c" {
+		t.Errorf("oneLine = %q", got)
+	}
+	long := strings.Repeat("x", 80)
+	if got := oneLine(long, 10); len(got) != 9+len("…") || !strings.HasSuffix(got, "…") {
+		t.Errorf("truncation = %q", got)
+	}
+}
+
+func TestRunOnceAgainstFakeServer(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/metrics":
+			w.Write([]byte(`[{"name":"server.requests","kind":"gauge","value":9}]`))
+		case "/slowlog":
+			w.Write([]byte(`{"threshold_ns":0,"capacity":128,"recorded":0,"entries":[]}`))
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer hs.Close()
+
+	var b strings.Builder
+	if err := run(&b, hs.URL, time.Millisecond, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "requests 9") || !strings.Contains(out, "(none)") {
+		t.Errorf("single-shot output:\n%s", out)
+	}
+	if strings.Contains(out, "\x1b[2J") {
+		t.Errorf("-n 1 output must not clear the screen:\n%s", out)
+	}
+}

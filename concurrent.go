@@ -2,6 +2,7 @@ package dkbms
 
 import (
 	"context"
+	"fmt"
 	"sync"
 
 	"dkbms/internal/dlog"
@@ -139,7 +140,13 @@ func (c *ConcurrentTestbed) QueryContext(ctx context.Context, src string, opts *
 	ruleGen, dataGen := c.tb.ruleGen, c.tb.dataGen
 	compiled, cached := c.plans.lookup(key, ruleGen, dataGen)
 	if cached != nil && !opts.Trace {
-		return shareResult(cached), nil
+		out := shareResult(cached)
+		out.Cache = "result"
+		return out, nil
+	}
+	cacheStatus := "miss"
+	if compiled != nil {
+		cacheStatus = "plan"
 	}
 	var tr *obs.Trace
 	if opts.Trace {
@@ -163,7 +170,9 @@ func (c *ConcurrentTestbed) QueryContext(ctx context.Context, src string, opts *
 	} else {
 		c.plans.store(key, ruleGen, compiled, dataGen, res)
 	}
-	return shareResult(res), nil
+	out := shareResult(res)
+	out.Cache = cacheStatus
+	return out, nil
 }
 
 // shareResult returns a caller-private view of a cached result: the
@@ -187,6 +196,58 @@ func (c *ConcurrentTestbed) PagerStats() storage.PagerStats {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.tb.db.PagerStats()
+}
+
+// EngineMetrics snapshots the engine floor as registry metrics: a row
+// gauge and heap-traffic counters per table, shape and search counters
+// per index, and the buffer-pool counters per shard. It runs under the
+// read lock, which excludes writers, so the non-atomic structural fields
+// (index height, key counts) read cleanly. The server registers this as
+// a metrics-registry collector; the set of names follows the live schema
+// as tables are created and dropped.
+func (c *ConcurrentTestbed) EngineMetrics() []obs.Metric {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	cat := c.tb.db.Catalog()
+	var out []obs.Metric
+	for _, name := range cat.Tables() {
+		t := cat.Table(name)
+		if t == nil {
+			continue
+		}
+		hs := t.Heap.Stats()
+		pre := "table." + name + "."
+		out = append(out,
+			obs.Metric{Name: pre + "rows", Kind: "gauge", Value: int64(t.Rows())},
+			obs.Metric{Name: pre + "heap_reads", Kind: "counter", Value: hs.Reads},
+			obs.Metric{Name: pre + "heap_inserts", Kind: "counter", Value: hs.Inserts},
+			obs.Metric{Name: pre + "heap_deletes", Kind: "counter", Value: hs.Deletes},
+			obs.Metric{Name: pre + "heap_scans", Kind: "counter", Value: hs.Scans},
+			obs.Metric{Name: pre + "heap_pages_scanned", Kind: "counter", Value: hs.PagesScanned},
+			obs.Metric{Name: pre + "heap_recs_scanned", Kind: "counter", Value: hs.RecsScanned},
+		)
+		for _, ix := range t.Indexes {
+			ts := ix.Stats()
+			ipre := "index." + ix.Name + "."
+			out = append(out,
+				obs.Metric{Name: ipre + "height", Kind: "gauge", Value: ts.Height},
+				obs.Metric{Name: ipre + "entries", Kind: "gauge", Value: ts.Entries},
+				obs.Metric{Name: ipre + "searches", Kind: "counter", Value: ts.Searches},
+				obs.Metric{Name: ipre + "depth_total", Kind: "counter", Value: ts.DepthTotal},
+				obs.Metric{Name: ipre + "splits", Kind: "counter", Value: ts.Splits},
+			)
+		}
+	}
+	for i, st := range c.tb.db.PagerShardStats() {
+		pre := fmt.Sprintf("pool.shard.%02d.", i)
+		out = append(out,
+			obs.Metric{Name: pre + "hits", Kind: "counter", Value: st.Hits},
+			obs.Metric{Name: pre + "misses", Kind: "counter", Value: st.Misses},
+			obs.Metric{Name: pre + "evictions", Kind: "counter", Value: st.Evictions},
+			obs.Metric{Name: pre + "writes", Kind: "counter", Value: st.Writes},
+		)
+	}
+	return out
 }
 
 // RunQuery is Query for a pre-parsed query.

@@ -38,6 +38,9 @@ func (it *indexTree) LookupPrefix(prefix rel.Tuple) []storage.RID {
 // Len returns the number of entries.
 func (it *indexTree) Len() int { return it.t.Len() }
 
+// Stats snapshots the tree's shape and traffic counters.
+func (it *indexTree) Stats() index.TreeStats { return it.t.Stats() }
+
 // Lookup returns postings for the key (exact match on all index columns).
 func (ix *Index) Lookup(key rel.Tuple) []storage.RID { return ix.Tree.Lookup(key) }
 
@@ -48,3 +51,8 @@ func (ix *Index) LookupPrefix(prefix rel.Tuple) []storage.RID {
 
 // Entries returns the number of entries in the index.
 func (ix *Index) Entries() int { return ix.Tree.Len() }
+
+// Stats snapshots the index tree's shape (height, keys, entries) and
+// traffic (searches, summed search depth, splits). The structural fields
+// need the same exclusion as tuple traffic when writers are live.
+func (ix *Index) Stats() index.TreeStats { return ix.Tree.Stats() }

@@ -140,3 +140,12 @@ func (c *Client) Stats() (wire.ServerStats, error) {
 	}
 	return wire.DecodeServerStats(rp)
 }
+
+// Slowlog fetches the server's slow-query log (slowest first).
+func (c *Client) Slowlog() (wire.Slowlog, error) {
+	rp, err := c.roundTrip(wire.MsgSlowlog, nil, wire.MsgSlowlogReply)
+	if err != nil {
+		return wire.Slowlog{}, err
+	}
+	return wire.DecodeSlowlog(rp)
+}

@@ -304,3 +304,6 @@ func (d *DB) Flush() error { return d.pager.Flush() }
 
 // PagerStats returns a snapshot of the buffer-pool counters.
 func (d *DB) PagerStats() storage.PagerStats { return d.pager.Stats() }
+
+// PagerShardStats returns the buffer-pool counters per stripe.
+func (d *DB) PagerShardStats() []storage.PagerStats { return d.pager.ShardStats() }

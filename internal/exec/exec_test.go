@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"dkbms/internal/catalog"
+	"dkbms/internal/obs"
 	"dkbms/internal/rel"
 	"dkbms/internal/sql"
 	"dkbms/internal/storage"
@@ -361,4 +362,74 @@ func ExampleRun() {
 		return nil
 	})
 	// Output: (7)
+}
+
+func TestInstrumentAttachesIO(t *testing.T) {
+	c := cat(t)
+	tb := newTable(t, c, "e", [][2]int64{{1, 10}, {2, 20}, {3, 30}, {2, 40}})
+	idx, err := c.CreateIndex("e_a", "e", []string{"a"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := obs.NewTrace("query")
+	op, flush := Instrument(NewSeqScan(tb), tr.Root())
+	if got := len(collect(t, op)); got != 4 {
+		t.Fatalf("scan rows = %d", got)
+	}
+	flush()
+	sp := tr.Root().Find("scan(e)")
+	if sp == nil {
+		t.Fatal("no scan span")
+	}
+	if v, ok := sp.Int("heap_pages"); !ok || v < 1 {
+		t.Fatalf("heap_pages = %d, %v", v, ok)
+	}
+	if v, ok := sp.Int("heap_recs"); !ok || v != 4 {
+		t.Fatalf("heap_recs = %d, %v (want 4)", v, ok)
+	}
+	if _, ok := sp.Int("pool_hits"); !ok {
+		t.Fatal("scan span missing pool_hits")
+	}
+	if _, ok := sp.Int("pool_misses"); !ok {
+		t.Fatal("scan span missing pool_misses")
+	}
+
+	// Index-driven access reports descents and point reads.
+	tr2 := obs.NewTrace("query")
+	op2, flush2 := Instrument(NewIndexScan(tb, idx, rel.Tuple{rel.NewInt(2)}), tr2.Root())
+	if got := len(collect(t, op2)); got != 2 {
+		t.Fatalf("idxscan rows = %d", got)
+	}
+	flush2()
+	sp2 := tr2.Root().Find("idxscan(e.e_a)")
+	if sp2 == nil {
+		t.Fatal("no idxscan span")
+	}
+	if v, ok := sp2.Int("heap_reads"); !ok || v != 2 {
+		t.Fatalf("heap_reads = %d, %v (want 2)", v, ok)
+	}
+	if v, ok := sp2.Int("descents"); !ok || v < 1 {
+		t.Fatalf("descents = %d, %v", v, ok)
+	}
+
+	// IndexNLJoin wraps its outer input and probes the inner index.
+	l := newTable(t, c, "l", [][2]int64{{0, 2}, {0, 3}})
+	tr3 := obs.NewTrace("query")
+	j := &IndexNLJoin{Left: NewSeqScan(l), Right: tb, Index: idx, LeftOrds: []int{1}}
+	op3, flush3 := Instrument(j, tr3.Root())
+	if got := len(collect(t, op3)); got != 3 {
+		t.Fatalf("idxjoin rows = %d", got)
+	}
+	flush3()
+	sp3 := tr3.Root().Find("idxjoin(e.e_a)")
+	if sp3 == nil {
+		t.Fatalf("no idxjoin span in\n%s", tr3.Format())
+	}
+	if v, ok := sp3.Int("descents"); !ok || v != 2 {
+		t.Fatalf("idxjoin descents = %d, %v (want 2, one per outer row)", v, ok)
+	}
+	if sp3.Find("scan(l)") == nil {
+		t.Fatalf("idxjoin outer input not counted:\n%s", tr3.Format())
+	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"dkbms/internal/catalog"
 	"dkbms/internal/rel"
+	"dkbms/internal/storage"
 )
 
 // IndexNLJoin is an index nested-loop join: for each tuple of the outer
@@ -71,9 +72,11 @@ func (j *IndexNLJoin) Next() (rel.Tuple, error) {
 		for i, o := range j.LeftOrds {
 			key[i] = tu[o]
 		}
-		var postings = j.Index.LookupPrefix(key)
+		var postings []storage.RID
 		if len(key) == len(j.Index.Ords) {
 			postings = j.Index.Lookup(key)
+		} else {
+			postings = j.Index.LookupPrefix(key)
 		}
 		j.matches = j.matches[:0]
 		for _, rid := range postings {

@@ -3,8 +3,11 @@ package exec
 import (
 	"fmt"
 
+	"dkbms/internal/catalog"
+	"dkbms/internal/index"
 	"dkbms/internal/obs"
 	"dkbms/internal/rel"
+	"dkbms/internal/storage"
 )
 
 // Instrument wraps every operator of the tree in a row counter and
@@ -28,13 +31,73 @@ type opCount struct {
 	name string
 	rows int64
 	kids []*opCount
+	io   *ioProbe // non-nil on leaf access paths (scans, index probes)
 }
 
 func (c *opCount) emit(parent *obs.Span) {
 	sp := parent.Start(c.name)
 	sp.SetInt("rows", c.rows)
+	c.io.emit(sp)
 	for _, k := range c.kids {
 		k.emit(sp)
+	}
+}
+
+// ioProbe attributes physical I/O to one access-path operator: it
+// snapshots the operator's heap/index/buffer-pool counters when the
+// operator first opens and emits the deltas as span attributes. The
+// counters are engine-wide, so under concurrent queries the delta is an
+// upper bound on this operator's share; for a single running query it is
+// exact (the unit the paper costs its experiments in).
+type ioProbe struct {
+	heap *storage.HeapFile
+	idx  *catalog.Index
+
+	armed    bool
+	heapBase storage.HeapStats
+	poolBase storage.PagerStats
+	treeBase index.TreeStats
+}
+
+// arm takes the baseline snapshot. Called on the operator's first Open;
+// re-opens (LFP iterations rebuild cursors) keep the original baseline
+// so the emitted delta covers the whole query.
+func (p *ioProbe) arm() {
+	if p == nil || p.armed {
+		return
+	}
+	p.armed = true
+	if p.heap != nil {
+		p.heapBase = p.heap.Stats()
+		p.poolBase = p.heap.Pager().Stats()
+	}
+	if p.idx != nil {
+		p.treeBase = p.idx.Stats()
+	}
+}
+
+// emit writes the I/O deltas onto the operator's span.
+func (p *ioProbe) emit(sp *obs.Span) {
+	if p == nil || !p.armed {
+		return
+	}
+	if p.heap != nil {
+		d := p.heap.Stats().Sub(p.heapBase)
+		if p.idx == nil {
+			// Sequential access: whole-chain passes.
+			sp.SetInt("heap_pages", d.PagesScanned)
+			sp.SetInt("heap_recs", d.RecsScanned)
+		} else {
+			// Index-driven access: point reads behind postings.
+			sp.SetInt("heap_reads", d.Reads)
+		}
+		pd := p.heap.Pager().Stats()
+		sp.SetInt("pool_hits", pd.Hits-p.poolBase.Hits)
+		sp.SetInt("pool_misses", pd.Misses-p.poolBase.Misses)
+	}
+	if p.idx != nil {
+		td := p.idx.Stats()
+		sp.SetInt("descents", td.Searches-p.treeBase.Searches)
 	}
 }
 
@@ -52,8 +115,14 @@ func wrap(op Operator, c *opCount) Operator {
 	switch o := op.(type) {
 	case *SeqScan:
 		c.name = fmt.Sprintf("scan(%s)", o.Table.Name)
+		c.io = &ioProbe{heap: o.Table.Heap}
 	case *IndexScan:
 		c.name = fmt.Sprintf("idxscan(%s.%s)", o.Table.Name, o.Index.Name)
+		c.io = &ioProbe{heap: o.Table.Heap, idx: o.Index}
+	case *IndexNLJoin:
+		c.name = fmt.Sprintf("idxjoin(%s.%s)", o.Right.Name, o.Index.Name)
+		c.io = &ioProbe{heap: o.Right.Heap, idx: o.Index}
+		o.Left = wrap(o.Left, c.child())
 	case *Filter:
 		c.name = "filter"
 		o.Input = wrap(o.Input, c.child())
@@ -109,8 +178,12 @@ type countedOp struct {
 // Schema returns the inner operator's schema.
 func (w *countedOp) Schema() *rel.Schema { return w.inner.Schema() }
 
-// Open opens the inner operator.
-func (w *countedOp) Open() error { return w.inner.Open() }
+// Open arms the I/O probe (first open only) and opens the inner
+// operator.
+func (w *countedOp) Open() error {
+	w.c.io.arm()
+	return w.inner.Open()
+}
 
 // Next forwards one tuple, counting it.
 func (w *countedOp) Next() (rel.Tuple, error) {

@@ -14,6 +14,7 @@ package index
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"dkbms/internal/rel"
 	"dkbms/internal/storage"
@@ -30,6 +31,42 @@ type BTree struct {
 	height int
 	size   int // number of (key, rid) pairs, counting duplicates
 	keys   int // number of distinct keys
+
+	// Traffic counters. searches/depthSum are atomics because lookups run
+	// concurrently (the server admits parallel readers over one tree);
+	// splits only moves under write exclusivity but is atomic too so a
+	// metrics snapshot taken mid-write reads cleanly.
+	searches atomic.Int64
+	depthSum atomic.Int64
+	splits   atomic.Int64
+}
+
+// TreeStats is a snapshot of a tree's shape and traffic: structural
+// fields (height, distinct keys, total entries) plus cumulative search
+// count, summed search depth (descents visit DepthTotal/Searches nodes
+// on average) and node splits.
+type TreeStats struct {
+	Height     int64 `json:"height"`
+	Keys       int64 `json:"keys"`
+	Entries    int64 `json:"entries"`
+	Searches   int64 `json:"searches"`
+	DepthTotal int64 `json:"depth_total"`
+	Splits     int64 `json:"splits"`
+}
+
+// Stats snapshots the tree. The structural fields (Height, Keys,
+// Entries) are maintained by writers without synchronization, so a
+// snapshot concurrent with writes needs the same exclusion as tuple
+// traffic (the server's testbed lock); the counters are atomic.
+func (t *BTree) Stats() TreeStats {
+	return TreeStats{
+		Height:     int64(t.height),
+		Keys:       int64(t.keys),
+		Entries:    int64(t.size),
+		Searches:   t.searches.Load(),
+		DepthTotal: t.depthSum.Load(),
+		Splits:     t.splits.Load(),
+	}
 }
 
 type node interface{ isNode() }
@@ -66,10 +103,14 @@ func (t *BTree) Height() int { return t.height }
 
 // search finds the leaf that key belongs to.
 func (t *BTree) search(key rel.Tuple) *leaf {
+	t.searches.Add(1)
 	n := t.root
+	depth := int64(0)
 	for {
+		depth++
 		switch v := n.(type) {
 		case *leaf:
+			t.depthSum.Add(depth)
 			return v
 		case *inner:
 			i := 0
@@ -139,6 +180,7 @@ func (t *BTree) insert(n node, key rel.Tuple, rid storage.RID) (node, rel.Tuple,
 			return nil, nil, nil
 		}
 		// Split leaf.
+		t.splits.Add(1)
 		mid := len(v.keys) / 2
 		right := &leaf{
 			keys: append([]rel.Tuple(nil), v.keys[mid:]...),
@@ -173,6 +215,7 @@ func (t *BTree) insert(n node, key rel.Tuple, rid storage.RID) (node, rel.Tuple,
 			return nil, nil, nil
 		}
 		// Split inner: middle key moves up.
+		t.splits.Add(1)
 		mid := len(v.keys) / 2
 		upKey := v.keys[mid]
 		right := &inner{

@@ -298,3 +298,33 @@ func ExampleBTree() {
 	})
 	// Output: (ann, 1) 1
 }
+
+func TestTreeStats(t *testing.T) {
+	tr := New()
+	if st := tr.Stats(); st.Height != 1 || st.Entries != 0 || st.Splits != 0 {
+		t.Fatalf("empty tree stats = %+v", st)
+	}
+	// Enough keys to force splits (degree is 64).
+	for i := 0; i < 200; i++ {
+		if err := tr.Insert(rel.Tuple{rel.NewInt(int64(i))}, storage.RID{Page: storage.PageID(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := tr.Stats()
+	if base.Height != int64(tr.Height()) || base.Entries != 200 || base.Keys != 200 {
+		t.Fatalf("stats shape = %+v", base)
+	}
+	if base.Splits == 0 {
+		t.Fatal("200 inserts at degree 64 must split at least once")
+	}
+	tr.Lookup(rel.Tuple{rel.NewInt(7)})
+	tr.Lookup(rel.Tuple{rel.NewInt(8)})
+	st := tr.Stats()
+	if got := st.Searches - base.Searches; got != 2 {
+		t.Fatalf("searches delta = %d, want 2", got)
+	}
+	// Each lookup descends Height nodes.
+	if got := st.DepthTotal - base.DepthTotal; got != 2*base.Height {
+		t.Fatalf("depth delta = %d, want %d", got, 2*base.Height)
+	}
+}

@@ -1,0 +1,53 @@
+// Package ring mirrors the obs slow-query ring's concurrency pattern:
+// a slice of atomic.Pointer slots, an atomic cursor, and an atomic
+// threshold. Typed atomics (atomic.Pointer, atomic.Uint64, ...) are
+// atomic by construction — every access goes through their methods, so
+// the ring proper carries no plain-access obligations and lints clean.
+// The obligations appear the moment a field mixes untyped sync/atomic
+// calls with plain access, as the recorded counter below demonstrates.
+package ring
+
+import "sync/atomic"
+
+type entry struct {
+	query     string
+	latencyNs int64
+}
+
+type ring struct {
+	slots     []atomic.Pointer[entry]
+	cursor    atomic.Uint64
+	threshold atomic.Int64
+
+	// recorded is the old-style counter: a plain int64 driven through
+	// sync/atomic function calls. Once any access is atomic, all must be.
+	recorded int64
+}
+
+// record is the slow-path pattern: threshold gate, cursor claim, slot
+// publish. All through typed atomics — no diagnostics.
+func (r *ring) record(e *entry) {
+	if e.latencyNs < r.threshold.Load() {
+		return
+	}
+	atomic.AddInt64(&r.recorded, 1)
+	i := r.cursor.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(e)
+}
+
+// snapshot reads every slot through the typed atomic: clean.
+func (r *ring) snapshot() []entry {
+	out := make([]entry, 0, len(r.slots))
+	for i := range r.slots {
+		if e := r.slots[i].Load(); e != nil {
+			out = append(out, *e)
+		}
+	}
+	return out
+}
+
+func (r *ring) goodRecorded() int64 { return atomic.LoadInt64(&r.recorded) }
+
+func (r *ring) badRecorded() int64 { return r.recorded } // want "non-atomic access to recorded"
+
+func (r *ring) badReset() { r.recorded = 0 } // want "non-atomic access to recorded"

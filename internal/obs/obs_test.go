@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -130,6 +131,69 @@ func TestHistogramQuantiles(t *testing.T) {
 	// Quantiles are monotone and the empty histogram reports zero.
 	if (&Histogram{}).Quantile(0.99) != 0 {
 		t.Fatal("empty histogram quantile must be 0")
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	// Empty: every quantile is 0.
+	var empty Histogram
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	// Single bucket: all observations in one bucket, every quantile is
+	// that bucket's upper bound.
+	single := &Histogram{}
+	for i := 0; i < 5; i++ {
+		single.Observe(700) // bucket [512, 1024)
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := single.Quantile(q); got != 1024 {
+			t.Errorf("single-bucket Quantile(%v) = %d, want 1024", q, got)
+		}
+	}
+	// Non-positive observations land in bucket 0 (upper bound 2).
+	neg := &Histogram{}
+	neg.Observe(-5)
+	neg.Observe(0)
+	if got := neg.Quantile(0.99); got != 2 {
+		t.Errorf("non-positive Quantile(0.99) = %d, want 2", got)
+	}
+	// Overflow bucket: observations at the top of the int64 range must
+	// not report a shifted-past-63-bits bound; they saturate to MaxInt64.
+	over := &Histogram{}
+	over.Observe(math.MaxInt64)
+	if got := over.Quantile(0.5); got != math.MaxInt64 {
+		t.Errorf("overflow-bucket Quantile(0.5) = %d, want MaxInt64", got)
+	}
+	over.Observe(1 << 62)
+	if got := over.Quantile(1); got != math.MaxInt64 {
+		t.Errorf("bucket-62 Quantile(1) = %d, want MaxInt64", got)
+	}
+}
+
+func TestRegistryCollectorFunc(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z").Inc()
+	r.CollectorFunc("tables", func() []Metric {
+		return []Metric{
+			{Name: "table.edge.reads", Kind: "counter", Value: 7},
+			{Name: "table.ancestor.reads", Kind: "counter", Value: 3},
+		}
+	})
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d metrics, want 3: %+v", len(snap), snap)
+	}
+	// Collector metrics merge into the sorted snapshot.
+	if snap[0].Name != "table.ancestor.reads" || snap[1].Name != "table.edge.reads" || snap[2].Name != "z" {
+		t.Fatalf("snapshot order wrong: %+v", snap)
+	}
+	// Re-registering a collector name replaces it.
+	r.CollectorFunc("tables", func() []Metric { return nil })
+	if got := len(r.Snapshot()); got != 1 {
+		t.Fatalf("after replacement snapshot has %d metrics, want 1", got)
 	}
 }
 

@@ -23,6 +23,7 @@ type Registry struct {
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
 	funcs      map[string]func() int64
+	collectors map[string]func() []Metric
 }
 
 // NewRegistry returns an empty registry.
@@ -32,6 +33,7 @@ func NewRegistry() *Registry {
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
 		funcs:      make(map[string]func() int64),
+		collectors: make(map[string]func() []Metric),
 	}
 }
 
@@ -125,6 +127,20 @@ func (r *Registry) GaugeFunc(name string, fn func() int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.funcs[name] = fn
+}
+
+// CollectorFunc registers a callback contributing a whole batch of
+// metrics to every snapshot. Collectors serve dynamic metric sets whose
+// names are not known at registration time — per-table heap counters,
+// per-shard buffer-pool stats — where one GaugeFunc per name cannot
+// keep up with tables being created and dropped. Like GaugeFuncs,
+// collectors run outside the registry lock at snapshot time, so they
+// may take other locks (the catalog's, the pager shards').
+// Re-registering a name replaces the callback.
+func (r *Registry) CollectorFunc(name string, fn func() []Metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors[name] = fn
 }
 
 // Histogram records a distribution of int64 observations (the server
@@ -246,11 +262,18 @@ func (r *Registry) Snapshot() []Metric {
 	for name, fn := range r.funcs {
 		funcs[name] = fn
 	}
+	collectors := make([]func() []Metric, 0, len(r.collectors))
+	for _, fn := range r.collectors {
+		collectors = append(collectors, fn)
+	}
 	r.mu.Unlock()
 	// Callbacks run outside the registry lock: they may take other locks
 	// (the plan cache's, the pager's).
 	for name, fn := range funcs {
 		out = append(out, Metric{Name: name, Kind: "gauge", Value: fn()})
+	}
+	for _, fn := range collectors {
+		out = append(out, fn()...)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out

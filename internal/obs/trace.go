@@ -30,12 +30,12 @@ import (
 // or string (mirroring the two relational value kinds), which keeps
 // wire encoding trivial.
 type Attr struct {
-	Key string
-	Str string
-	Int int64
+	Key string `json:"key"`
+	Str string `json:"str,omitempty"`
+	Int int64  `json:"int,omitempty"`
 	// IsStr distinguishes the two value arms (an empty string is a
 	// legal value).
-	IsStr bool
+	IsStr bool `json:"is_str,omitempty"`
 }
 
 // Value renders the attribute value.
@@ -50,10 +50,10 @@ func (a Attr) Value() string {
 // attributes and child spans. Spans form a tree under the Trace root.
 // All methods are nil-safe.
 type Span struct {
-	Name     string
-	Duration time.Duration
-	Attrs    []Attr
-	Children []*Span
+	Name     string        `json:"name"`
+	Duration time.Duration `json:"duration_ns"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
+	Children []*Span       `json:"children,omitempty"`
 
 	start time.Time
 	tr    *Trace

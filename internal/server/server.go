@@ -19,6 +19,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dkbms"
@@ -35,8 +36,22 @@ type Options struct {
 	// stalled peers, not against long evaluations. 0 selects
 	// DefaultIOTimeout; negative disables deadlines.
 	IOTimeout time.Duration
-	// Logf receives connection-level diagnostics. nil discards them.
+	// Logger receives structured connection-level diagnostics, annotated
+	// per session with the remote address, session id and request
+	// sequence number. nil falls back to Logf; if that is also nil,
+	// diagnostics are discarded.
+	Logger *obs.Logger
+	// Logf is the legacy printf-style diagnostic sink, kept as a
+	// compatibility shim: when Logger is nil it is adapted through
+	// obs.NewLogfLogger. nil discards.
 	Logf func(format string, args ...any)
+	// SlowLogSize is the slow-query ring capacity; 0 selects
+	// obs.DefaultSlowLogSize.
+	SlowLogSize int
+	// SlowThreshold is the minimum latency a query must reach to enter
+	// the slow log. 0 retains every query (the ring then holds the most
+	// recent SlowLogSize queries).
+	SlowThreshold time.Duration
 }
 
 // Default option values.
@@ -49,9 +64,12 @@ const (
 type Server struct {
 	tb   *dkbms.ConcurrentTestbed
 	opts Options
+	log  *obs.Logger  // nil discards (obs loggers are nil-safe)
+	slow *obs.SlowLog // slow-query ring, served by SLOWLOG and /slowlog
 
-	stats counters
-	reg   *obs.Registry
+	stats  counters
+	reg    *obs.Registry
+	nextID atomic.Uint64 // session ids
 
 	mu       sync.Mutex
 	sessions map[*session]struct{}
@@ -67,12 +85,15 @@ func New(tb *dkbms.ConcurrentTestbed, opts Options) *Server {
 	if opts.IOTimeout == 0 {
 		opts.IOTimeout = DefaultIOTimeout
 	}
-	if opts.Logf == nil {
-		opts.Logf = func(string, ...any) {}
+	logger := opts.Logger
+	if logger == nil {
+		logger = obs.NewLogfLogger(opts.Logf) // nil Logf → nil logger
 	}
 	s := &Server{
 		tb:       tb,
 		opts:     opts,
+		log:      logger,
+		slow:     obs.NewSlowLog(opts.SlowLogSize, opts.SlowThreshold),
 		sessions: make(map[*session]struct{}),
 	}
 	s.initRegistry()
@@ -103,12 +124,28 @@ func (s *Server) initRegistry() {
 	gauge("pool.hits", func() int64 { return s.tb.PagerStats().Hits })
 	gauge("pool.misses", func() int64 { return s.tb.PagerStats().Misses })
 	gauge("pool.evictions", func() int64 { return s.tb.PagerStats().Evictions })
+	gauge("pool.hit_rate_pct", func() int64 {
+		st := s.tb.PagerStats()
+		if st.Hits+st.Misses == 0 {
+			return 100
+		}
+		return st.Hits * 100 / (st.Hits + st.Misses)
+	})
 	gauge("dkb.generation", func() int64 { return int64(s.tb.Generation()) })
+	gauge("slowlog.recorded", s.slow.Recorded)
+	// The engine floor — per-table heap traffic, per-index tree shape,
+	// per-shard pool counters — is a dynamic metric set following the
+	// live schema, contributed through a collector.
+	r.CollectorFunc("engine", s.tb.EngineMetrics)
 }
 
 // Registry exposes the server's metrics registry (the dkbd debug HTTP
 // endpoint serves its snapshot as JSON).
 func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// SlowLog exposes the server's slow-query ring (served over the wire by
+// SLOWLOG and over HTTP by the /slowlog debug endpoint).
+func (s *Server) SlowLog() *obs.SlowLog { return s.slow }
 
 // ListenAndServe listens on addr ("host:port") and serves until ctx is
 // cancelled. The listener's actual address (useful with ":0") is sent on
@@ -155,7 +192,7 @@ func (s *Server) Serve(ctx context.Context, lis net.Listener) error {
 				return nil
 			}
 			// Transient accept failure (e.g. EMFILE): log and go on.
-			s.opts.Logf("dkbd: accept: %v", err)
+			s.log.Warn("accept failed", "err", err)
 			time.Sleep(10 * time.Millisecond)
 			continue
 		}

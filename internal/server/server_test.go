@@ -2,9 +2,13 @@ package server_test
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
+	"net/http/httptest"
 	"sort"
 	"strings"
 	"sync"
@@ -479,4 +483,193 @@ func TestTypedErrorsOverWire(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "nosuch") {
 		t.Errorf("error text lost over wire: %v", err)
 	}
+}
+
+func TestSlowlogOverWire(t *testing.T) {
+	tb := dkbms.NewConcurrent(dkbms.NewMemory())
+	defer tb.Close()
+	if err := tb.Load(baseProgram); err != nil {
+		t.Fatal(err)
+	}
+	addr, cancel, done := startServer(t, tb, server.Options{})
+	defer func() { cancel(); <-done }()
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// A traced query, a cache-hit repeat, and a failing query: all three
+	// must land in the slow log (threshold 0 retains everything).
+	if _, err := c.Query("?- ancestor(c0, W).", wire.QueryOpts{Trace: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query("?- ancestor(c0, W).", wire.QueryOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query("?- ancestor(c0, W).", wire.QueryOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query("?- nosuch(X).", wire.QueryOpts{}); err == nil {
+		t.Fatal("expected unknown-predicate error")
+	}
+
+	sl, err := c.Slowlog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl.Capacity != int64(obs.DefaultSlowLogSize) || sl.ThresholdNs != 0 {
+		t.Fatalf("slowlog settings = %+v", sl)
+	}
+	if sl.Recorded != 4 || len(sl.Entries) != 4 {
+		t.Fatalf("recorded %d entries (%d in snapshot), want 4", sl.Recorded, len(sl.Entries))
+	}
+	var traced, resultHit, failed *int
+	for i := range sl.Entries {
+		e := &sl.Entries[i]
+		switch {
+		case e.Trace != nil:
+			traced = &i
+			if e.Rows != 9 || e.Iterations == 0 {
+				t.Errorf("traced entry: rows=%d iterations=%d", e.Rows, e.Iterations)
+			}
+			if e.Trace.Find("lfp") == nil && e.Trace.Find("eval") == nil && len(e.Trace.Children) == 0 {
+				t.Errorf("retained trace is empty")
+			}
+		case e.Err != "":
+			failed = &i
+			if !strings.Contains(e.Err, "nosuch") {
+				t.Errorf("failed entry err = %q", e.Err)
+			}
+		case e.Cache == "result":
+			resultHit = &i
+		}
+		if e.Session == 0 {
+			t.Errorf("entry %d has no session id", i)
+		}
+		if e.Query == "" {
+			t.Errorf("entry %d has no query text", i)
+		}
+	}
+	if traced == nil || failed == nil || resultHit == nil {
+		t.Fatalf("missing entry kinds (traced=%v failed=%v resultHit=%v):\n%+v",
+			traced != nil, failed != nil, resultHit != nil, sl.Entries)
+	}
+}
+
+func TestDebugEndpoints(t *testing.T) {
+	tb := dkbms.NewConcurrent(dkbms.NewMemory())
+	defer tb.Close()
+	if err := tb.Load(baseProgram); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Query("?- ancestor(c0, W).", nil); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(tb, server.Options{})
+	hs := httptest.NewServer(srv.DebugHandler())
+	defer hs.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != 200 || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	code, body := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	var metrics []obs.Metric
+	if err := json.Unmarshal([]byte(body), &metrics); err != nil {
+		t.Fatalf("/metrics is not JSON: %v", err)
+	}
+	var hasTable, hasShard, hasRate bool
+	for _, m := range metrics {
+		if strings.HasPrefix(m.Name, "table.") {
+			hasTable = true
+		}
+		if strings.HasPrefix(m.Name, "pool.shard.") {
+			hasShard = true
+		}
+		if m.Name == "pool.hit_rate_pct" {
+			hasRate = true
+		}
+	}
+	if !hasTable || !hasShard || !hasRate {
+		t.Fatalf("engine metrics missing (table=%v shard=%v rate=%v)", hasTable, hasShard, hasRate)
+	}
+
+	code, body = get("/slowlog")
+	if code != 200 {
+		t.Fatalf("/slowlog = %d", code)
+	}
+	var snap obs.SlowLogSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/slowlog is not JSON: %v\n%s", err, body)
+	}
+	if snap.Capacity != obs.DefaultSlowLogSize {
+		t.Fatalf("slowlog capacity = %d", snap.Capacity)
+	}
+
+	if code, _ := get("/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+func TestSessionStructuredLogging(t *testing.T) {
+	tb := dkbms.NewConcurrent(dkbms.NewMemory())
+	defer tb.Close()
+	var buf syncBuffer
+	logger := obs.NewLogger(&buf).SetLevel(obs.LevelDebug)
+	addr, cancel, done := startServer(t, tb, server.Options{Logger: logger})
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	cancel()
+	<-done
+
+	out := buf.String()
+	for _, want := range []string{"session opened", "session=1", "addr=", "request served", "type=PING", "seq=1", "session closed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// syncBuffer is a goroutine-safe strings.Builder for log capture.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
 }

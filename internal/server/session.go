@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dkbms"
+	"dkbms/internal/obs"
 	"dkbms/internal/wire"
 )
 
@@ -20,22 +21,35 @@ const maxPreparedPerSession = 1024
 type session struct {
 	srv  *Server
 	conn net.Conn
+	id   uint64      // server-unique session id
+	log  *obs.Logger // child logger carrying session id + remote addr
+	seq  uint64      // requests served so far (the request sequence number)
 	// ctx is the serve context: shutdown cancels it, which aborts any
 	// in-flight evaluation at its next LFP iteration boundary.
 	ctx context.Context
 
 	// prepared maps session-local ids to prepared queries. Entries are
 	// keyed to the rule-base generation through ConcurrentPrepared, which
-	// recompiles transparently when the generation moves.
-	prepared map[uint64]*dkbms.ConcurrentPrepared
+	// recompiles transparently when the generation moves; the source text
+	// rides along so EXECP traffic lands in the slow log legibly.
+	prepared map[uint64]preparedQuery
 	nextID   uint64
 }
 
+// preparedQuery is one prepared-statement table entry.
+type preparedQuery struct {
+	cp  *dkbms.ConcurrentPrepared
+	src string
+}
+
 func newSession(srv *Server, conn net.Conn) *session {
+	id := srv.nextID.Add(1)
 	return &session{
 		srv:      srv,
 		conn:     conn,
-		prepared: make(map[uint64]*dkbms.ConcurrentPrepared),
+		id:       id,
+		log:      srv.log.With("session", int64(id), "addr", conn.RemoteAddr().String()),
+		prepared: make(map[uint64]preparedQuery),
 	}
 }
 
@@ -52,6 +66,8 @@ func (s *session) interruptIdleRead() {
 func (s *session) serve(ctx context.Context) {
 	defer s.conn.Close()
 	s.ctx = ctx
+	s.log.Debug("session opened")
+	defer func() { s.log.Debug("session closed", "requests", s.seq) }()
 	for {
 		if ctx.Err() != nil {
 			return
@@ -63,11 +79,12 @@ func (s *session) serve(ctx context.Context) {
 		t, payload, n, err := wire.ReadFrame(&armedReader{s: s})
 		if err != nil {
 			if ctx.Err() == nil && err != io.EOF {
-				s.srv.opts.Logf("dkbd: session %s: read: %v", s.conn.RemoteAddr(), err)
+				s.log.Warn("read failed", "seq", s.seq, "err", err)
 			}
 			return
 		}
 		s.srv.stats.bytesIn.Add(int64(n))
+		s.seq++
 
 		start := time.Now()
 		s.srv.stats.inFlight.Add(1)
@@ -81,8 +98,12 @@ func (s *session) serve(ctx context.Context) {
 		s.srv.stats.bytesOut.Add(int64(wn))
 		s.srv.stats.observe(time.Since(start), respType == wire.MsgError)
 		if werr != nil {
-			s.srv.opts.Logf("dkbd: session %s: write: %v", s.conn.RemoteAddr(), werr)
+			s.log.Warn("write failed", "seq", s.seq, "type", t.String(), "err", werr)
 			return
+		}
+		if s.log.Enabled(obs.LevelDebug) {
+			s.log.Debug("request served", "seq", s.seq, "type", t.String(),
+				"reply", respType.String(), "ms", time.Since(start))
 		}
 	}
 }
@@ -127,7 +148,9 @@ func (s *session) handle(t wire.MsgType, payload []byte) (wire.MsgType, []byte) 
 		if err != nil {
 			return errFrame(err)
 		}
+		start := time.Now()
 		res, err := s.srv.tb.QueryContext(s.ctx, m.Src, m.Opts.ToOptions())
+		s.recordSlow(m.Src, start, res, err)
 		if err != nil {
 			return errFrame(err)
 		}
@@ -147,7 +170,7 @@ func (s *session) handle(t wire.MsgType, payload []byte) (wire.MsgType, []byte) 
 		}
 		s.nextID++
 		id := s.nextID
-		s.prepared[id] = cp
+		s.prepared[id] = preparedQuery{cp: cp, src: m.Src}
 		return wire.MsgPrepared, wire.Prepared{ID: id, Generation: s.srv.tb.Generation()}.Encode()
 
 	case wire.MsgExecP:
@@ -155,11 +178,13 @@ func (s *session) handle(t wire.MsgType, payload []byte) (wire.MsgType, []byte) 
 		if err != nil {
 			return errFrame(err)
 		}
-		cp, ok := s.prepared[m.ID]
+		pq, ok := s.prepared[m.ID]
 		if !ok {
 			return errFrame(fmt.Errorf("server: no prepared query %d in this session", m.ID))
 		}
-		res, err := cp.Run()
+		start := time.Now()
+		res, err := pq.cp.Run()
+		s.recordSlow(pq.src, start, res, err)
 		if err != nil {
 			return errFrame(err)
 		}
@@ -179,9 +204,38 @@ func (s *session) handle(t wire.MsgType, payload []byte) (wire.MsgType, []byte) 
 	case wire.MsgStats:
 		return wire.MsgStatsReply, s.srv.Stats().Encode()
 
+	case wire.MsgSlowlog:
+		return wire.MsgSlowlogReply, wire.Slowlog{
+			ThresholdNs: int64(s.srv.slow.Threshold()),
+			Capacity:    int64(s.srv.slow.Capacity()),
+			Recorded:    s.srv.slow.Recorded(),
+			Entries:     s.srv.slow.Snapshot(),
+		}.Encode()
+
 	default:
 		return errFrame(fmt.Errorf("server: unknown request type %v", t))
 	}
+}
+
+// recordSlow enters one query execution into the server's slow-query
+// ring. Failed queries are retained too (with the error text); traces
+// ride along only when the query ran traced.
+func (s *session) recordSlow(src string, start time.Time, res *dkbms.QueryResult, err error) {
+	e := obs.SlowQuery{
+		Query:   src,
+		Start:   start,
+		Latency: time.Since(start),
+		Session: int64(s.id),
+	}
+	if err != nil {
+		e.Err = err.Error()
+	} else {
+		e.Cache = res.Cache
+		e.Rows = int64(len(res.Rows))
+		e.Iterations = res.Iterations()
+		e.Trace = res.Trace.Root()
+	}
+	s.srv.slow.Record(e)
 }
 
 func errFrame(err error) (wire.MsgType, []byte) {

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"sync/atomic"
 )
 
 // RID identifies a record within a heap file: page plus slot.
@@ -22,7 +23,68 @@ type HeapFile struct {
 	// lastWithRoom caches the page that most recently accepted an
 	// insert, so bulk loads do not rescan the chain.
 	lastWithRoom PageID
+
+	// stats counts physical traffic on this file. The fields are atomics
+	// because scans run concurrently (the server admits parallel readers)
+	// while a metrics collector may snapshot at any moment.
+	stats heapCounters
 }
+
+// heapCounters is the live (atomic) form of HeapStats.
+type heapCounters struct {
+	reads        atomic.Int64
+	inserts      atomic.Int64
+	deletes      atomic.Int64
+	scans        atomic.Int64
+	pagesScanned atomic.Int64
+	recsScanned  atomic.Int64
+}
+
+// HeapStats is a snapshot of one heap file's traffic counters: record
+// point reads (Get), inserts, deletes, full-scan passes, and the pages
+// and live records those scans visited. The paper reports query costs in
+// exactly these physical units, so the executor attaches deltas of this
+// snapshot to scan-operator spans.
+type HeapStats struct {
+	Reads        int64 `json:"reads"`
+	Inserts      int64 `json:"inserts"`
+	Deletes      int64 `json:"deletes"`
+	Scans        int64 `json:"scans"`
+	PagesScanned int64 `json:"pages_scanned"`
+	RecsScanned  int64 `json:"recs_scanned"`
+}
+
+// Stats snapshots the file's traffic counters. Safe to call concurrently
+// with any traffic; the snapshot is not a single atomic cut, which is
+// fine for monitoring and for per-query deltas (queries that need exact
+// deltas run their operators single-threaded).
+func (h *HeapFile) Stats() HeapStats {
+	return HeapStats{
+		Reads:        h.stats.reads.Load(),
+		Inserts:      h.stats.inserts.Load(),
+		Deletes:      h.stats.deletes.Load(),
+		Scans:        h.stats.scans.Load(),
+		PagesScanned: h.stats.pagesScanned.Load(),
+		RecsScanned:  h.stats.recsScanned.Load(),
+	}
+}
+
+// Sub returns the counter-by-counter difference s - prev (the traffic
+// between two snapshots).
+func (s HeapStats) Sub(prev HeapStats) HeapStats {
+	return HeapStats{
+		Reads:        s.Reads - prev.Reads,
+		Inserts:      s.Inserts - prev.Inserts,
+		Deletes:      s.Deletes - prev.Deletes,
+		Scans:        s.Scans - prev.Scans,
+		PagesScanned: s.PagesScanned - prev.PagesScanned,
+		RecsScanned:  s.RecsScanned - prev.RecsScanned,
+	}
+}
+
+// Pager returns the pager backing this file (shared by all files of one
+// database; used to correlate heap traffic with buffer-pool traffic).
+func (h *HeapFile) Pager() *Pager { return h.pager }
 
 // CreateHeap allocates a new empty heap file and returns it.
 func CreateHeap(p *Pager) (*HeapFile, error) {
@@ -44,6 +106,7 @@ func (h *HeapFile) Head() PageID { return h.head }
 
 // Insert appends a record and returns its RID.
 func (h *HeapFile) Insert(rec []byte) (RID, error) {
+	h.stats.inserts.Add(1)
 	// Try the cached page first, then walk the chain from it, extending
 	// at the tail when no page has room.
 	id := h.lastWithRoom
@@ -87,6 +150,7 @@ func (h *HeapFile) Insert(rec []byte) (RID, error) {
 // Get returns a copy of the record at rid, or an error if the slot is
 // dead or out of range.
 func (h *HeapFile) Get(rid RID) ([]byte, error) {
+	h.stats.reads.Add(1)
 	pg, err := h.pager.Fetch(rid.Page)
 	if err != nil {
 		return nil, err
@@ -104,6 +168,7 @@ func (h *HeapFile) Get(rid RID) ([]byte, error) {
 // Delete removes the record at rid and compacts the page when more than
 // half its slots are dead.
 func (h *HeapFile) Delete(rid RID) error {
+	h.stats.deletes.Add(1)
 	pg, err := h.pager.Fetch(rid.Page)
 	if err != nil {
 		return err
@@ -124,17 +189,27 @@ func (h *HeapFile) Delete(rid RID) error {
 // record slice passed to fn aliases the page buffer and must not be
 // retained. Returning a non-nil error from fn stops the scan.
 func (h *HeapFile) Scan(fn func(rid RID, rec []byte) error) error {
+	h.stats.scans.Add(1)
+	// Accumulate locally and publish once: one pair of atomic adds per
+	// scan instead of one per page/record keeps the hot loop unchanged.
+	var pages, recs int64
+	defer func() {
+		h.stats.pagesScanned.Add(pages)
+		h.stats.recsScanned.Add(recs)
+	}()
 	id := h.head
 	for id != InvalidPageID {
 		pg, err := h.pager.Fetch(id)
 		if err != nil {
 			return err
 		}
+		pages++
 		for s := 0; s < pg.SlotCount(); s++ {
 			rec := pg.Record(s)
 			if rec == nil {
 				continue
 			}
+			recs++
 			if err := fn(RID{Page: id, Slot: s}, rec); err != nil {
 				h.pager.Unpin(pg)
 				return err

@@ -88,6 +88,20 @@ func (p *Pager) Stats() PagerStats {
 	return out
 }
 
+// ShardStats returns a per-shard snapshot of the buffer-pool counters,
+// indexed by stripe. Monitoring uses it to spot skewed stripes (one hot
+// page chain hammering a single latch); Stats() remains the aggregate.
+func (p *Pager) ShardStats() []PagerStats {
+	out := make([]PagerStats, len(p.shards))
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		out[i] = sh.stats
+		sh.mu.Unlock()
+	}
+	return out
+}
+
 type frame struct {
 	page       *Page
 	prev, next *frame

@@ -412,3 +412,70 @@ func BenchmarkHeapScan(b *testing.B) {
 		}
 	}
 }
+
+func TestHeapStats(t *testing.T) {
+	p := NewMemPager(64)
+	h, err := CreateHeap(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rids []RID
+	for i := 0; i < 10; i++ {
+		rid, err := h.Insert([]byte("record"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	if _, err := h.Get(rids[3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Delete(rids[4]); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Scan(func(RID, []byte) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	st := h.Stats()
+	want := HeapStats{Reads: 1, Inserts: 10, Deletes: 1, Scans: 1, PagesScanned: 1, RecsScanned: 9}
+	if st != want {
+		t.Fatalf("Stats() = %+v, want %+v", st, want)
+	}
+	// Sub yields the traffic between two snapshots.
+	if _, err := h.Insert([]byte("more")); err != nil {
+		t.Fatal(err)
+	}
+	d := h.Stats().Sub(st)
+	if d != (HeapStats{Inserts: 1}) {
+		t.Fatalf("delta = %+v, want one insert", d)
+	}
+	if h.Pager() != p {
+		t.Fatal("Pager() must return the backing pager")
+	}
+}
+
+func TestPagerShardStats(t *testing.T) {
+	p := NewMemPager(64)
+	h, _ := CreateHeap(p)
+	for i := 0; i < 100; i++ {
+		h.Insert([]byte("record-payload-to-fill-pages-quickly"))
+	}
+	h.Scan(func(RID, []byte) error { return nil })
+	per := p.ShardStats()
+	if len(per) != p.Shards() {
+		t.Fatalf("ShardStats has %d entries, want %d", len(per), p.Shards())
+	}
+	var sum PagerStats
+	for _, s := range per {
+		sum.Hits += s.Hits
+		sum.Misses += s.Misses
+		sum.Evictions += s.Evictions
+		sum.Writes += s.Writes
+	}
+	if sum != p.Stats() {
+		t.Fatalf("shard sum %+v != aggregate %+v", sum, p.Stats())
+	}
+	if sum.Hits == 0 {
+		t.Fatal("expected buffer-pool hits after scanning resident pages")
+	}
+}

@@ -43,7 +43,8 @@ const (
 	MsgPrepare
 	MsgExecP
 	MsgRetract
-	MsgStats //dkblint:nopayload
+	MsgStats   //dkblint:nopayload
+	MsgSlowlog //dkblint:nopayload
 )
 
 // Response messages.
@@ -54,7 +55,8 @@ const (
 	MsgResult
 	MsgPrepared
 	MsgRetracted
-	MsgStatsReply //dkblint:payload=ServerStats
+	MsgStatsReply   //dkblint:payload=ServerStats
+	MsgSlowlogReply //dkblint:payload=Slowlog
 )
 
 // String names the message type.
@@ -74,6 +76,8 @@ func (t MsgType) String() string {
 		return "RETRACT"
 	case MsgStats:
 		return "STATS"
+	case MsgSlowlog:
+		return "SLOWLOG"
 	case MsgPong:
 		return "PONG"
 	case MsgOK:
@@ -88,6 +92,8 @@ func (t MsgType) String() string {
 		return "RETRACTED"
 	case MsgStatsReply:
 		return "STATSREPLY"
+	case MsgSlowlogReply:
+		return "SLOWLOGREPLY"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}

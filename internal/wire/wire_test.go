@@ -312,3 +312,72 @@ func TestDecodeCorrupt(t *testing.T) {
 		}
 	}
 }
+
+func TestSlowlogRoundTrip(t *testing.T) {
+	tr := obs.NewTrace("query")
+	sp := tr.Start("lfp")
+	sp.SetInt("iterations", 9)
+	sp.End()
+	tr.Finish()
+	in := Slowlog{
+		ThresholdNs: int64(5 * time.Millisecond),
+		Capacity:    128,
+		Recorded:    2,
+		Entries: []obs.SlowQuery{
+			{
+				Query:      "?- ancestor(X, W).",
+				Start:      time.Unix(0, 1700000000123456789),
+				Latency:    42 * time.Millisecond,
+				Cache:      "plan",
+				Iterations: 9,
+				Rows:       8194,
+				Session:    7,
+				Trace:      tr.Root(),
+			},
+			{Query: "?- broken(", Latency: time.Millisecond, Err: "parse error"},
+		},
+	}
+	out, err := DecodeSlowlog(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ThresholdNs != in.ThresholdNs || out.Capacity != 128 || out.Recorded != 2 {
+		t.Fatalf("header fields wrong: %+v", out)
+	}
+	if len(out.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2", len(out.Entries))
+	}
+	e := out.Entries[0]
+	if e.Query != in.Entries[0].Query || e.Latency != in.Entries[0].Latency ||
+		e.Cache != "plan" || e.Iterations != 9 || e.Rows != 8194 || e.Session != 7 {
+		t.Fatalf("entry 0 = %+v", e)
+	}
+	if !e.Start.Equal(in.Entries[0].Start) {
+		t.Fatalf("start = %v, want %v", e.Start, in.Entries[0].Start)
+	}
+	if e.Trace == nil || e.Trace.Find("lfp") == nil {
+		t.Fatal("retained trace lost on the wire")
+	}
+	if v, _ := e.Trace.Find("lfp").Int("iterations"); v != 9 {
+		t.Fatalf("trace attr lost: %d", v)
+	}
+	if out.Entries[1].Trace != nil || out.Entries[1].Err != "parse error" {
+		t.Fatalf("entry 1 = %+v", out.Entries[1])
+	}
+}
+
+func TestDecodeSlowlogCorrupt(t *testing.T) {
+	for _, p := range [][]byte{nil, {}, {0xFF}, {0x00, 0x00, 0x00, 0xFF}} {
+		if _, err := DecodeSlowlog(p); err == nil {
+			t.Errorf("DecodeSlowlog(%v) accepted", p)
+		}
+	}
+	// An entry count larger than the payload must be rejected, not
+	// allocated.
+	var buf []byte
+	buf = append(buf, 0, 0, 0) // threshold, capacity, recorded
+	buf = append(buf, 0xFF, 0xFF, 0x03)
+	if _, err := DecodeSlowlog(buf); err == nil {
+		t.Error("oversized entry count accepted")
+	}
+}

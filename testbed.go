@@ -293,6 +293,22 @@ type QueryResult struct {
 	// Trace is the recorded span tree (nil unless QueryOptions.Trace was
 	// set). Render it with Trace.Format().
 	Trace *obs.Trace
+	// Cache is the plan-cache outcome when the query went through a
+	// ConcurrentTestbed: "result" (answered from the memoized result),
+	// "plan" (compiled program reused, re-evaluated) or "miss" (full
+	// compile). Empty on the plain Testbed path, which has no cache.
+	Cache string
+}
+
+// Iterations returns the total LFP iteration count across the
+// evaluation-order nodes (0 for non-recursive queries and memoized
+// cache hits, which did not evaluate).
+func (r *QueryResult) Iterations() int64 {
+	var n int64
+	for _, ns := range r.Eval.Nodes {
+		n += int64(ns.Iterations)
+	}
+	return n
 }
 
 // Query compiles and evaluates a Horn-clause query ("?- goal, goal.")
