@@ -118,6 +118,8 @@ func (s *remoteShell) handle(line string) error {
 			rate(st.PoolHits, st.PoolHits+st.PoolMisses))
 		fmt.Fprintf(s.out, "traffic in %d B, out %d B; rule-base generation %d\n",
 			st.BytesIn, st.BytesOut, st.Generation)
+		fmt.Fprintf(s.out, "snapshots: generation %d, %d active readers, %d versions awaiting reclaim, writer stall %v\n",
+			st.SnapshotGen, st.SnapshotReaders, st.ReclaimBacklog, st.WriterStall)
 		return nil
 	case line == ".slowlog":
 		sl, err := s.c.Slowlog()

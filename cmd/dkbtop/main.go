@@ -141,6 +141,16 @@ func render(prev, cur *sample, elapsed time.Duration) string {
 		cur.get("plan.result_hits"), cur.get("plan.hits"), cur.get("plan.misses"),
 		cur.get("plan.entries"), cur.get("dkb.generation"))
 
+	// Snapshot store: commit rate, copy-on-write stall, reclamation lag.
+	var commitRate float64
+	if prev != nil && elapsed > 0 {
+		commitRate = float64(cur.get("snapshot.commits")-prev.get("snapshot.commits")) / elapsed.Seconds()
+	}
+	fmt.Fprintf(&b, "snap  gen %d  readers %d  commits %d (%.1f/s)  copied %d  backlog %d  stall %v\n",
+		cur.get("snapshot.gen"), cur.get("snapshot.active_readers"),
+		cur.get("snapshot.commits"), commitRate, cur.get("snapshot.copied_tables"),
+		cur.get("snapshot.reclaim_backlog"), time.Duration(cur.get("snapshot.writer_stall_ns")))
+
 	// Busiest tables by heap traffic (reads + scanned records), top 5.
 	type tableRow struct {
 		name          string

@@ -4,10 +4,16 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"dkbms/internal/catalog"
+	"dkbms/internal/core"
+	"dkbms/internal/db"
 	"dkbms/internal/dlog"
 	"dkbms/internal/obs"
 	"dkbms/internal/rel"
+	"dkbms/internal/snapshot"
 	"dkbms/internal/storage"
 	"dkbms/internal/stored"
 )
@@ -16,110 +22,326 @@ import (
 // — the shared-testbed concurrency control behind the dkbd server. The
 // paper's testbed is a single-user harness; this wrapper applies the
 // observation of its conclusion 7a (recursive equations evaluate
-// correctly in parallel over a shared DBMS) across sessions:
+// correctly in parallel over a shared DBMS) across sessions, using
+// MVCC-lite snapshot isolation instead of a reader/writer lock:
 //
-//   - queries, compilation and prepared-query execution take a read
-//     lock and run concurrently — including internally-parallel LFP
-//     evaluations, whose temp tables are session-private (the catalog
-//     and pager serialize their own registries);
-//   - Load, Assert, Retract, Update and Close take the write lock and
-//     run exclusively, so a query never observes a half-applied update.
+//   - queries pin the current engine snapshot (internal/snapshot): an
+//     immutable view of the rule workspace and every base-table version
+//     at one commit boundary. Pinning is an atomic pointer load plus a
+//     reference count — readers never take a lock a writer holds, so a
+//     long LOAD or RETRACT no longer convoys the whole read side;
+//   - Load, Assert, Retract and Update serialize on a commit mutex,
+//     copy only the tables they touch (copy-on-write at table
+//     granularity), apply themselves to the copies, and publish the
+//     successor snapshot atomically. In-flight queries keep reading the
+//     versions their snapshot pinned; those versions are reclaimed when
+//     the last reader drains;
+//   - a query therefore always observes a committed state — entirely
+//     before or entirely after any concurrent update, never between.
 //
 // Query additionally consults a shared plan cache: compiled evaluation
 // programs are keyed by (query text, options) and reused across sessions
 // while the rule-base generation stands still, and a query's answer is
-// memoized until any rule or fact changes — so a hot query repeated by
-// many sessions skips the whole parse→typecheck→magic→codegen pipeline
-// (and, when the D/KB is unchanged, the LFP evaluation too).
+// memoized with the set of base-table versions it was computed from —
+// so an update invalidates only the answers that read the tables it
+// touched, and a hot query repeated by many sessions skips the whole
+// parse→typecheck→magic→codegen pipeline (and, when its tables are
+// unchanged, the LFP evaluation too).
 //
 // The zero value is not usable; wrap an open Testbed with NewConcurrent.
 type ConcurrentTestbed struct {
-	mu    sync.RWMutex
-	tb    *Testbed
-	plans *planCache
+	// commitMu serializes the write path (footprint analysis, table
+	// copies, the update itself, snapshot publication) and Close. The
+	// read path never takes it.
+	commitMu sync.Mutex
+	tb       *Testbed
+	snaps    *snapshot.Store
+	plans    *planCache
+	// closed is set by Close before the reader drain; readers check it
+	// after pinning so a query admitted during shutdown backs out.
+	closed atomic.Bool
 }
 
 // NewConcurrent wraps a testbed for concurrent use. The caller must not
-// use the wrapped testbed directly afterwards.
+// use the wrapped testbed directly afterwards (see Testbed).
 func NewConcurrent(tb *Testbed) *ConcurrentTestbed {
-	return &ConcurrentTestbed{tb: tb, plans: newPlanCache(DefaultPlanCacheEntries)}
+	return NewConcurrentWithCache(tb, DefaultPlanCacheEntries)
 }
 
 // NewConcurrentWithCache is NewConcurrent with an explicit plan-cache
 // capacity (entries; <= 0 selects DefaultPlanCacheEntries).
 func NewConcurrentWithCache(tb *Testbed, planEntries int) *ConcurrentTestbed {
-	return &ConcurrentTestbed{tb: tb, plans: newPlanCache(planEntries)}
+	c := &ConcurrentTestbed{
+		tb:    tb,
+		snaps: snapshot.NewStore(BaseTableName("")),
+		plans: newPlanCache(planEntries),
+	}
+	c.publish(0) // the initial snapshot: the testbed state as wrapped
+	return c
 }
 
 // Testbed returns the wrapped testbed for single-goroutine phases
-// (setup, teardown, benchmarks). Using it while other goroutines go
-// through the wrapper forfeits the concurrency guarantees.
+// (setup, teardown, benchmarks). Direct mutations bypass snapshot
+// publication: they are invisible to queries (and racy against any
+// concurrent reader) until Resync republishes the live state.
 func (c *ConcurrentTestbed) Testbed() *Testbed { return c.tb }
 
-// Close shuts the testbed down after all in-flight operations drain.
+// Resync republishes the engine snapshot from the live testbed state
+// and drops every cached plan and result. Call it after mutating the
+// wrapped testbed directly in a phase with no concurrent readers.
+func (c *ConcurrentTestbed) Resync() {
+	c.commitMu.Lock()
+	defer c.commitMu.Unlock()
+	if c.closed.Load() {
+		return
+	}
+	c.publish(0)
+	c.plans.purgeAll()
+}
+
+// Close shuts the testbed down after all in-flight queries drain and
+// every superseded table version has been reclaimed.
 func (c *ConcurrentTestbed) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.commitMu.Lock()
+	defer c.commitMu.Unlock()
+	if !c.closed.CompareAndSwap(false, true) {
+		return ErrClosed
+	}
+	// New readers now back out at the post-pin closed check; wait for
+	// admitted ones (and the version reclamation their releases
+	// trigger) before closing the pager under them.
+	c.snaps.Shutdown()
 	return c.tb.Close()
 }
 
-// Load enters a Horn-clause program exclusively.
+// acquire pins the current snapshot for one read operation. The closed
+// re-check after pinning pairs with Close: either Close's drain
+// observes our pin and waits, or we observe closed and back out — a
+// reader never touches storage the pager has released.
+func (c *ConcurrentTestbed) acquire() (*snapshot.Snapshot, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	s := c.snaps.Acquire()
+	if c.closed.Load() {
+		s.Release()
+		return nil, ErrClosed
+	}
+	return s, nil
+}
+
+// view returns database and stored-manager views bound to the pinned
+// snapshot: every base-table resolution inside them lands on the
+// snapshot's frozen versions, while session-private temp tables fall
+// through to the live catalog.
+func (c *ConcurrentTestbed) view(s *snapshot.Snapshot) (*db.DB, *stored.Manager) {
+	vdb := c.tb.db.WithResolver(s)
+	return vdb, c.tb.st.WithDB(vdb)
+}
+
+// --- Write path: copy-on-write commits ---
+
+// shadow clones each named table that exists in the live catalog
+// (catalog.ShadowTable), so the update about to run mutates fresh
+// copies while every pinned snapshot keeps reading the originals. It
+// returns the time spent copying — the writer-stall cost the snapshot
+// telemetry reports. A failed copy aborts the commit: the catalog is
+// still consistent (fully-copied tables are content-identical) but the
+// update must not run on a half-shadowed footprint.
+func (c *ConcurrentTestbed) shadow(tables []string) (time.Duration, error) {
+	start := time.Now()
+	cat := c.tb.db.Catalog()
+	for _, name := range tables {
+		if cat.Table(name) == nil {
+			continue
+		}
+		if _, err := cat.ShadowTable(name); err != nil {
+			return time.Since(start), fmt.Errorf("dkbms: copy-on-write of %s: %w", name, err)
+		}
+	}
+	return time.Since(start), nil
+}
+
+// publish installs the successor snapshot from the live catalog state
+// (every non-temp table) and the current generations, then reconciles
+// the plan cache. It runs on every commit exit path — even a partially
+// failed update may have moved tables or generations. Caller holds
+// commitMu.
+func (c *ConcurrentTestbed) publish(buildCost time.Duration) {
+	cat := c.tb.db.Catalog()
+	tables := make(map[string]*catalog.Table)
+	for _, name := range cat.Tables() {
+		t := cat.Table(name)
+		if t == nil || t.Temp {
+			continue
+		}
+		tables[name] = t
+	}
+	s := c.snaps.Publish(tables, c.tb.ruleGen, c.tb.dataGen, c.tb.ws, buildCost)
+	c.plans.purgeStale(s)
+}
+
+// Load enters a Horn-clause program as one commit: the fact relations
+// it appends to are copied, rules go to a fresh workspace clone, and
+// the result is published as the next snapshot.
 func (c *ConcurrentTestbed) Load(src string) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	err := c.tb.Load(src)
-	c.invalidate()
+	c.commitMu.Lock()
+	defer c.commitMu.Unlock()
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	prog, err := dlog.ParseProgram(src)
+	if err != nil {
+		return parseErr(err)
+	}
+	if len(prog.Queries) > 0 {
+		return fmt.Errorf("%w: Load input contains a query; use Query", ErrSemantic)
+	}
+	// Commit footprint: one table per fact predicate, the extensional
+	// dictionary when a new relation will be created, a workspace clone
+	// when rules will be added.
+	cat := c.tb.db.Catalog()
+	var tables []string
+	seen := make(map[string]bool)
+	hasRules, newTable := false, false
+	for _, cl := range prog.Clauses {
+		if !cl.IsFact() {
+			hasRules = true
+			continue
+		}
+		t := BaseTableName(cl.Head.Pred)
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		if cat.Table(t) != nil {
+			tables = append(tables, t)
+		} else {
+			newTable = true
+		}
+	}
+	if newTable {
+		tables = append(tables, stored.TabEDBRels, stored.TabEDBCols)
+	}
+	if len(tables) == 0 && !hasRules && !newTable {
+		// An empty program mutates nothing; skip the publish.
+		return c.tb.Load(src)
+	}
+	if hasRules {
+		// Pinned snapshots hold the current workspace; mutate a clone.
+		c.tb.ws = c.tb.ws.Clone()
+	}
+	cost, err := c.shadow(tables)
+	if err != nil {
+		c.publish(cost)
+		return err
+	}
+	err = c.tb.Load(src)
+	c.publish(cost)
 	return err
 }
 
-// Assert adds one ground fact exclusively.
+// Assert adds one ground fact as one commit.
 func (c *ConcurrentTestbed) Assert(fact dlog.Atom) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	err := c.tb.Assert(fact)
-	c.invalidate()
+	c.commitMu.Lock()
+	defer c.commitMu.Unlock()
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	if !fact.IsGround() {
+		return fmt.Errorf("%w: fact %s is not ground", ErrSemantic, fact.String())
+	}
+	table := BaseTableName(fact.Pred)
+	tables := []string{table}
+	if c.tb.db.Catalog().Table(table) == nil {
+		tables = []string{stored.TabEDBRels, stored.TabEDBCols}
+	}
+	cost, err := c.shadow(tables)
+	if err != nil {
+		c.publish(cost)
+		return err
+	}
+	err = c.tb.Assert(fact)
+	c.publish(cost)
 	return err
 }
 
-// Retract deletes matching facts exclusively.
+// Retract deletes matching facts as one commit. A retract that cannot
+// match anything (no relation, or no matching rows) runs without
+// copying or publishing, so memoized answers survive no-op retractions.
 func (c *ConcurrentTestbed) Retract(pattern dlog.Atom) (int, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	n, err := c.tb.Retract(pattern)
-	c.invalidate()
-	return n, err
+	c.commitMu.Lock()
+	defer c.commitMu.Unlock()
+	if c.closed.Load() {
+		return 0, ErrClosed
+	}
+	table, where := retractFilter(pattern)
+	t := c.tb.db.Catalog().Table(table)
+	if t == nil || t.Schema.Len() != pattern.Arity() {
+		// No relation (removes nothing) or an arity error: either way
+		// the testbed call mutates nothing.
+		return c.tb.Retract(pattern)
+	}
+	stmt := "SELECT COUNT(*) FROM " + table
+	if where != "" {
+		stmt += " WHERE " + where
+	}
+	n, err := c.tb.db.QueryCount(stmt)
+	if err != nil {
+		return 0, err
+	}
+	if n == 0 {
+		return c.tb.Retract(pattern)
+	}
+	cost, err := c.shadow([]string{table})
+	if err != nil {
+		c.publish(cost)
+		return 0, err
+	}
+	removed, rerr := c.tb.Retract(pattern)
+	c.publish(cost)
+	return removed, rerr
 }
 
 // RetractSrc is Retract for a source-syntax pattern.
 func (c *ConcurrentTestbed) RetractSrc(src string) (int, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	n, err := c.tb.RetractSrc(src)
-	c.invalidate()
-	return n, err
+	pattern, err := parseRetract(src)
+	if err != nil {
+		return 0, err
+	}
+	return c.Retract(pattern)
 }
 
-// Update commits workspace rules to the stored D/KB exclusively.
+// Update commits workspace rules to the stored D/KB as one commit: the
+// rule-storage relations are copied, the workspace is cloned (Update
+// clears it), and the result is published as the next snapshot.
 func (c *ConcurrentTestbed) Update() (stored.UpdateStats, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	st, err := c.tb.Update()
-	c.invalidate()
-	return st, err
+	c.commitMu.Lock()
+	defer c.commitMu.Unlock()
+	if c.closed.Load() {
+		return stored.UpdateStats{}, ErrClosed
+	}
+	c.tb.ws = c.tb.ws.Clone()
+	cost, err := c.shadow([]string{
+		stored.TabRuleSource, stored.TabReachablePreds,
+		stored.TabIDBRels, stored.TabIDBCols,
+	})
+	if err != nil {
+		c.publish(cost)
+		return stored.UpdateStats{}, err
+	}
+	st, uerr := c.tb.Update()
+	c.publish(cost)
+	return st, uerr
 }
 
-// invalidate reconciles the plan cache with the generations after an
-// exclusive update. Caller holds the write lock. Even a partially failed
-// update may have moved a generation, so this runs on every exit path.
-func (c *ConcurrentTestbed) invalidate() {
-	c.plans.purgeStale(c.tb.ruleGen, c.tb.dataGen)
-}
+// --- Read path: pinned-snapshot queries ---
 
-// Query evaluates a query under the read lock, concurrently with other
-// queries, consulting the shared plan cache first: an unchanged D/KB
-// serves repeated identical queries from the memoized answer; a fact
-// change (LOAD of facts, RETRACT) keeps the compiled program but
-// re-evaluates; a rule change recompiles from scratch.
+// Query evaluates a query against a pinned snapshot, concurrently with
+// other queries and with writers, consulting the shared plan cache
+// first: a repeat whose base tables are unchanged serves the memoized
+// answer; a change to a table the program reads keeps the compiled
+// program but re-evaluates; a rule change recompiles from scratch.
 func (c *ConcurrentTestbed) Query(src string, opts *QueryOptions) (*QueryResult, error) {
 	return c.QueryContext(context.Background(), src, opts)
 }
@@ -130,18 +352,21 @@ func (c *ConcurrentTestbed) Query(src string, opts *QueryOptions) (*QueryResult,
 // memoized-answer path in both directions, so a returned trace always
 // describes an evaluation that actually ran.
 func (c *ConcurrentTestbed) QueryContext(ctx context.Context, src string, opts *QueryOptions) (*QueryResult, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
 	if opts == nil {
 		opts = &QueryOptions{}
 	}
+	s, err := c.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer s.Release()
 	key := planKey{src: src, opts: *opts}
 	key.opts.Trace = false // the trace flag does not change the plan
-	ruleGen, dataGen := c.tb.ruleGen, c.tb.dataGen
-	compiled, cached := c.plans.lookup(key, ruleGen, dataGen)
+	compiled, cached := c.plans.lookup(key, s)
 	if cached != nil && !opts.Trace {
 		out := shareResult(cached)
 		out.Cache = "result"
+		out.Snapshot = s.Gen
 		return out, nil
 	}
 	cacheStatus := "miss"
@@ -151,28 +376,59 @@ func (c *ConcurrentTestbed) QueryContext(ctx context.Context, src string, opts *
 	var tr *obs.Trace
 	if opts.Trace {
 		tr = obs.NewTrace("query")
+		tr.Root().SetInt("snapshot_gen", int64(s.Gen))
 	}
+	vdb, vst := c.view(s)
 	if compiled == nil {
 		q, err := dlog.ParseQuery(src)
 		if err != nil {
 			return nil, parseErr(err)
 		}
-		if compiled, err = c.tb.compile(q, opts, tr); err != nil {
+		if compiled, err = c.tb.compileWith(s.WS(), vdb, vst, q, opts, tr); err != nil {
 			return nil, err
 		}
 	}
-	res, err := c.tb.evaluate(ctx, compiled, opts, tr)
+	res, err := c.tb.evaluateWith(ctx, vdb, compiled, opts, tr)
 	if err != nil {
 		return nil, err
 	}
+	res.Snapshot = s.Gen
 	if opts.Trace {
-		c.plans.store(key, ruleGen, compiled, dataGen, nil)
+		c.plans.store(key, s, compiled, nil)
 	} else {
-		c.plans.store(key, ruleGen, compiled, dataGen, res)
+		c.plans.store(key, s, compiled, res)
 	}
 	out := shareResult(res)
 	out.Cache = cacheStatus
 	return out, nil
+}
+
+// RunQuery is Query for a pre-parsed query (uncached).
+func (c *ConcurrentTestbed) RunQuery(q dlog.Query, opts *QueryOptions) (*QueryResult, error) {
+	if opts == nil {
+		opts = &QueryOptions{}
+	}
+	s, err := c.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer s.Release()
+	var tr *obs.Trace
+	if opts.Trace {
+		tr = obs.NewTrace("query")
+		tr.Root().SetInt("snapshot_gen", int64(s.Gen))
+	}
+	vdb, vst := c.view(s)
+	compiled, err := c.tb.compileWith(s.WS(), vdb, vst, q, opts, tr)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.tb.evaluateWith(context.Background(), vdb, compiled, opts, tr)
+	if err != nil {
+		return nil, err
+	}
+	res.Snapshot = s.Gen
+	return res, nil
 }
 
 // shareResult returns a caller-private view of a cached result: the
@@ -185,36 +441,43 @@ func shareResult(res *QueryResult) *QueryResult {
 	return &out
 }
 
+// --- Telemetry ---
+
 // PlanStats snapshots the shared plan cache's counters.
 func (c *ConcurrentTestbed) PlanStats() PlanCacheStats {
 	return c.plans.snapshot()
 }
 
-// PagerStats snapshots the underlying buffer pool's counters, aggregated
-// across its shards.
+// SnapshotStats snapshots the MVCC store's telemetry: published
+// generation, active readers, retired snapshots, version reclamation
+// and writer-stall accounting.
+func (c *ConcurrentTestbed) SnapshotStats() snapshot.Stats {
+	return c.snaps.Stats()
+}
+
+// PagerStats snapshots the underlying buffer pool's counters,
+// aggregated across its shards.
 func (c *ConcurrentTestbed) PagerStats() storage.PagerStats {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
 	return c.tb.db.PagerStats()
 }
 
 // EngineMetrics snapshots the engine floor as registry metrics: a row
 // gauge and heap-traffic counters per table, shape and search counters
-// per index, and the buffer-pool counters per shard. It runs under the
-// read lock, which excludes writers, so the non-atomic structural fields
-// (index height, key counts) read cleanly. The server registers this as
-// a metrics-registry collector; the set of names follows the live schema
-// as tables are created and dropped.
+// per index, and the buffer-pool counters per shard. It reads the
+// pinned snapshot's frozen table versions, so the non-atomic structural
+// fields (index height, key counts) read cleanly while writers commit.
+// The server registers this as a metrics-registry collector; the set of
+// names follows the published snapshot as tables are created and
+// dropped.
 func (c *ConcurrentTestbed) EngineMetrics() []obs.Metric {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	cat := c.tb.db.Catalog()
+	s, err := c.acquire()
+	if err != nil {
+		return nil
+	}
+	defer s.Release()
 	var out []obs.Metric
-	for _, name := range cat.Tables() {
-		t := cat.Table(name)
-		if t == nil {
-			continue
-		}
+	for _, name := range s.Tables() {
+		t := s.Version(name).Table
 		hs := t.Heap.Stats()
 		pre := "table." + name + "."
 		out = append(out,
@@ -250,61 +513,107 @@ func (c *ConcurrentTestbed) EngineMetrics() []obs.Metric {
 	return out
 }
 
-// RunQuery is Query for a pre-parsed query.
-func (c *ConcurrentTestbed) RunQuery(q dlog.Query, opts *QueryOptions) (*QueryResult, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.tb.RunQuery(q, opts)
+// Generation returns the rule-base generation of the published
+// snapshot. Prepared queries compiled at an older generation recompile
+// on their next run; the server reports it so clients can correlate
+// results with D/KB versions.
+func (c *ConcurrentTestbed) Generation() uint64 {
+	return c.snaps.Current().RuleGen
 }
 
-// Generation returns the current rule-base generation. Prepared queries
-// compiled at an older generation recompile on their next run; the
-// server reports it so clients can correlate results with D/KB versions.
-func (c *ConcurrentTestbed) Generation() uint64 {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.tb.ruleGen
-}
+// --- Prepared queries ---
 
 // Prepare compiles a query for repeated execution. The returned
-// ConcurrentPrepared is itself safe for use by one goroutine at a time
-// (the server keys them per session); its runs take the read lock.
+// ConcurrentPrepared is safe for concurrent use; the server keys them
+// per session.
 func (c *ConcurrentTestbed) Prepare(src string, opts *QueryOptions) (*ConcurrentPrepared, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	p, err := c.tb.Prepare(src, opts)
+	q, err := dlog.ParseQuery(src)
 	if err != nil {
 		return nil, err
 	}
-	return &ConcurrentPrepared{c: c, p: p}, nil
+	if opts == nil {
+		opts = &QueryOptions{}
+	}
+	cp := &ConcurrentPrepared{c: c, q: q, opts: *opts}
+	s, err := c.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer s.Release()
+	if _, err := cp.ensure(s); err != nil {
+		return nil, err
+	}
+	return cp, nil
 }
 
 // ConcurrentPrepared is a prepared query bound to a ConcurrentTestbed.
-// Each run takes the testbed's read lock, so a run either sees the rule
-// base entirely before or entirely after any concurrent update — and
-// recompiles transparently in the latter case.
+// Each run evaluates against a pinned snapshot, so a run either sees
+// the D/KB entirely before or entirely after any concurrent update —
+// and recompiles transparently when the rule base moved.
 type ConcurrentPrepared struct {
-	c *ConcurrentTestbed
-	p *Prepared
+	c    *ConcurrentTestbed
+	q    dlog.Query
+	opts QueryOptions
+
+	mu         sync.Mutex
+	compiled   *core.Compiled
+	gen        uint64 // rule-base generation compiled at
+	recompiles int
 }
 
-// Run executes the prepared query under the read lock.
+// ensure (re)compiles against the pinned snapshot when the cached
+// program predates its rule-base generation.
+func (cp *ConcurrentPrepared) ensure(s *snapshot.Snapshot) (*core.Compiled, error) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if cp.compiled != nil && cp.gen == s.RuleGen {
+		return cp.compiled, nil
+	}
+	vdb, vst := cp.c.view(s)
+	compiled, err := cp.c.tb.compileWith(s.WS(), vdb, vst, cp.q, &cp.opts, nil)
+	if err != nil {
+		return nil, err
+	}
+	cp.compiled, cp.gen = compiled, s.RuleGen
+	cp.recompiles++
+	return compiled, nil
+}
+
+// Run executes the prepared query against a pinned snapshot.
 func (cp *ConcurrentPrepared) Run() (*QueryResult, error) {
-	cp.c.mu.RLock()
-	defer cp.c.mu.RUnlock()
-	return cp.p.Run()
+	s, err := cp.c.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer s.Release()
+	compiled, err := cp.ensure(s)
+	if err != nil {
+		return nil, err
+	}
+	var tr *obs.Trace
+	if cp.opts.Trace {
+		tr = obs.NewTrace("query")
+		tr.Root().SetInt("snapshot_gen", int64(s.Gen))
+	}
+	vdb := cp.c.tb.db.WithResolver(s)
+	res, err := cp.c.tb.evaluateWith(context.Background(), vdb, compiled, &cp.opts, tr)
+	if err != nil {
+		return nil, err
+	}
+	res.Snapshot = s.Gen
+	return res, nil
 }
 
 // Stale reports whether the next Run will recompile.
 func (cp *ConcurrentPrepared) Stale() bool {
-	cp.c.mu.RLock()
-	defer cp.c.mu.RUnlock()
-	return cp.p.Stale()
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.compiled == nil || cp.gen != cp.c.snaps.Current().RuleGen
 }
 
 // Recompiles returns the number of compilations performed so far.
 func (cp *ConcurrentPrepared) Recompiles() int {
-	cp.c.mu.RLock()
-	defer cp.c.mu.RUnlock()
-	return cp.p.Recompiles
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.recompiles
 }

@@ -361,6 +361,73 @@ func (c *Catalog) dropIndexDDL(name string) error {
 	return nil
 }
 
+// ShadowTable replaces a table with a physically separate clone — the
+// copy-on-write step of the snapshot commit path. The clone gets a
+// fresh heap holding a raw copy of every record and freshly built
+// index trees; the original table object is returned unchanged and
+// stays fully readable (snapshots holding it keep scanning its heap
+// and probing its indexes), but is no longer reachable by name. The
+// caller owns the original's heap pages from here on: they are freed
+// by the snapshot store once no snapshot references the old version.
+//
+// Like all DDL, the clone's I/O runs under ddlMu only; the name maps
+// swap under mu at the end. Temp tables cannot be shadowed.
+func (c *Catalog) ShadowTable(name string) (*Table, error) {
+	c.ddlMu.Lock()
+	defer c.ddlMu.Unlock()
+	c.mu.RLock()
+	t, ok := c.tables[name]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("catalog: no table %s", name)
+	}
+	if t.Temp {
+		return nil, fmt.Errorf("catalog: cannot shadow temp table %s", name)
+	}
+	h, err := storage.CreateHeap(c.pager)
+	if err != nil {
+		return nil, err
+	}
+	cleanup := func(err error) (*Table, error) {
+		h.Drop() // compensate: don't leak the fresh heap's pages
+		return nil, err
+	}
+	if err := t.Heap.Scan(func(_ storage.RID, rec []byte) error {
+		_, err := h.Insert(rec)
+		return err
+	}); err != nil {
+		return cleanup(err)
+	}
+	nt := &Table{Name: name, Schema: t.Schema, Heap: h, rows: t.rows}
+	newIdx := make([]*Index, 0, len(t.Indexes))
+	for _, idx := range t.Indexes {
+		// Index catalog records reference the table by name, so the
+		// persisted record (and its rid) carries over unchanged.
+		ni := &Index{Name: idx.Name, Table: idx.Table, Cols: idx.Cols, Temp: idx.Temp, rid: idx.rid}
+		if err := buildIndex(nt, ni); err != nil {
+			return cleanup(err)
+		}
+		newIdx = append(newIdx, ni)
+	}
+	nt.Indexes = newIdx
+	// Rewrite the table's catalog record: it embeds the heap head page.
+	if err := c.heap.Delete(t.rid); err != nil {
+		return cleanup(err)
+	}
+	rid, err := c.heap.Insert(encodeTableRecord(nt))
+	if err != nil {
+		return cleanup(err)
+	}
+	nt.rid = rid
+	c.mu.Lock()
+	c.tables[name] = nt
+	for _, ni := range nt.Indexes {
+		c.indexes[ni.Name] = ni
+	}
+	c.mu.Unlock()
+	return t, nil
+}
+
 // Flush persists all dirty pages.
 func (c *Catalog) Flush() error { return c.pager.Flush() }
 

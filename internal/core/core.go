@@ -126,6 +126,26 @@ func (w *Workspace) RulePreds() []string {
 	return out
 }
 
+// Clone returns a workspace whose rule and fact containers are private
+// copies of the receiver's. Clauses themselves are shared — they are
+// immutable everywhere — so a clone is cheap. The snapshot commit path
+// clones before mutating, leaving the original frozen inside published
+// snapshots.
+func (w *Workspace) Clone() *Workspace {
+	c := &Workspace{
+		rules:     append([]dlog.Clause(nil), w.rules...),
+		facts:     make(map[string][]dlog.Clause, len(w.facts)),
+		factTypes: make(map[string][]rel.Type, len(w.factTypes)),
+	}
+	for p, cs := range w.facts {
+		c.facts[p] = append([]dlog.Clause(nil), cs...)
+	}
+	for p, ts := range w.factTypes {
+		c.factTypes[p] = append([]rel.Type(nil), ts...)
+	}
+	return c
+}
+
 // Clear empties the workspace.
 func (w *Workspace) Clear() {
 	w.rules = nil
@@ -465,7 +485,9 @@ func (cp *Compiler) collectBaseTypes(g *pcg.Graph, reach map[string]bool) (map[s
 			continue
 		}
 		if cp.DB != nil {
-			if tb := cp.DB.Catalog().Table(codegen.BaseTable(p)); tb != nil {
+			// Resolve through the DB (not the raw catalog): a snapshot-
+			// bound view binds the lookup to its frozen table versions.
+			if tb := cp.DB.Table(codegen.BaseTable(p)); tb != nil {
 				types := make([]rel.Type, tb.Schema.Len())
 				for i := 0; i < tb.Schema.Len(); i++ {
 					types[i] = tb.Schema.Col(i).Type

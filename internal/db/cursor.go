@@ -39,14 +39,14 @@ func (s *Stmt) Source() string { return s.src }
 // Open plans the statement against current table state and opens a
 // cursor. The caller must Close it.
 func (s *Stmt) Open() (*Cursor, error) {
-	op, err := plan.BuildSelect(s.d.cat, s.sel)
+	op, err := plan.BuildSelect(s.d, s.sel)
 	if err != nil {
 		return nil, err
 	}
 	if err := op.Open(); err != nil {
 		return nil, err
 	}
-	atomic.AddInt64(&s.d.Stats.Selects, 1)
+	atomic.AddInt64(&s.d.stats.Selects, 1)
 	return &Cursor{op: op}, nil
 }
 

@@ -18,13 +18,30 @@ import (
 	"dkbms/internal/storage"
 )
 
-// DB is one open database.
+// TableResolver resolves base-table names to pinned physical table
+// versions. A snapshot implements it; a DB view carrying one binds
+// every statement it executes to that snapshot's state.
+//
+// ResolveTable reports the table (possibly nil) and whether the
+// resolver is authoritative for the name. Non-authoritative names fall
+// through to the live catalog — that is how session-private temp
+// tables, which are created during evaluation and are never
+// snapshotted, keep resolving.
+type TableResolver interface {
+	ResolveTable(name string) (t *catalog.Table, authoritative bool)
+}
+
+// DB is one open database, or a resolver-bound view of one (see
+// WithResolver). Views share the pager, catalog and statement counters
+// with their parent; only name resolution differs.
 type DB struct {
 	pager *storage.Pager
 	cat   *catalog.Catalog
+	res   TableResolver
 
-	// Stats counts statement traffic for the measurement harness.
-	Stats Stats
+	// stats counts statement traffic for the measurement harness. It is
+	// a pointer so resolver views accumulate into the same counters.
+	stats *Stats
 }
 
 // Stats are cumulative statement counters. Counters are updated
@@ -45,12 +62,34 @@ type Stats struct {
 // safe to call while statements execute on other goroutines.
 func (d *DB) StatsSnapshot() Stats {
 	return Stats{
-		Selects:      atomic.LoadInt64(&d.Stats.Selects),
-		Inserts:      atomic.LoadInt64(&d.Stats.Inserts),
-		InsertedRows: atomic.LoadInt64(&d.Stats.InsertedRows),
-		Deletes:      atomic.LoadInt64(&d.Stats.Deletes),
-		DDL:          atomic.LoadInt64(&d.Stats.DDL),
+		Selects:      atomic.LoadInt64(&d.stats.Selects),
+		Inserts:      atomic.LoadInt64(&d.stats.Inserts),
+		InsertedRows: atomic.LoadInt64(&d.stats.InsertedRows),
+		Deletes:      atomic.LoadInt64(&d.stats.Deletes),
+		DDL:          atomic.LoadInt64(&d.stats.DDL),
 	}
+}
+
+// WithResolver returns a view of the database whose base-table name
+// resolution goes through r first. The view shares everything else —
+// pager, catalog, counters — with the receiver; it is how a query
+// evaluates against a pinned snapshot while the live catalog moves.
+func (d *DB) WithResolver(r TableResolver) *DB {
+	return &DB{pager: d.pager, cat: d.cat, res: r, stats: d.stats}
+}
+
+// Table resolves a table name: through the view's resolver when it is
+// authoritative for the name, otherwise in the live catalog. This is
+// the single binding point between statement execution and physical
+// tables — the planner, DML executors and row-count probes all pass
+// through it.
+func (d *DB) Table(name string) *catalog.Table {
+	if d.res != nil {
+		if t, ok := d.res.ResolveTable(name); ok {
+			return t
+		}
+	}
+	return d.cat.Table(name)
 }
 
 // Open opens (creating if needed) a file-backed database with the
@@ -70,7 +109,7 @@ func OpenWithPool(path string, poolPages int) (*DB, error) {
 		pager.Close()
 		return nil, err
 	}
-	return &DB{pager: pager, cat: cat}, nil
+	return &DB{pager: pager, cat: cat, stats: &Stats{}}, nil
 }
 
 // OpenMemory opens a fresh in-memory database.
@@ -82,7 +121,7 @@ func OpenMemory() *DB {
 		// programming error.
 		panic(fmt.Sprintf("db: init memory database: %v", err))
 	}
-	return &DB{pager: pager, cat: cat}
+	return &DB{pager: pager, cat: cat, stats: &Stats{}}
 }
 
 // Close flushes and closes the database.
@@ -121,7 +160,7 @@ func (d *DB) ExecTraced(stmt string, sp *obs.Span) error {
 	case sql.CreateIndex:
 		return d.execCreateIndex(s)
 	case sql.DropIndex:
-		atomic.AddInt64(&d.Stats.DDL, 1)
+		atomic.AddInt64(&d.stats.DDL, 1)
 		return d.cat.DropIndex(s.Name)
 	case sql.Insert:
 		return d.execInsert(s, sp)
@@ -164,8 +203,8 @@ func (d *DB) QueryCount(stmt string) (int64, error) {
 }
 
 func (d *DB) runSelect(sel *sql.Select, sp *obs.Span) (*Rows, error) {
-	atomic.AddInt64(&d.Stats.Selects, 1)
-	op, err := plan.BuildSelect(d.cat, sel)
+	atomic.AddInt64(&d.stats.Selects, 1)
+	op, err := plan.BuildSelect(d, sel)
 	if err != nil {
 		return nil, err
 	}
@@ -179,7 +218,7 @@ func (d *DB) runSelect(sel *sql.Select, sp *obs.Span) (*Rows, error) {
 }
 
 func (d *DB) execCreateTable(s sql.CreateTable) error {
-	atomic.AddInt64(&d.Stats.DDL, 1)
+	atomic.AddInt64(&d.stats.DDL, 1)
 	schema, err := rel.NewSchema(s.Columns...)
 	if err != nil {
 		return err
@@ -189,7 +228,7 @@ func (d *DB) execCreateTable(s sql.CreateTable) error {
 }
 
 func (d *DB) execDropTable(s sql.DropTable) error {
-	atomic.AddInt64(&d.Stats.DDL, 1)
+	atomic.AddInt64(&d.stats.DDL, 1)
 	if d.cat.Table(s.Name) == nil && s.IfExists {
 		return nil
 	}
@@ -197,19 +236,19 @@ func (d *DB) execDropTable(s sql.DropTable) error {
 }
 
 func (d *DB) execCreateIndex(s sql.CreateIndex) error {
-	atomic.AddInt64(&d.Stats.DDL, 1)
+	atomic.AddInt64(&d.stats.DDL, 1)
 	_, err := d.cat.CreateIndex(s.Name, s.Table, s.Columns, false)
 	return err
 }
 
 func (d *DB) execInsert(s sql.Insert, sp *obs.Span) error {
-	atomic.AddInt64(&d.Stats.Inserts, 1)
-	t := d.cat.Table(s.Table)
+	atomic.AddInt64(&d.stats.Inserts, 1)
+	t := d.Table(s.Table)
 	if t == nil {
 		return fmt.Errorf("db: no table %s", s.Table)
 	}
 	if s.Query != nil {
-		op, err := plan.BuildSelect(d.cat, s.Query)
+		op, err := plan.BuildSelect(d, s.Query)
 		if err != nil {
 			return err
 		}
@@ -229,7 +268,7 @@ func (d *DB) execInsert(s sql.Insert, sp *obs.Span) error {
 			if _, err := t.Insert(tu); err != nil {
 				return err
 			}
-			atomic.AddInt64(&d.Stats.InsertedRows, 1)
+			atomic.AddInt64(&d.stats.InsertedRows, 1)
 		}
 		return nil
 	}
@@ -245,14 +284,14 @@ func (d *DB) execInsert(s sql.Insert, sp *obs.Span) error {
 		if _, err := t.Insert(tu); err != nil {
 			return err
 		}
-		atomic.AddInt64(&d.Stats.InsertedRows, 1)
+		atomic.AddInt64(&d.stats.InsertedRows, 1)
 	}
 	return nil
 }
 
 func (d *DB) execDelete(s sql.Delete) error {
-	atomic.AddInt64(&d.Stats.Deletes, 1)
-	t := d.cat.Table(s.Table)
+	atomic.AddInt64(&d.stats.Deletes, 1)
+	t := d.Table(s.Table)
 	if t == nil {
 		return fmt.Errorf("db: no table %s", s.Table)
 	}
@@ -289,7 +328,7 @@ func (d *DB) execDelete(s sql.Delete) error {
 
 // TableRows returns the maintained row count of a table (0 if absent).
 func (d *DB) TableRows(name string) int {
-	t := d.cat.Table(name)
+	t := d.Table(name)
 	if t == nil {
 		return 0
 	}
@@ -297,7 +336,7 @@ func (d *DB) TableRows(name string) int {
 }
 
 // HasTable reports whether the table exists.
-func (d *DB) HasTable(name string) bool { return d.cat.Table(name) != nil }
+func (d *DB) HasTable(name string) bool { return d.Table(name) != nil }
 
 // Flush persists dirty pages (no-op cost for memory databases).
 func (d *DB) Flush() error { return d.pager.Flush() }

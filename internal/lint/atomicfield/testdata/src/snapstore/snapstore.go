@@ -1,0 +1,66 @@
+// Package snapstore mirrors the snapshot store's publication pattern:
+// an atomic.Pointer carrying the current immutable snapshot, pin
+// counts driven through sync/atomic, and a single-writer commit mutex.
+// Typed atomics (the published pointer) lint clean by construction.
+// The trap the fixture encodes: a field accessed via untyped
+// sync/atomic by lock-free readers is NOT safe to touch plainly under
+// the commit mutex — the mutex orders writers against each other, not
+// against readers that never take it.
+package snapstore
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type snap struct {
+	gen    uint64
+	tables map[string]int
+	// pins counts readers holding this snapshot; acquire/release drive
+	// it through sync/atomic, so every access must be atomic.
+	pins int64
+}
+
+type store struct {
+	commitMu sync.Mutex
+	current  atomic.Pointer[snap]
+}
+
+// acquire is the reader pin loop: load the published pointer, pin it,
+// re-check currentness. All snapshot state is reached through the
+// typed atomic pointer; the pin count uses untyped atomics.
+func (st *store) acquire() *snap {
+	for {
+		s := st.current.Load()
+		atomic.AddInt64(&s.pins, 1)
+		if st.current.Load() == s {
+			return s
+		}
+		atomic.AddInt64(&s.pins, -1)
+	}
+}
+
+func release(s *snap) { atomic.AddInt64(&s.pins, -1) }
+
+// publish is the single-writer commit path: build the successor off to
+// the side, swap the pointer. Clean — the new snapshot is private until
+// the Store makes it visible.
+func (st *store) publish(tables map[string]int) {
+	st.commitMu.Lock()
+	defer st.commitMu.Unlock()
+	old := st.current.Load()
+	next := &snap{gen: old.gen + 1, tables: tables}
+	st.current.Store(next)
+}
+
+// drained reads the pin count through sync/atomic: clean.
+func drained(s *snap) bool { return atomic.LoadInt64(&s.pins) == 0 }
+
+// badReclaim holds the commit mutex and concludes the old snapshot is
+// private — but readers pin without ever taking commitMu, so the plain
+// read races with their atomic adds.
+func (st *store) badReclaim(old *snap) bool {
+	st.commitMu.Lock()
+	defer st.commitMu.Unlock()
+	return old.pins == 0 // want "non-atomic access to pins"
+}

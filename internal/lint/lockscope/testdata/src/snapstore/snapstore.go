@@ -1,0 +1,57 @@
+// Package snapstore is a fixture stub of the snapshot store's commit
+// path: copy-on-write under a single-writer mutex, publication via an
+// atomic pointer swap. The commit mutex is not a tracked class — only
+// the pairing discipline applies: every path out of a commit must
+// release it, including the early-return paths a failed copy takes.
+package snapstore
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type snap struct {
+	gen    uint64
+	tables map[string]int
+}
+
+type store struct {
+	commitMu sync.Mutex
+	current  atomic.Pointer[snap]
+}
+
+func copyTables(src map[string]int) (map[string]int, error) {
+	out := make(map[string]int, len(src))
+	for k, v := range src {
+		out[k] = v
+	}
+	return out, nil
+}
+
+// publishOK is the canonical shape: acquire, defer release, build the
+// successor, swap. The deferred unlock covers the error return.
+func (st *store) publishOK() error {
+	st.commitMu.Lock()
+	defer st.commitMu.Unlock()
+	old := st.current.Load()
+	tables, err := copyTables(old.tables)
+	if err != nil {
+		return err
+	}
+	st.current.Store(&snap{gen: old.gen + 1, tables: tables})
+	return nil
+}
+
+// publishLeaky forgets the unlock on the failed-copy return: the next
+// writer blocks forever.
+func (st *store) publishLeaky() error {
+	st.commitMu.Lock() // want "not released on every path"
+	old := st.current.Load()
+	tables, err := copyTables(old.tables)
+	if err != nil {
+		return err
+	}
+	st.current.Store(&snap{gen: old.gen + 1, tables: tables})
+	st.commitMu.Unlock()
+	return nil
+}

@@ -30,6 +30,9 @@ type SlowQuery struct {
 	Rows int64 `json:"rows"`
 	// Session identifies the recording session (server-side; 0 locally).
 	Session int64 `json:"session,omitempty"`
+	// Snapshot is the engine-snapshot generation the query ran against
+	// (0 when the query never pinned a snapshot, e.g. parse errors).
+	Snapshot uint64 `json:"snapshot,omitempty"`
 	// Err carries the error text for failed queries.
 	Err string `json:"error,omitempty"`
 	// Trace is the query's span tree, retained only when the query ran

@@ -23,8 +23,16 @@ import (
 	"dkbms/internal/sql"
 )
 
-// BuildSelect plans a (possibly compound) SELECT against the catalog.
-func BuildSelect(cat *catalog.Catalog, s *sql.Select) (exec.Operator, error) {
+// TableSource resolves FROM-clause names to physical tables. The live
+// catalog implements it directly; a snapshot-bound db.DB view resolves
+// base-table names to frozen table versions instead, which is how the
+// planner binds a whole query to one consistent engine state.
+type TableSource interface {
+	Table(name string) *catalog.Table
+}
+
+// BuildSelect plans a (possibly compound) SELECT against the source.
+func BuildSelect(cat TableSource, s *sql.Select) (exec.Operator, error) {
 	left, err := buildSimple(cat, s)
 	if err != nil {
 		return nil, err
@@ -271,7 +279,7 @@ func equijoin(p symPred) (l, r colID, ok bool) {
 	return c.left.col, c.right.col, true
 }
 
-func buildSimple(cat *catalog.Catalog, s *sql.Select) (exec.Operator, error) {
+func buildSimple(cat TableSource, s *sql.Select) (exec.Operator, error) {
 	if len(s.From) == 0 {
 		return nil, fmt.Errorf("plan: empty FROM")
 	}

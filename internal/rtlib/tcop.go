@@ -21,7 +21,7 @@ import (
 // from that single source value (the equivalent of the magic-restricted
 // evaluation for a bound-first query), returning (seed, y) pairs.
 func TC(d *db.DB, pred string, seed *rel.Value) ([]rel.Tuple, error) {
-	t := d.Catalog().Table(codegen.BaseTable(pred))
+	t := d.Table(codegen.BaseTable(pred))
 	if t == nil {
 		return nil, fmt.Errorf("rtlib: no extensional relation for %s", pred)
 	}

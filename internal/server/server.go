@@ -4,8 +4,10 @@
 //
 // Each accepted connection becomes a session goroutine running a strict
 // request/response loop. Read-only traffic (QUERY, EXECP, STATS, PING)
-// runs concurrently across sessions on the testbed's read lock; LOAD and
-// RETRACT serialize on its write lock. A connection-limit semaphore is
+// runs concurrently across sessions, each query pinned to an immutable
+// engine snapshot; LOAD and RETRACT serialize on the single-writer
+// commit path and publish new snapshots without blocking readers. A
+// connection-limit semaphore is
 // acquired before Accept, so excess clients queue in the listen backlog
 // (backpressure) instead of being half-served. Shutdown is graceful: on
 // context cancel the listener closes immediately (new connections are
@@ -102,9 +104,9 @@ func New(tb *dkbms.ConcurrentTestbed, opts Options) *Server {
 
 // initRegistry builds the server's metrics registry: the request
 // counters and the latency histogram live there directly; the plan
-// cache, buffer pool and rule-base generation are read through gauge
-// callbacks at snapshot time (callbacks run outside the registry lock,
-// so taking the testbed's read lock inside them is safe).
+// cache, buffer pool, rule-base generation and snapshot store are read
+// through gauge callbacks at snapshot time (callbacks run outside the
+// registry lock, so pinning an engine snapshot inside them is safe).
 func (s *Server) initRegistry() {
 	r := obs.NewRegistry()
 	s.reg = r
@@ -132,6 +134,16 @@ func (s *Server) initRegistry() {
 		return st.Hits * 100 / (st.Hits + st.Misses)
 	})
 	gauge("dkb.generation", func() int64 { return int64(s.tb.Generation()) })
+	gauge("snapshot.gen", func() int64 { return int64(s.tb.SnapshotStats().Gen) })
+	gauge("snapshot.active_readers", func() int64 { return s.tb.SnapshotStats().ActiveReaders })
+	gauge("snapshot.retired", func() int64 { return s.tb.SnapshotStats().RetiredSnapshots })
+	gauge("snapshot.live_versions", func() int64 { return s.tb.SnapshotStats().LiveVersions })
+	gauge("snapshot.reclaim_backlog", func() int64 { return s.tb.SnapshotStats().ReclaimBacklog })
+	gauge("snapshot.reclaimed_tables", func() int64 { return s.tb.SnapshotStats().ReclaimedTables })
+	gauge("snapshot.reclaim_errors", func() int64 { return s.tb.SnapshotStats().ReclaimErrors })
+	gauge("snapshot.commits", func() int64 { return s.tb.SnapshotStats().Commits })
+	gauge("snapshot.copied_tables", func() int64 { return s.tb.SnapshotStats().CopiedTables })
+	gauge("snapshot.writer_stall_ns", func() int64 { return int64(s.tb.SnapshotStats().WriterStall) })
 	gauge("slowlog.recorded", s.slow.Recorded)
 	// The engine floor — per-table heap traffic, per-index tree shape,
 	// per-shard pool counters — is a dynamic metric set following the
@@ -251,7 +263,7 @@ func (s *Server) beginDrain() {
 // latency percentiles over the recent window, the shared plan cache's
 // hit counters and the buffer pool's aggregated shard counters.
 func (s *Server) Stats() Stats {
-	return s.stats.snapshot(s.tb.Generation(), s.tb.PlanStats(), s.tb.PagerStats())
+	return s.stats.snapshot(s.tb.Generation(), s.tb.PlanStats(), s.tb.PagerStats(), s.tb.SnapshotStats())
 }
 
 // Logf is a ready-made Options.Logf writing through the standard logger.

@@ -234,6 +234,7 @@ func (s *session) recordSlow(src string, start time.Time, res *dkbms.QueryResult
 		e.Rows = int64(len(res.Rows))
 		e.Iterations = res.Iterations()
 		e.Trace = res.Trace.Root()
+		e.Snapshot = res.Snapshot
 	}
 	s.srv.slow.Record(e)
 }

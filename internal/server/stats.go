@@ -8,6 +8,7 @@ import (
 
 	"dkbms"
 	"dkbms/internal/obs"
+	"dkbms/internal/snapshot"
 	"dkbms/internal/storage"
 	"dkbms/internal/wire"
 )
@@ -76,7 +77,7 @@ func (c *counters) percentiles() (p50, p99 time.Duration) {
 }
 
 // snapshot assembles the wire-form stats.
-func (c *counters) snapshot(generation uint64, plan dkbms.PlanCacheStats, pool storage.PagerStats) Stats {
+func (c *counters) snapshot(generation uint64, plan dkbms.PlanCacheStats, pool storage.PagerStats, snap snapshot.Stats) Stats {
 	p50, p99 := c.percentiles()
 	return Stats{
 		ActiveSessions: c.activeSessions.Load(),
@@ -95,5 +96,10 @@ func (c *counters) snapshot(generation uint64, plan dkbms.PlanCacheStats, pool s
 		PoolMisses:     pool.Misses,
 		PoolEvictions:  pool.Evictions,
 		Generation:     generation,
+
+		SnapshotGen:     snap.Gen,
+		SnapshotReaders: snap.ActiveReaders,
+		ReclaimBacklog:  snap.ReclaimBacklog,
+		WriterStall:     snap.WriterStall,
 	}
 }

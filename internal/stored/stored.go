@@ -53,18 +53,22 @@ type Options struct {
 	NoIndexes bool
 }
 
-// Manager is the stored-D/KB manager bound to one database.
+// Manager is the stored-D/KB manager bound to one database (or, via
+// WithDB, to a resolver-bound view of one).
 type Manager struct {
 	d    *db.DB
 	opts Options
-	// nextRuleID is the next rulesource identifier.
+	// nextRuleID is the next rulesource identifier. Written only on the
+	// update path, which is serialized above this layer; read-only views
+	// built by WithDB never touch it.
 	nextRuleID int64
 
-	// Stats counts manager traffic for the experiment harness. The
+	// stats counts manager traffic for the experiment harness. The
 	// counters are updated atomically — rule extraction and dictionary
 	// reads happen on the compile path, which concurrent sessions share —
-	// so racing readers must go through StatsSnapshot.
-	Stats Stats
+	// and the pointer is shared with every WithDB view so all traffic
+	// lands in one place. Racing readers go through StatsSnapshot.
+	stats *Stats
 }
 
 // Stats are cumulative counters.
@@ -78,16 +82,25 @@ type Stats struct {
 // StatsSnapshot returns the counters read with atomic loads.
 func (m *Manager) StatsSnapshot() Stats {
 	return Stats{
-		ExtractCalls:   atomic.LoadInt64(&m.Stats.ExtractCalls),
-		ExtractedRules: atomic.LoadInt64(&m.Stats.ExtractedRules),
-		ReadDictCalls:  atomic.LoadInt64(&m.Stats.ReadDictCalls),
+		ExtractCalls:   atomic.LoadInt64(&m.stats.ExtractCalls),
+		ExtractedRules: atomic.LoadInt64(&m.stats.ExtractedRules),
+		ReadDictCalls:  atomic.LoadInt64(&m.stats.ReadDictCalls),
 	}
+}
+
+// WithDB returns a read-only view of the manager bound to d — normally
+// a snapshot-bound view of the same database — for the compile path
+// (ExtractRelevant, BaseTypes, DerivedTypes). The view shares the
+// traffic counters with the original; the rule-id allocator stays
+// behind (views never update).
+func (m *Manager) WithDB(d *db.DB) *Manager {
+	return &Manager{d: d, opts: m.opts, stats: m.stats}
 }
 
 // Open binds a manager to the database, creating the system relations
 // on first use.
 func Open(d *db.DB, opts Options) (*Manager, error) {
-	m := &Manager{d: d, opts: opts}
+	m := &Manager{d: d, opts: opts, stats: &Stats{}}
 	type tdef struct {
 		name, ddl string
 		indexes   []string
@@ -238,7 +251,7 @@ func (m *Manager) FactCount(pred string) int {
 // BaseTypes reads the extensional data dictionary for the given
 // predicates (the paper's t_readdict operation, Test 2).
 func (m *Manager) BaseTypes(preds []string) (map[string][]rel.Type, error) {
-	atomic.AddInt64(&m.Stats.ReadDictCalls, 1)
+	atomic.AddInt64(&m.stats.ReadDictCalls, 1)
 	out := make(map[string][]rel.Type)
 	for _, p := range preds {
 		rows, err := m.d.Query(fmt.Sprintf(
@@ -269,7 +282,7 @@ func (m *Manager) BaseTypes(preds []string) (map[string][]rel.Type, error) {
 // DerivedTypes reads the intensional data dictionary for the given
 // predicates.
 func (m *Manager) DerivedTypes(preds []string) (map[string][]rel.Type, error) {
-	atomic.AddInt64(&m.Stats.ReadDictCalls, 1)
+	atomic.AddInt64(&m.stats.ReadDictCalls, 1)
 	out := make(map[string][]rel.Type)
 	for _, p := range preds {
 		rows, err := m.d.Query(fmt.Sprintf(
@@ -304,7 +317,7 @@ func (m *Manager) DerivedTypes(preds []string) (map[string][]rel.Type, error) {
 // joining reachablepreds with rulesource (paper §4.1); without it, only
 // directly-defining rules are returned and the compiler iterates.
 func (m *Manager) ExtractRelevant(preds []string) ([]dlog.Clause, error) {
-	atomic.AddInt64(&m.Stats.ExtractCalls, 1)
+	atomic.AddInt64(&m.stats.ExtractCalls, 1)
 	if len(preds) == 0 {
 		return nil, nil
 	}
@@ -335,7 +348,7 @@ func (m *Manager) ExtractRelevant(preds []string) ([]dlog.Clause, error) {
 		}
 		out = append(out, c)
 	}
-	atomic.AddInt64(&m.Stats.ExtractedRules, int64(len(out)))
+	atomic.AddInt64(&m.stats.ExtractedRules, int64(len(out)))
 	return out, nil
 }
 

@@ -705,9 +705,21 @@ type ServerStats struct {
 	PoolEvictions int64
 	// Generation is the rule-base generation at snapshot time.
 	Generation uint64
+	// SnapshotGen is the published engine-snapshot generation (the
+	// commit sequence number queries pin); SnapshotReaders counts
+	// queries currently holding a pinned snapshot.
+	SnapshotGen     uint64
+	SnapshotReaders int64
+	// ReclaimBacklog counts superseded table versions still kept
+	// readable by pinned snapshots; WriterStall is the cumulative
+	// writer time spent building copy-on-write table copies.
+	ReclaimBacklog int64
+	WriterStall    time.Duration
 }
 
-// Encode renders the payload.
+// Encode renders the payload. The snapshot fields trail the original
+// layout so peers from before snapshot isolation still parse the
+// prefix.
 func (m ServerStats) Encode() []byte {
 	var buf []byte
 	for _, v := range []int64{
@@ -718,10 +730,16 @@ func (m ServerStats) Encode() []byte {
 	} {
 		buf = binary.AppendVarint(buf, v)
 	}
-	return binary.AppendUvarint(buf, m.Generation)
+	buf = binary.AppendUvarint(buf, m.Generation)
+	buf = binary.AppendUvarint(buf, m.SnapshotGen)
+	buf = binary.AppendVarint(buf, m.SnapshotReaders)
+	buf = binary.AppendVarint(buf, m.ReclaimBacklog)
+	return binary.AppendVarint(buf, int64(m.WriterStall))
 }
 
-// DecodeServerStats parses a STATSREPLY payload.
+// DecodeServerStats parses a STATSREPLY payload. The trailing snapshot
+// fields are optional: a payload ending at Generation (an older server)
+// decodes with them zeroed.
 func DecodeServerStats(p []byte) (ServerStats, error) {
 	var m ServerStats
 	var err error
@@ -737,6 +755,19 @@ func DecodeServerStats(p []byte) (ServerStats, error) {
 			return ServerStats{}, err
 		}
 	}
-	m.Generation, _, err = readUvarint(buf)
-	return m, err
+	if m.Generation, buf, err = readUvarint(buf); err != nil {
+		return ServerStats{}, err
+	}
+	if len(buf) == 0 {
+		return m, nil
+	}
+	if m.SnapshotGen, buf, err = readUvarint(buf); err != nil {
+		return ServerStats{}, err
+	}
+	for _, f := range []*int64{&m.SnapshotReaders, &m.ReclaimBacklog, (*int64)(&m.WriterStall)} {
+		if *f, buf, err = readVarint(buf); err != nil {
+			return ServerStats{}, err
+		}
+	}
+	return m, nil
 }

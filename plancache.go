@@ -3,12 +3,14 @@ package dkbms
 import (
 	"sync"
 
+	"dkbms/internal/codegen"
 	"dkbms/internal/core"
+	"dkbms/internal/snapshot"
 )
 
 // DefaultPlanCacheEntries bounds the shared plan cache of a
 // ConcurrentTestbed. Each entry holds one compiled evaluation program
-// and, while the D/KB stands still, its memoized answer.
+// and, while the tables it reads stand still, its memoized answer.
 const DefaultPlanCacheEntries = 128
 
 // planKey identifies a cacheable query: its source text plus the
@@ -20,15 +22,26 @@ type planKey struct {
 }
 
 // planEntry is one cached compilation. The compiled program is valid
-// while the rule-base generation matches; the memoized result
-// additionally requires the data generation to match (LOAD/RETRACT of
-// facts move it). Entries form an LRU list under the cache mutex.
+// while the rule-base generation matches (rule changes alter the
+// generated program). The memoized result carries a per-table validity
+// vector instead of a global data generation: the base tables the
+// program reads, each with the version generation it was evaluated
+// against. A result is served only to snapshots in which every
+// dependency reports the recorded generation — so updates to unrelated
+// tables never evict it. Entries form an LRU list under the cache
+// mutex.
 type planEntry struct {
 	key      planKey
 	compiled *core.Compiled
 	ruleGen  uint64
-	result   *QueryResult
-	dataGen  uint64
+	// deps are the base-table names the compiled program reads
+	// (derived from Program.BasePreds once, at store time).
+	deps []string
+	// result is the memoized answer; resultVec maps each dependency to
+	// the table-version generation the answer was computed against
+	// (0 = table absent in that snapshot).
+	result    *QueryResult
+	resultVec map[string]uint64
 
 	prev, next *planEntry
 }
@@ -39,7 +52,7 @@ type PlanCacheStats struct {
 	// result (no compilation, no evaluation).
 	ResultHits int64
 	// PlanHits counts queries that reused a compiled program but
-	// re-evaluated it (the data generation had moved).
+	// re-evaluated it (a base table the program reads had moved).
 	PlanHits int64
 	// Misses counts full compilations.
 	Misses int64
@@ -52,7 +65,7 @@ type PlanCacheStats struct {
 
 // planCache is the server-wide compiled-plan and result cache behind
 // ConcurrentTestbed.Query. It is safe for concurrent use; lookups and
-// stores run under the testbed's read lock from many sessions at once.
+// stores run from many pinned-snapshot readers at once.
 type planCache struct {
 	mu       sync.Mutex
 	capacity int
@@ -72,19 +85,36 @@ func newPlanCache(capacity int) *planCache {
 	}
 }
 
-// lookup returns the cached compilation for the key, if its generations
-// still hold: (compiled, result) on a full result hit, (compiled, nil)
-// when only the plan is reusable, (nil, nil) on a miss. Hit counters are
-// updated here; the miss counter is charged in store, so a lookup/store
-// pair counts once.
-func (pc *planCache) lookup(key planKey, ruleGen, dataGen uint64) (*core.Compiled, *QueryResult) {
+// depTables maps a compiled program to the base tables it reads, in
+// first-appearance order without duplicates.
+func depTables(compiled *core.Compiled) []string {
+	seen := make(map[string]struct{}, len(compiled.Program.BasePreds))
+	out := make([]string, 0, len(compiled.Program.BasePreds))
+	for _, p := range compiled.Program.BasePreds {
+		t := codegen.BaseTable(p)
+		if _, ok := seen[t]; ok {
+			continue
+		}
+		seen[t] = struct{}{}
+		out = append(out, t)
+	}
+	return out
+}
+
+// lookup returns the cached compilation for the key as seen from the
+// given snapshot: (compiled, result) on a full result hit — every base
+// table the program reads is at the generation the answer was computed
+// against — (compiled, nil) when only the plan is reusable, (nil, nil)
+// on a miss. Hit counters are updated here; the miss counter is charged
+// in store, so a lookup/store pair counts once.
+func (pc *planCache) lookup(key planKey, snap *snapshot.Snapshot) (*core.Compiled, *QueryResult) {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	e, ok := pc.entries[key]
 	if !ok {
 		return nil, nil
 	}
-	if e.ruleGen != ruleGen {
+	if e.ruleGen != snap.RuleGen {
 		// The rule base moved: the compiled program is stale.
 		pc.unlink(e)
 		delete(pc.entries, key)
@@ -92,7 +122,7 @@ func (pc *planCache) lookup(key planKey, ruleGen, dataGen uint64) (*core.Compile
 		return nil, nil
 	}
 	pc.touch(e)
-	if e.result != nil && e.dataGen == dataGen {
+	if e.result != nil && vecCurrent(e.resultVec, snap) {
 		pc.stats.ResultHits++
 		return e.compiled, e.result
 	}
@@ -100,11 +130,37 @@ func (pc *planCache) lookup(key planKey, ruleGen, dataGen uint64) (*core.Compile
 	return e.compiled, nil
 }
 
-// store records a compilation and its result, evicting the least
-// recently used entry beyond capacity. A nil result stores the plan
-// without touching any memoized answer (traced runs share plans with
-// untraced queries but never publish their answers).
-func (pc *planCache) store(key planKey, ruleGen uint64, compiled *core.Compiled, dataGen uint64, result *QueryResult) {
+// vecCurrent reports whether every dependency in the vector is at the
+// recorded table-version generation in the snapshot. An absent table
+// records generation 0, which stays valid exactly until the table
+// appears (generations start at 1).
+func vecCurrent(vec map[string]uint64, snap *snapshot.Snapshot) bool {
+	for name, gen := range vec {
+		if snap.TableGen(name) != gen {
+			return false
+		}
+	}
+	return true
+}
+
+// store records a compilation and its result as evaluated against the
+// given snapshot, evicting the least recently used entry beyond
+// capacity. A nil result stores the plan without touching any memoized
+// answer (traced runs share plans with untraced queries but never
+// publish their answers).
+//
+// Racing stores for one key (readers pinned to different snapshots)
+// need no ordering: a result stored with an older dependency vector
+// simply fails validation for newer snapshots at lookup time.
+func (pc *planCache) store(key planKey, snap *snapshot.Snapshot, compiled *core.Compiled, result *QueryResult) {
+	var vec map[string]uint64
+	deps := depTables(compiled)
+	if result != nil {
+		vec = make(map[string]uint64, len(deps))
+		for _, name := range deps {
+			vec[name] = snap.TableGen(name)
+		}
+	}
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	if e, ok := pc.entries[key]; ok {
@@ -113,15 +169,16 @@ func (pc *planCache) store(key planKey, ruleGen uint64, compiled *core.Compiled,
 		if e.compiled != compiled {
 			pc.stats.Misses++
 		}
-		e.compiled, e.ruleGen = compiled, ruleGen
+		e.compiled, e.ruleGen, e.deps = compiled, snap.RuleGen, deps
 		if result != nil {
-			e.result, e.dataGen = result, dataGen
+			e.result, e.resultVec = result, vec
 		}
 		pc.touch(e)
 		return
 	}
 	pc.stats.Misses++
-	e := &planEntry{key: key, compiled: compiled, ruleGen: ruleGen, result: result, dataGen: dataGen}
+	e := &planEntry{key: key, compiled: compiled, ruleGen: snap.RuleGen, deps: deps,
+		result: result, resultVec: vec}
 	pc.entries[key] = e
 	pc.pushFront(e)
 	for len(pc.entries) > pc.capacity {
@@ -131,22 +188,33 @@ func (pc *planCache) store(key planKey, ruleGen uint64, compiled *core.Compiled,
 	}
 }
 
-// purgeStale runs after an exclusive update: entries compiled at an old
-// rule-base generation are dropped, and memoized results from an old
-// data generation are cleared (their plans stay).
-func (pc *planCache) purgeStale(ruleGen, dataGen uint64) {
+// purgeStale runs after a commit publishes a new snapshot: entries
+// compiled at an old rule-base generation are dropped. Memoized
+// results are left in place — their per-table vectors are validated
+// lazily at lookup, so a commit invalidates only the queries that read
+// the tables it touched.
+func (pc *planCache) purgeStale(snap *snapshot.Snapshot) {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	for key, e := range pc.entries {
-		if e.ruleGen != ruleGen {
+		if e.ruleGen != snap.RuleGen {
 			pc.unlink(e)
 			delete(pc.entries, key)
 			pc.stats.Invalidations++
-			continue
 		}
-		if e.dataGen != dataGen {
-			e.result = nil
-		}
+	}
+}
+
+// purgeAll drops every entry (after an out-of-band mutation of the
+// wrapped testbed, which moves no generations — see
+// ConcurrentTestbed.Resync).
+func (pc *planCache) purgeAll() {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	for key, e := range pc.entries {
+		pc.unlink(e)
+		delete(pc.entries, key)
+		pc.stats.Invalidations++
 	}
 }
 

@@ -216,16 +216,10 @@ func (tb *Testbed) Retract(pattern dlog.Atom) (int, error) {
 		return 0, fmt.Errorf("%w: retract %s: predicate has arity %d, pattern has %d",
 			ErrSemantic, pattern.String(), t.Schema.Len(), pattern.Arity())
 	}
-	var where []string
-	for i, a := range pattern.Args {
-		if a.IsVar() {
-			continue
-		}
-		where = append(where, fmt.Sprintf("c%d = %s", i, a.Val.SQL()))
-	}
+	_, where := retractFilter(pattern)
 	stmt := "DELETE FROM " + table
-	if len(where) > 0 {
-		stmt += " WHERE " + strings.Join(where, " AND ")
+	if where != "" {
+		stmt += " WHERE " + where
 	}
 	before := t.Rows()
 	if err := tb.db.Exec(stmt); err != nil {
@@ -241,18 +235,44 @@ func (tb *Testbed) Retract(pattern dlog.Atom) (int, error) {
 // RetractSrc is Retract for a source-syntax pattern ("parent(john, X)."
 // — the trailing period optional).
 func (tb *Testbed) RetractSrc(src string) (int, error) {
+	pattern, err := parseRetract(src)
+	if err != nil {
+		return 0, err
+	}
+	return tb.Retract(pattern)
+}
+
+// parseRetract parses a source-syntax retract pattern (trailing period
+// optional, rules rejected).
+func parseRetract(src string) (dlog.Atom, error) {
 	src = strings.TrimSpace(src)
 	if !strings.HasSuffix(src, ".") {
 		src += "."
 	}
 	c, err := dlog.ParseClause(src)
 	if err != nil {
-		return 0, parseErr(err)
+		return dlog.Atom{}, parseErr(err)
 	}
 	if len(c.Body) > 0 {
-		return 0, fmt.Errorf("%w: retract takes a fact pattern, not a rule", ErrSemantic)
+		return dlog.Atom{}, fmt.Errorf("%w: retract takes a fact pattern, not a rule", ErrSemantic)
 	}
-	return tb.Retract(c.Head)
+	return c.Head, nil
+}
+
+// retractFilter returns the extensional table and the SQL predicate
+// (empty = match everything) selecting the facts a retract pattern
+// removes. Retract and the concurrent commit path (which pre-counts
+// matches to skip copy-on-write for no-op retractions) share it.
+func retractFilter(pattern dlog.Atom) (table, where string) {
+	table = BaseTableName(pattern.Pred)
+	var parts []string
+	for i, a := range pattern.Args {
+		if a.IsVar() {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("c%d = %s", i, a.Val.SQL()))
+	}
+	return table, strings.Join(parts, " AND ")
 }
 
 // QueryOptions tune query compilation and evaluation.
@@ -298,6 +318,10 @@ type QueryResult struct {
 	// "plan" (compiled program reused, re-evaluated) or "miss" (full
 	// compile). Empty on the plain Testbed path, which has no cache.
 	Cache string
+	// Snapshot is the generation of the pinned snapshot the query ran
+	// against when it went through a ConcurrentTestbed (0 on the plain
+	// Testbed path, which reads live state).
+	Snapshot uint64
 }
 
 // Iterations returns the total LFP iteration count across the
@@ -360,6 +384,15 @@ func (tb *Testbed) Compile(q dlog.Query, opts *QueryOptions) (*core.Compiled, er
 }
 
 func (tb *Testbed) compile(q dlog.Query, opts *QueryOptions, tr *obs.Trace) (*core.Compiled, error) {
+	return tb.compileWith(tb.ws, tb.db, tb.st, q, opts, tr)
+}
+
+// compileWith is compile against an explicit workspace, database and
+// rule source — the ConcurrentTestbed passes a pinned snapshot's frozen
+// workspace and resolver-bound views here, so the whole Knowledge
+// Manager pipeline (rule extraction, dictionary reads, schema lookups)
+// sees one consistent engine state.
+func (tb *Testbed) compileWith(ws *core.Workspace, d *db.DB, st *stored.Manager, q dlog.Query, opts *QueryOptions, tr *obs.Trace) (*core.Compiled, error) {
 	if tb.closed {
 		return nil, ErrClosed
 	}
@@ -370,7 +403,7 @@ func (tb *Testbed) compile(q dlog.Query, opts *QueryOptions, tr *obs.Trace) (*co
 	if opts.Adaptive {
 		optimize = tb.adaptiveOptimize(q)
 	}
-	cp := &core.Compiler{WS: tb.ws, DB: tb.db, Stored: tb.st}
+	cp := &core.Compiler{WS: ws, DB: d, Stored: st}
 	compiled, err := cp.Compile(q, core.CompileOptions{Optimize: optimize, Trace: tr})
 	if err != nil {
 		return nil, semanticErr(err)
@@ -395,6 +428,14 @@ func (tb *Testbed) EvaluateContext(ctx context.Context, compiled *core.Compiled,
 }
 
 func (tb *Testbed) evaluate(ctx context.Context, compiled *core.Compiled, opts *QueryOptions, tr *obs.Trace) (*QueryResult, error) {
+	return tb.evaluateWith(ctx, tb.db, compiled, opts, tr)
+}
+
+// evaluateWith is evaluate against an explicit database — normally a
+// snapshot-bound view, so the run-time library reads frozen base-table
+// versions while its session-private temp tables still land in the
+// live catalog.
+func (tb *Testbed) evaluateWith(ctx context.Context, d *db.DB, compiled *core.Compiled, opts *QueryOptions, tr *obs.Trace) (*QueryResult, error) {
 	if tb.closed {
 		return nil, ErrClosed
 	}
@@ -410,7 +451,7 @@ func (tb *Testbed) evaluate(ctx context.Context, compiled *core.Compiled, opts *
 	if opts.Naive {
 		strategy = rtlib.Naive
 	}
-	res, err := rtlib.Evaluate(tb.db, compiled.Program, rtlib.Options{
+	res, err := rtlib.Evaluate(d, compiled.Program, rtlib.Options{
 		Strategy: strategy,
 		Parallel: opts.Parallel,
 		Trace:    tr,
