@@ -47,6 +47,7 @@ func main() {
 	flag.StringVar(&cfg.logFormat, "log-format", "text", "log format: text|json")
 	flag.IntVar(&cfg.slowSize, "slowlog-size", 0, "slow-query ring capacity (0 = default)")
 	flag.DurationVar(&cfg.slowThreshold, "slow-threshold", 0, "minimum latency to enter the slow-query log (0 retains every query)")
+	flag.IntVar(&cfg.schedWorkers, "sched-workers", 0, "evaluation pool workers shared by all sessions (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -63,6 +64,7 @@ type config struct {
 	logLevel, logFormat string
 	slowSize            int
 	slowThreshold       time.Duration
+	schedWorkers        int
 }
 
 // buildLogger turns the -log-level/-log-format flags into the server's
@@ -95,7 +97,7 @@ func run(cfg config) error {
 			return err
 		}
 	}
-	ctb := dkbms.NewConcurrent(tb)
+	ctb := dkbms.NewConcurrentWithOptions(tb, dkbms.ConcurrentOptions{SchedWorkers: cfg.schedWorkers})
 	defer ctb.Close()
 
 	if cfg.load != "" {

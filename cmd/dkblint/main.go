@@ -5,6 +5,7 @@
 //	lockscope   no storage or network I/O under latches; locks released
 //	atomicfield variables touched by sync/atomic are atomic everywhere
 //	opcodecheck wire opcodes are dispatched exhaustively with codecs
+//	gofanout    no unbounded `go` launches inside loops
 //
 // Usage:
 //
@@ -23,6 +24,7 @@ import (
 	"os"
 
 	"dkbms/internal/lint/atomicfield"
+	"dkbms/internal/lint/gofanout"
 	"dkbms/internal/lint/lintkit"
 	"dkbms/internal/lint/lockscope"
 	"dkbms/internal/lint/opcodecheck"
@@ -32,6 +34,7 @@ import (
 // Analyzers is the dkblint suite, in report order.
 var Analyzers = []*lintkit.Analyzer{
 	atomicfield.Analyzer,
+	gofanout.Analyzer,
 	lockscope.Analyzer,
 	opcodecheck.Analyzer,
 	pinpair.Analyzer,

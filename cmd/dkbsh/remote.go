@@ -120,6 +120,8 @@ func (s *remoteShell) handle(line string) error {
 			st.BytesIn, st.BytesOut, st.Generation)
 		fmt.Fprintf(s.out, "snapshots: generation %d, %d active readers, %d versions awaiting reclaim, writer stall %v\n",
 			st.SnapshotGen, st.SnapshotReaders, st.ReclaimBacklog, st.WriterStall)
+		fmt.Fprintf(s.out, "scheduler: %d workers, %d queued, %d submitted, %d stolen inline\n",
+			st.SchedWorkers, st.SchedQueued, st.SchedSubmitted, st.SchedStolen)
 		return nil
 	case line == ".slowlog":
 		sl, err := s.c.Slowlog()

@@ -151,6 +151,15 @@ func render(prev, cur *sample, elapsed time.Duration) string {
 		cur.get("snapshot.commits"), commitRate, cur.get("snapshot.copied_tables"),
 		cur.get("snapshot.reclaim_backlog"), time.Duration(cur.get("snapshot.writer_stall_ns")))
 
+	// Shared evaluation pool: task throughput and inline-steal share.
+	var taskRate float64
+	if prev != nil && elapsed > 0 {
+		taskRate = float64(cur.get("sched.completed")-prev.get("sched.completed")) / elapsed.Seconds()
+	}
+	fmt.Fprintf(&b, "sched %d workers  %d clients  queued %d  done %d (%.1f/s)  stolen %d\n",
+		cur.get("sched.workers"), cur.get("sched.clients"), cur.get("sched.queued"),
+		cur.get("sched.completed"), taskRate, cur.get("sched.stolen"))
+
 	// Busiest tables by heap traffic (reads + scanned records), top 5.
 	type tableRow struct {
 		name          string

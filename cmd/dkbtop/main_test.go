@@ -35,6 +35,11 @@ func TestRender(t *testing.T) {
 		{Name: "plan.misses", Kind: "gauge", Value: 50},
 		{Name: "plan.entries", Kind: "gauge", Value: 12},
 		{Name: "dkb.generation", Kind: "gauge", Value: 4},
+		{Name: "sched.workers", Kind: "gauge", Value: 4},
+		{Name: "sched.clients", Kind: "gauge", Value: 2},
+		{Name: "sched.queued", Kind: "gauge", Value: 1},
+		{Name: "sched.completed", Kind: "gauge", Value: 640},
+		{Name: "sched.stolen", Kind: "gauge", Value: 33},
 		{Name: "table.parent_2.rows", Kind: "gauge", Value: 1022},
 		{Name: "table.parent_2.heap_reads", Kind: "counter", Value: 7},
 		{Name: "table.parent_2.heap_recs_scanned", Kind: "counter", Value: 5000},
@@ -59,6 +64,9 @@ func TestRender(t *testing.T) {
 		"pool 93% hit",
 		"plan 50% hit",
 		"gen 4",
+		"sched 4 workers",
+		"done 640",
+		"stolen 33",
 		"parent_2",
 		"1022",
 		"SLOW QUERIES (2 recorded)",

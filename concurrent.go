@@ -13,6 +13,7 @@ import (
 	"dkbms/internal/dlog"
 	"dkbms/internal/obs"
 	"dkbms/internal/rel"
+	"dkbms/internal/sched"
 	"dkbms/internal/snapshot"
 	"dkbms/internal/storage"
 	"dkbms/internal/stored"
@@ -57,27 +58,58 @@ type ConcurrentTestbed struct {
 	tb       *Testbed
 	snaps    *snapshot.Store
 	plans    *planCache
+	// sched is the shared evaluation worker pool: every session's
+	// parallel query submits its work here, so total evaluation
+	// goroutines stay bounded by the pool size regardless of how many
+	// sessions run recursions concurrently.
+	sched *sched.Pool
 	// closed is set by Close before the reader drain; readers check it
 	// after pinning so a query admitted during shutdown backs out.
 	closed atomic.Bool
 }
 
+// ConcurrentOptions tune a ConcurrentTestbed.
+type ConcurrentOptions struct {
+	// PlanCacheEntries is the shared plan-cache capacity (<= 0 selects
+	// DefaultPlanCacheEntries).
+	PlanCacheEntries int
+	// SchedWorkers sizes the shared evaluation worker pool (<= 0
+	// selects GOMAXPROCS).
+	SchedWorkers int
+}
+
 // NewConcurrent wraps a testbed for concurrent use. The caller must not
 // use the wrapped testbed directly afterwards (see Testbed).
 func NewConcurrent(tb *Testbed) *ConcurrentTestbed {
-	return NewConcurrentWithCache(tb, DefaultPlanCacheEntries)
+	return NewConcurrentWithOptions(tb, ConcurrentOptions{})
 }
 
 // NewConcurrentWithCache is NewConcurrent with an explicit plan-cache
 // capacity (entries; <= 0 selects DefaultPlanCacheEntries).
 func NewConcurrentWithCache(tb *Testbed, planEntries int) *ConcurrentTestbed {
+	return NewConcurrentWithOptions(tb, ConcurrentOptions{PlanCacheEntries: planEntries})
+}
+
+// NewConcurrentWithOptions is NewConcurrent with explicit tuning.
+func NewConcurrentWithOptions(tb *Testbed, opts ConcurrentOptions) *ConcurrentTestbed {
+	planEntries := opts.PlanCacheEntries
+	if planEntries <= 0 {
+		planEntries = DefaultPlanCacheEntries
+	}
 	c := &ConcurrentTestbed{
 		tb:    tb,
 		snaps: snapshot.NewStore(BaseTableName("")),
 		plans: newPlanCache(planEntries),
+		sched: sched.NewPool(opts.SchedWorkers),
 	}
+	tb.SetEvalPool(c.sched)
 	c.publish(0) // the initial snapshot: the testbed state as wrapped
 	return c
+}
+
+// SchedStats snapshots the shared evaluation pool's counters.
+func (c *ConcurrentTestbed) SchedStats() sched.Stats {
+	return c.sched.Stats()
 }
 
 // Testbed returns the wrapped testbed for single-goroutine phases
@@ -111,7 +143,12 @@ func (c *ConcurrentTestbed) Close() error {
 	// admitted ones (and the version reclamation their releases
 	// trigger) before closing the pager under them.
 	c.snaps.Shutdown()
-	return c.tb.Close()
+	err := c.tb.Close()
+	// Stop the evaluation workers after the reader drain: a draining
+	// query's Group.Wait would still complete its tasks inline, but an
+	// idle pool past this point is pure overhead.
+	c.sched.Close()
+	return err
 }
 
 // acquire pins the current snapshot for one read operation. The closed

@@ -126,6 +126,7 @@ func driveClients(tb *dkbms.ConcurrentTestbed, nClients, perClient int) (time.Du
 	start := time.Now()
 	for i := range clients {
 		wg.Add(1)
+		//dkblint:bounded one goroutine per configured bench client
 		go func(i int) {
 			defer wg.Done()
 			for j := 0; j < perClient; j++ {

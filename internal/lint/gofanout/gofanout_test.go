@@ -1,0 +1,12 @@
+package gofanout_test
+
+import (
+	"testing"
+
+	"dkbms/internal/lint/gofanout"
+	"dkbms/internal/lint/lintkit"
+)
+
+func TestFixtures(t *testing.T) {
+	lintkit.RunFixtures(t, gofanout.Analyzer, "testdata/src")
+}

@@ -1,0 +1,108 @@
+// Package fanout exercises the gofanout analyzer.
+package fanout
+
+import "sync"
+
+func work(int) {}
+
+// unbounded: one goroutine per element, nothing limiting flight.
+func unboundedRange(xs []int) {
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		go func() { // want "no concurrency bound"
+			defer wg.Done()
+			work(x)
+		}()
+	}
+	wg.Wait()
+}
+
+func unboundedFor(n int) {
+	for i := 0; i < n; i++ {
+		go work(i) // want "no concurrency bound"
+	}
+}
+
+// bounded: semaphore slot acquired before each launch.
+func boundedSend(xs []int) {
+	sem := make(chan struct{}, 4)
+	for _, x := range xs {
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem }()
+			work(x)
+		}()
+	}
+}
+
+// bounded: token drained from a pre-filled bucket.
+func boundedReceive(xs []int, tokens chan int) {
+	for _, x := range xs {
+		<-tokens
+		go work(x)
+	}
+}
+
+type sema struct{}
+
+func (sema) Acquire()    {}
+func (sema) TryAcquire() {}
+
+// bounded: semaphore object.
+func boundedAcquire(xs []int, s sema) {
+	for range xs {
+		s.Acquire()
+		go work(0)
+	}
+}
+
+// acquire in the outer loop does not bound the inner launches.
+func outerAcquireOnly(xs [][]int, s sema) {
+	for _, row := range xs {
+		s.Acquire()
+		for _, x := range row {
+			go work(x) // want "no concurrency bound"
+		}
+	}
+}
+
+// acquire inside the launched goroutine itself is too late.
+func acquireInsideGo(xs []int, s sema) {
+	for range xs {
+		go func() { // want "no concurrency bound"
+			s.Acquire()
+			work(0)
+		}()
+	}
+}
+
+// waived: intrinsically fixed count (one worker per slot).
+func fixedWorkers(n int) {
+	for i := 0; i < n; i++ {
+		//dkblint:bounded
+		go work(i)
+	}
+}
+
+func fixedWorkersInline(n int) {
+	for i := 0; i < n; i++ {
+		go work(i) //dkblint:bounded
+	}
+}
+
+// not in a loop: fine.
+func single() {
+	go work(0)
+}
+
+// a loop outside a function literal does not taint launches inside it:
+// the literal runs once per call, not per iteration here.
+func literalBoundary(xs []int) func() {
+	for range xs {
+		work(0)
+	}
+	return func() {
+		go work(1)
+	}
+}

@@ -264,3 +264,38 @@ func TestDeterministicOrder(t *testing.T) {
 		}
 	}
 }
+
+func TestNodeDeps(t *testing.T) {
+	g := Build(paperRules(t))
+	a, err := Analyze(g, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, n := range a.Order {
+		for _, p := range n.Preds {
+			pos[p] = i
+		}
+	}
+	deps := func(pred string) []int { return a.Order[pos[pred]].Deps }
+	// p1 and p2 only read base predicates (and themselves): no deps.
+	if len(deps("p1")) != 0 || len(deps("p2")) != 0 {
+		t.Fatalf("leaf cliques have deps: p1=%v p2=%v", deps("p1"), deps("p2"))
+	}
+	// The {p,q} clique reads p1 (R1) and p2 (q's exit rule); its
+	// clique-internal edges (p<->q) must not appear.
+	want := []int{pos["p1"], pos["p2"]}
+	sort.Ints(want)
+	got := deps("p")
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("p,q deps = %v, want %v", got, want)
+	}
+	// Every dep index points strictly earlier in the order.
+	for i, n := range a.Order {
+		for _, d := range n.Deps {
+			if d >= i {
+				t.Fatalf("node %d (%v) depends on %d, not earlier", i, n.Preds, d)
+			}
+		}
+	}
+}

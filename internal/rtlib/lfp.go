@@ -26,7 +26,7 @@ func (ev *evaluator) evalCliqueNaive(node *codegen.Node, seeds map[string][]rel.
 	if sp != nil {
 		zero := sp.Start("iteration 0")
 		for _, p := range node.Preds {
-			zero.SetInt("delta("+p+")", int64(ev.d.TableRows(ev.tables[p])))
+			zero.SetInt("delta("+p+")", int64(ev.d.TableRows(ev.tableOf(p))))
 		}
 		zero.End()
 	}
@@ -53,10 +53,8 @@ func (ev *evaluator) evalCliqueNaive(node *codegen.Node, seeds map[string][]rel.
 			newNames[p] = name
 			// Seeds are part of every f(R) application (they are facts
 			// of the predicate).
-			for _, tu := range seeds[p] {
-				if err := ev.insertTuple(name, tu); err != nil {
-					return err
-				}
+			if err := ev.d.InsertTuples(name, seeds[p]); err != nil {
+				return err
 			}
 		}
 		for i := range rules {
@@ -78,22 +76,34 @@ func (ev *evaluator) evalCliqueNaive(node *codegen.Node, seeds map[string][]rel.
 		}
 		// Termination: f(R) added nothing beyond R. The check is the
 		// full set difference the paper calls out as expensive under a
-		// plain SQL interface.
+		// plain SQL interface. Under Parallel the difference is computed
+		// Go-side instead, hash-range partitioned across the pool.
 		grew := false
 		tcSp := itSp.Start("termcheck")
 		for _, p := range node.Preds {
-			t0 := time.Now()
-			diff, err := ev.d.Query(fmt.Sprintf(
-				"SELECT * FROM %s EXCEPT SELECT * FROM %s", newNames[p], ev.tables[p]))
-			if err != nil {
-				return err
+			var added int
+			if ev.opts.Parallel && ev.parts > 1 {
+				tcSp.SetInt("sched.partitions", int64(ev.parts))
+				n, err := ev.termDiffPartitioned(newNames[p], ev.tableOf(p), ns)
+				if err != nil {
+					return err
+				}
+				added = n
+			} else {
+				t0 := time.Now()
+				diff, err := ev.d.Query(fmt.Sprintf(
+					"SELECT * FROM %s EXCEPT SELECT * FROM %s", newNames[p], ev.tableOf(p)))
+				if err != nil {
+					return err
+				}
+				ns.TermCheck += time.Since(t0)
+				added = len(diff.Tuples)
 			}
-			ns.TermCheck += time.Since(t0)
-			if len(diff.Tuples) > 0 {
+			if added > 0 {
 				grew = true
 			}
 			if itSp != nil {
-				itSp.SetInt("delta("+p+")", int64(len(diff.Tuples)))
+				itSp.SetInt("delta("+p+")", int64(added))
 				itSp.SetInt("acc("+p+")", int64(ev.d.TableRows(newNames[p])))
 			}
 		}
@@ -104,7 +114,7 @@ func (ev *evaluator) evalCliqueNaive(node *codegen.Node, seeds map[string][]rel.
 		// part of the measured overhead).
 		for _, p := range node.Preds {
 			t0 := time.Now()
-			old := ev.tables[p]
+			old := ev.tableOf(p)
 			if err := ev.d.Exec(fmt.Sprintf("DELETE FROM %s", old)); err != nil {
 				return err
 			}
@@ -143,7 +153,7 @@ func (ev *evaluator) evalCliqueSemiNaive(node *codegen.Node, seeds map[string][]
 	}
 	for i := range node.ExitRules {
 		r := &node.ExitRules[i]
-		target := ev.tables[r.Head]
+		target := ev.tableOf(r.Head)
 		var ruleSp *obs.Span
 		if zeroSp != nil {
 			ruleSp = zeroSp.Start("rule " + r.Head)
@@ -164,7 +174,7 @@ func (ev *evaluator) evalCliqueSemiNaive(node *codegen.Node, seeds map[string][]
 		if err := ev.createTable(name, ev.prog.Schemas[p]); err != nil {
 			return err
 		}
-		if err := ev.d.Exec(fmt.Sprintf("INSERT INTO %s SELECT * FROM %s", name, ev.tables[p])); err != nil {
+		if err := ev.d.Exec(fmt.Sprintf("INSERT INTO %s SELECT * FROM %s", name, ev.tableOf(p))); err != nil {
 			return err
 		}
 		ns.TempTable += time.Since(t0)
@@ -198,7 +208,7 @@ func (ev *evaluator) evalCliqueSemiNaive(node *codegen.Node, seeds map[string][]
 		for i := range node.RecursiveRules {
 			r := &node.RecursiveRules[i]
 			target := newDelta[r.Head]
-			acc := ev.tables[r.Head]
+			acc := ev.tableOf(r.Head)
 			// One differential per clique occurrence: occurrence j
 			// reads delta, the others the full accumulator.
 			for _, occ := range r.CliqueOccs {
@@ -240,7 +250,7 @@ func (ev *evaluator) evalCliqueSemiNaive(node *codegen.Node, seeds map[string][]
 			}
 			if itSp != nil {
 				itSp.SetInt("delta("+p+")", n)
-				itSp.SetInt("acc("+p+")", int64(ev.d.TableRows(ev.tables[p])))
+				itSp.SetInt("acc("+p+")", int64(ev.d.TableRows(ev.tableOf(p))))
 			}
 		}
 		tcSp.End()
@@ -262,7 +272,7 @@ func (ev *evaluator) evalCliqueSemiNaive(node *codegen.Node, seeds map[string][]
 		for _, p := range node.Preds {
 			t0 := time.Now()
 			if err := ev.d.Exec(fmt.Sprintf("INSERT INTO %s SELECT * FROM %s",
-				ev.tables[p], newDelta[p])); err != nil {
+				ev.tableOf(p), newDelta[p])); err != nil {
 				return err
 			}
 			if err := ev.dropTable(delta[p]); err != nil {
@@ -274,15 +284,62 @@ func (ev *evaluator) evalCliqueSemiNaive(node *codegen.Node, seeds map[string][]
 	}
 }
 
+// termDiffPartitioned counts tuples of newName absent from oldName —
+// the naive termination set difference — Go-side, hash-range
+// partitioned across the pool: partition k indexes only the old tuples
+// whose keys hash to k and probes only the matching new tuples, so the
+// partitions share nothing and run lock-free (the tcop.go hash-probe
+// idea applied to the general LFP path).
+func (ev *evaluator) termDiffPartitioned(newName, oldName string, ns *NodeStats) (int, error) {
+	t0 := time.Now()
+	newRows, err := ev.d.Query("SELECT * FROM " + newName)
+	if err != nil {
+		return 0, err
+	}
+	oldRows, err := ev.d.Query("SELECT * FROM " + oldName)
+	if err != nil {
+		return 0, err
+	}
+	counts := make([]int, ev.parts)
+	ev.runJobs(ev.parts, func(part, _ int) {
+		old := make(map[string]bool)
+		for _, tu := range oldRows.Tuples {
+			if k := tu.Key(); tupleShard(k, ev.parts) == part {
+				old[k] = true
+			}
+		}
+		seen := make(map[string]bool)
+		for _, tu := range newRows.Tuples {
+			k := tu.Key()
+			if tupleShard(k, ev.parts) != part || old[k] || seen[k] {
+				continue
+			}
+			seen[k] = true
+			counts[part]++
+		}
+	})
+	ns.TermCheck += time.Since(t0)
+	added := 0
+	for _, c := range counts {
+		added += c
+	}
+	return added, nil
+}
+
 // cleanup drops every temp table created by the evaluator.
 func (ev *evaluator) cleanup() error {
 	var firstErr error
-	for _, t := range append([]string(nil), ev.created...) {
+	ev.mu.Lock()
+	tables := append([]string(nil), ev.created...)
+	ev.mu.Unlock()
+	for _, t := range tables {
 		if err := ev.dropTable(t); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
+	ev.mu.Lock()
 	ev.created = nil
+	ev.mu.Unlock()
 	return firstErr
 }
 

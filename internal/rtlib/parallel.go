@@ -2,6 +2,8 @@ package rtlib
 
 import (
 	"fmt"
+	"hash/fnv"
+	"runtime"
 	"sync"
 	"time"
 
@@ -10,13 +12,277 @@ import (
 	"dkbms/internal/rel"
 )
 
-// evalCliqueSemiNaiveParallel is the paper's conclusion 7a realized:
-// "during each iteration, the right hand side of each recursive
-// equation may be evaluated in parallel". Every differential SELECT of
-// an iteration runs concurrently (reads only — the engine's buffer pool
-// and indexes are safe for concurrent readers); the new tuples are then
-// deduplicated and installed serially. Results are identical to the
-// sequential semi-naive loop.
+// Partitioning thresholds. Below these sizes the serial loop wins: the
+// per-partition bookkeeping (maps, slices, task handoff) costs more
+// than the work it divides.
+const (
+	// dedupThreshold is the per-iteration raw result size (tuples
+	// across all differentials) at which Go-side dedup is hash-range
+	// partitioned across workers.
+	dedupThreshold = 256
+	// partitionThreshold is the per-predicate delta size at which the
+	// delta relation is split into hash-range partition tables so each
+	// differential SELECT becomes parts independent jobs.
+	partitionThreshold = 1024
+)
+
+// tupleShard assigns a tuple key to one of parts hash-range partitions.
+// FNV-1a: cheap, stable, and independent of Go's map hash so partition
+// contents are deterministic across runs.
+func tupleShard(key string, parts int) int {
+	if parts <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(parts))
+}
+
+// runJobs executes n independent jobs concurrently, bounded by the
+// shared worker pool when the evaluation has one (fair admission across
+// sessions), else by a GOMAXPROCS-slot semaphore so a single evaluation
+// never fans out more goroutines than cores regardless of how many rule
+// differentials an iteration produces. The job's second argument is the
+// pool worker index (-1 for inline/fallback execution).
+func (ev *evaluator) runJobs(n int, job func(i, worker int)) {
+	if n <= 1 {
+		if n == 1 {
+			job(0, -1)
+		}
+		return
+	}
+	if ev.client != nil {
+		g := ev.client.Group()
+		for i := 0; i < n; i++ {
+			i := i
+			g.Go(func(worker int) { job(i, worker) })
+		}
+		g.Wait()
+		return
+	}
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		sem <- struct{}{} // bounding acquire, released by the job
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			job(i, -1)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// parallelSelects evaluates read-only SELECT statements concurrently on
+// the evaluation's job runner. When sp is non-nil each statement records
+// an operator-tree span under it, labelled by the matching labels entry
+// (the trace serializes concurrent appends) and tagged with the worker
+// that ran it.
+func (ev *evaluator) parallelSelects(sqls, labels []string, ns *NodeStats, sp *obs.Span) ([][]rel.Tuple, error) {
+	results := make([][]rel.Tuple, len(sqls))
+	errs := make([]error, len(sqls))
+	t0 := time.Now()
+	ev.runJobs(len(sqls), func(i, worker int) {
+		var jobSp *obs.Span
+		if sp != nil {
+			jobSp = sp.Start(labels[i])
+			jobSp.SetInt("sched.worker", int64(worker))
+		}
+		rows, err := ev.d.QueryTraced(sqls[i], jobSp)
+		jobSp.End()
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		results[i] = rows.Tuples
+	})
+	ns.Eval += time.Since(t0)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// accSet is one predicate's accumulated-tuple index, sharded by hash
+// range: shard k holds exactly the keys tupleShard assigns to k, so a
+// partitioned dedup pass owns its shard exclusively and runs without
+// locks. count is the total across shards.
+type accSet struct {
+	shards []map[string]bool
+	count  int
+}
+
+func newAccSet(parts int) *accSet {
+	s := &accSet{shards: make([]map[string]bool, parts)}
+	for i := range s.shards {
+		s.shards[i] = make(map[string]bool)
+	}
+	return s
+}
+
+// add inserts a key (serial use); reports whether it was new.
+func (s *accSet) add(key string) bool {
+	m := s.shards[tupleShard(key, len(s.shards))]
+	if m[key] {
+		return false
+	}
+	m[key] = true
+	s.count++
+	return true
+}
+
+// dedup filters the raw differential results down to genuinely new
+// tuples, updating acc. results[i] belongs to predicate heads[i]. The
+// returned slices are indexed by partition then predicate — partition
+// p's tuples all hash to shard p, which is exactly the layout the
+// partitioned delta tables want. Small batches run serially into
+// partition 0's slot ordering (same hash shards, so correctness is
+// unaffected); large ones fan one task per shard onto the pool, each
+// task probing and updating only its own shard — lock-free.
+func (ev *evaluator) dedup(heads []string, results [][]rel.Tuple, acc map[string]*accSet, ns *NodeStats) []map[string][]rel.Tuple {
+	parts := ev.parts
+	out := make([]map[string][]rel.Tuple, parts)
+	for p := range out {
+		out[p] = make(map[string][]rel.Tuple)
+	}
+	total := 0
+	for _, rows := range results {
+		total += len(rows)
+	}
+	t0 := time.Now()
+	if parts == 1 || total < dedupThreshold {
+		for i, rows := range results {
+			a := acc[heads[i]]
+			for _, tu := range rows {
+				if a.add(tu.Key()) {
+					out[0][heads[i]] = append(out[0][heads[i]], tu)
+				}
+			}
+		}
+		ns.TermCheck += time.Since(t0)
+		return out
+	}
+	// Precompute keys and shards once (the partition tasks would
+	// otherwise each re-derive every tuple's key).
+	keys := make([][]string, len(results))
+	shards := make([][]uint8, len(results))
+	ev.runJobs(len(results), func(i, _ int) {
+		keys[i] = make([]string, len(results[i]))
+		shards[i] = make([]uint8, len(results[i]))
+		for j, tu := range results[i] {
+			k := tu.Key()
+			keys[i][j] = k
+			shards[i][j] = uint8(tupleShard(k, parts))
+		}
+	})
+	ev.runJobs(parts, func(p, _ int) {
+		for i, rows := range results {
+			m := acc[heads[i]].shards[p]
+			for j, tu := range rows {
+				if int(shards[i][j]) != p {
+					continue
+				}
+				k := keys[i][j]
+				if m[k] {
+					continue
+				}
+				m[k] = true
+				out[p][heads[i]] = append(out[p][heads[i]], tu)
+			}
+		}
+	})
+	for _, a := range acc {
+		n := 0
+		for _, m := range a.shards {
+			n += len(m)
+		}
+		a.count = n
+	}
+	ns.TermCheck += time.Since(t0)
+	return out
+}
+
+// deltaRelation materializes one predicate's per-iteration delta in the
+// DBMS, optionally split into hash-range partition tables so each
+// differential SELECT over a large delta becomes parts independent
+// jobs (conclusion 7a taken inside a single rule application).
+type deltaRelation struct {
+	pred   string
+	names  []string // partition tables, created lazily; names[0] first
+	dirty  []bool   // partition holds rows from the previous fill
+	active []string // partitions holding the current delta
+}
+
+// fill installs the iteration's delta tuples (grouped by shard, as
+// dedup returns them) into partition tables. Small deltas collapse into
+// partition 0 — one differential per rule occurrence, as before; large
+// ones occupy one table per non-empty shard.
+func (ev *evaluator) fillDelta(dr *deltaRelation, byShard []map[string][]rel.Tuple, ns *NodeStats) error {
+	total := 0
+	for _, m := range byShard {
+		total += len(m[dr.pred])
+	}
+	split := ev.parts > 1 && total >= partitionThreshold
+	// Clear previously used partitions.
+	t0 := time.Now()
+	for i, d := range dr.dirty {
+		if d {
+			if err := ev.d.Exec("DELETE FROM " + dr.names[i]); err != nil {
+				return err
+			}
+			dr.dirty[i] = false
+		}
+	}
+	ns.TempTable += time.Since(t0)
+	dr.active = dr.active[:0]
+	install := func(part int, tuples []rel.Tuple) error {
+		if len(tuples) == 0 {
+			return nil
+		}
+		for len(dr.names) <= part {
+			name := fmt.Sprintf("%spdelta%d_%s", ev.prefix, len(dr.names), sanitize(dr.pred))
+			t0 := time.Now()
+			if err := ev.createTable(name, ev.prog.Schemas[dr.pred]); err != nil {
+				return err
+			}
+			ns.TempTable += time.Since(t0)
+			dr.names = append(dr.names, name)
+			dr.dirty = append(dr.dirty, false)
+		}
+		if err := ev.d.InsertTuples(dr.names[part], tuples); err != nil {
+			return err
+		}
+		dr.dirty[part] = true
+		dr.active = append(dr.active, dr.names[part])
+		return nil
+	}
+	if !split {
+		var all []rel.Tuple
+		for _, m := range byShard {
+			all = append(all, m[dr.pred]...)
+		}
+		return install(0, all)
+	}
+	for part, m := range byShard {
+		if err := install(part, m[dr.pred]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evalCliqueSemiNaiveParallel is the paper's conclusion 7a realized on
+// the bounded scheduler: every differential SELECT of an iteration runs
+// concurrently (reads only — the engine's buffer pool and indexes are
+// safe for concurrent readers); large deltas are hash-range partitioned
+// so a single rule's differential splits across workers; and the new
+// tuples are deduplicated against a sharded Go-side accumulator index —
+// per-partition hash sets merged lock-free — instead of the SQL set
+// differences the paper laments (conclusion 6b). Results are identical
+// to the sequential semi-naive loop.
 func (ev *evaluator) evalCliqueSemiNaiveParallel(node *codegen.Node, seeds map[string][]rel.Tuple, ns *NodeStats, sp *obs.Span) error {
 	for _, p := range node.Preds {
 		if err := ev.createPredTable(p, seeds, ns); err != nil {
@@ -26,10 +292,13 @@ func (ev *evaluator) evalCliqueSemiNaiveParallel(node *codegen.Node, seeds map[s
 	var zeroSp *obs.Span
 	if sp != nil {
 		zeroSp = sp.Start("iteration 0")
+		zeroSp.SetInt("sched.partitions", int64(ev.parts))
 	}
 	initLabels := make([]string, len(node.ExitRules))
+	initHeads := make([]string, len(node.ExitRules))
 	for i := range node.ExitRules {
 		initLabels[i] = "rule " + node.ExitRules[i].Head
+		initHeads[i] = node.ExitRules[i].Head
 	}
 	// Initialization: exit rules, evaluated concurrently as well.
 	initRows, err := ev.parallelSelects(selectsFor(node.ExitRules, func(r *codegen.RuleSQL) []string {
@@ -42,52 +311,44 @@ func (ev *evaluator) evalCliqueSemiNaiveParallel(node *codegen.Node, seeds map[s
 	if err != nil {
 		return err
 	}
-	// accKeys tracks accumulated tuples per predicate, Go-side, so
-	// deduplication needs no SQL set differences.
-	accKeys := make(map[string]map[string]bool, len(node.Preds))
+	// acc tracks accumulated tuples per predicate, Go-side and sharded,
+	// so deduplication needs no SQL set differences.
+	acc := make(map[string]*accSet, len(node.Preds))
 	for _, p := range node.Preds {
-		accKeys[p] = make(map[string]bool)
+		acc[p] = newAccSet(ev.parts)
 		for _, tu := range seeds[p] {
-			accKeys[p][tu.Key()] = true
+			acc[p].add(tu.Key())
 		}
 	}
-	delta := make(map[string][]rel.Tuple, len(node.Preds))
-	for i, r := range node.ExitRules {
-		for _, tu := range initRows[i] {
-			k := tu.Key()
-			if !accKeys[r.Head][k] {
-				accKeys[r.Head][k] = true
-				if err := ev.insertTuple(ev.tables[r.Head], tu); err != nil {
-					return err
-				}
-				delta[r.Head] = append(delta[r.Head], tu)
-			}
-		}
-	}
-	// Seeds are part of the initial delta too.
+	byShard := ev.dedup(initHeads, initRows, acc, ns)
+	// Install the deduplicated exit-rule tuples (seeds are already in
+	// the predicate tables from createPredTable).
 	for _, p := range node.Preds {
-		delta[p] = append(delta[p], seeds[p]...)
+		var fresh []rel.Tuple
+		for _, m := range byShard {
+			fresh = append(fresh, m[p]...)
+		}
+		if err := ev.d.InsertTuples(ev.tableOf(p), fresh); err != nil {
+			return err
+		}
+		// Seeds are part of the initial delta too.
+		if len(seeds[p]) > 0 {
+			byShard[0][p] = append(byShard[0][p], seeds[p]...)
+		}
 		if zeroSp != nil {
-			zeroSp.SetInt("delta("+p+")", int64(len(delta[p])))
+			zeroSp.SetInt("delta("+p+")", int64(len(fresh)+len(seeds[p])))
 		}
 	}
 	zeroSp.End()
 
-	// Delta tables are still materialized in the DBMS because the
-	// differential SELECTs read them.
-	deltaTable := make(map[string]string, len(node.Preds))
+	// Delta relations are still materialized in the DBMS because the
+	// differential SELECTs read them — partitioned by hash range when
+	// large.
+	deltas := make(map[string]*deltaRelation, len(node.Preds))
 	for _, p := range node.Preds {
-		name := fmt.Sprintf("%spdelta_%s", ev.prefix, sanitize(p))
-		t0 := time.Now()
-		if err := ev.createTable(name, ev.prog.Schemas[p]); err != nil {
+		deltas[p] = &deltaRelation{pred: p}
+		if err := ev.fillDelta(deltas[p], byShard, ns); err != nil {
 			return err
-		}
-		ns.TempTable += time.Since(t0)
-		deltaTable[p] = name
-		for _, tu := range delta[p] {
-			if err := ev.insertTuple(name, tu); err != nil {
-				return err
-			}
 		}
 	}
 
@@ -104,44 +365,49 @@ func (ev *evaluator) evalCliqueSemiNaiveParallel(node *codegen.Node, seeds map[s
 		if sp != nil {
 			itSp = sp.Start(fmt.Sprintf("iteration %d", ns.Iterations))
 		}
+		// One job per (recursive rule, clique occurrence, active delta
+		// partition of that occurrence's predicate): the union over
+		// partitions is the full differential, since the occurrence is
+		// linear in the delta.
 		var jobs []job
 		for i := range node.RecursiveRules {
 			r := &node.RecursiveRules[i]
 			for _, occ := range r.CliqueOccs {
-				tables := make([]string, len(r.From))
-				for fi, f := range r.From {
-					if fi == occ {
-						tables[fi] = deltaTable[f.Pred]
-					} else {
-						tables[fi] = ev.tableOf(f.Pred)
+				for _, part := range deltas[r.From[occ].Pred].active {
+					tables := make([]string, len(r.From))
+					for fi, f := range r.From {
+						if fi == occ {
+							tables[fi] = part
+						} else {
+							tables[fi] = ev.tableOf(f.Pred)
+						}
 					}
+					jobs = append(jobs, job{head: r.Head, sql: r.SQLWithTables(tables)})
 				}
-				jobs = append(jobs, job{head: r.Head, sql: r.SQLWithTables(tables)})
 			}
 		}
 		sqls := make([]string, len(jobs))
 		labels := make([]string, len(jobs))
+		heads := make([]string, len(jobs))
 		for i, j := range jobs {
 			sqls[i] = j.sql
 			labels[i] = "rule " + j.head
+			heads[i] = j.head
 		}
 		results, err := ev.parallelSelects(sqls, labels, ns, itSp)
 		if err != nil {
 			return err
 		}
-		// Serial install with Go-side dedup.
-		newDelta := make(map[string][]rel.Tuple, len(node.Preds))
-		for i, j := range jobs {
-			for _, tu := range results[i] {
-				k := tu.Key()
-				if accKeys[j.head][k] {
-					continue
-				}
-				accKeys[j.head][k] = true
-				if err := ev.insertTuple(ev.tables[j.head], tu); err != nil {
-					return err
-				}
-				newDelta[j.head] = append(newDelta[j.head], tu)
+		byShard := ev.dedup(heads, results, acc, ns)
+		newCount := make(map[string]int, len(node.Preds))
+		for _, p := range node.Preds {
+			var fresh []rel.Tuple
+			for _, m := range byShard {
+				fresh = append(fresh, m[p]...)
+			}
+			newCount[p] = len(fresh)
+			if err := ev.d.InsertTuples(ev.tableOf(p), fresh); err != nil {
+				return err
 			}
 		}
 		// Termination: all deltas empty (a map-size check; the paper's
@@ -149,12 +415,12 @@ func (ev *evaluator) evalCliqueSemiNaiveParallel(node *codegen.Node, seeds map[s
 		t0 := time.Now()
 		done := true
 		for _, p := range node.Preds {
-			if len(newDelta[p]) > 0 {
+			if newCount[p] > 0 {
 				done = false
 			}
 			if itSp != nil {
-				itSp.SetInt("delta("+p+")", int64(len(newDelta[p])))
-				itSp.SetInt("acc("+p+")", int64(len(accKeys[p])))
+				itSp.SetInt("delta("+p+")", int64(newCount[p]))
+				itSp.SetInt("acc("+p+")", int64(acc[p].count))
 			}
 		}
 		ns.TermCheck += time.Since(t0)
@@ -162,23 +428,18 @@ func (ev *evaluator) evalCliqueSemiNaiveParallel(node *codegen.Node, seeds map[s
 		if done {
 			for _, p := range node.Preds {
 				t0 := time.Now()
-				if err := ev.dropTable(deltaTable[p]); err != nil {
-					return err
+				for _, name := range deltas[p].names {
+					if err := ev.dropTable(name); err != nil {
+						return err
+					}
 				}
 				ns.TempTable += time.Since(t0)
 			}
 			return nil
 		}
 		for _, p := range node.Preds {
-			t0 := time.Now()
-			if err := ev.d.Exec("DELETE FROM " + deltaTable[p]); err != nil {
+			if err := ev.fillDelta(deltas[p], byShard, ns); err != nil {
 				return err
-			}
-			ns.TempTable += time.Since(t0)
-			for _, tu := range newDelta[p] {
-				if err := ev.insertTuple(deltaTable[p], tu); err != nil {
-					return err
-				}
 			}
 		}
 	}
@@ -191,40 +452,4 @@ func selectsFor(rules []codegen.RuleSQL, tables func(*codegen.RuleSQL) []string)
 		out[i] = rules[i].SQLWithTables(tables(&rules[i]))
 	}
 	return out
-}
-
-// parallelSelects evaluates read-only SELECT statements concurrently.
-// When sp is non-nil each statement records an operator-tree span under
-// it, labelled by the matching labels entry (the trace serializes
-// concurrent appends).
-func (ev *evaluator) parallelSelects(sqls, labels []string, ns *NodeStats, sp *obs.Span) ([][]rel.Tuple, error) {
-	results := make([][]rel.Tuple, len(sqls))
-	errs := make([]error, len(sqls))
-	t0 := time.Now()
-	var wg sync.WaitGroup
-	for i, q := range sqls {
-		wg.Add(1)
-		go func(i int, q string) {
-			defer wg.Done()
-			var jobSp *obs.Span
-			if sp != nil {
-				jobSp = sp.Start(labels[i])
-			}
-			rows, err := ev.d.QueryTraced(q, jobSp)
-			jobSp.End()
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			results[i] = rows.Tuples
-		}(i, q)
-	}
-	wg.Wait()
-	ns.Eval += time.Since(t0)
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return results, nil
 }

@@ -2,9 +2,16 @@ package rtlib
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"dkbms/internal/codegen"
 	"dkbms/internal/db"
+	"dkbms/internal/rel"
+	"dkbms/internal/sched"
 )
 
 func TestParallelMatchesSequential(t *testing.T) {
@@ -80,5 +87,157 @@ func TestParallelNoTempLeaks(t *testing.T) {
 	}
 	if after := len(d.Catalog().Tables()); after != before {
 		t.Fatalf("leak: %d -> %d", before, after)
+	}
+}
+
+// multiStratumProgram mirrors the paper's Figure 1 shape: two leaf
+// self-recursive cliques over disjoint base relations feeding a mutual
+// {p,q} clique, so the wavefront has real independent work.
+func multiStratumProgram(t *testing.T) *codegen.Program {
+	t.Helper()
+	types := map[string][]rel.Type{
+		"b1": {rel.TypeString, rel.TypeString},
+		"b2": {rel.TypeString, rel.TypeString},
+	}
+	return compile(t, "p", types,
+		"p(X, Y) :- p1(X, Z), q(Z, Y).",
+		"q(X, Y) :- p(X, Y).",
+		"p(X, Y) :- b1(X, Y).",
+		"p1(X, Y) :- b1(X, Z), p1(Z, Y).",
+		"p1(X, Y) :- b1(X, Y).",
+		"p2(X, Y) :- b2(X, Z), p2(Z, Y).",
+		"p2(X, Y) :- b2(X, Y).",
+		"q(X, Y) :- p2(X, Y).",
+	)
+}
+
+func TestWavefrontMatchesSequential(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			d := db.OpenMemory()
+			defer d.Close()
+			loadEdges(t, d, "b1", "a>b", "b>c", "c>d", "d>e2")
+			loadEdges(t, d, "b2", "b>x", "x>y", "y>z")
+			prog := multiStratumProgram(t)
+			seq, err := Evaluate(d, prog, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool := sched.NewPool(workers)
+			defer pool.Close()
+			par, err := Evaluate(d, prog, Options{Parallel: true, Pool: pool})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rowSet(seq.Rows) != rowSet(par.Rows) {
+				t.Fatalf("wavefront disagrees:\nseq: %s\npar: %s", rowSet(seq.Rows), rowSet(par.Rows))
+			}
+			if pool.Stats().Submitted == 0 {
+				t.Fatal("pool never saw a task")
+			}
+			if got := len(d.Catalog().Tables()); got != 2 {
+				t.Fatalf("temp tables leaked: %d tables remain", got)
+			}
+		})
+	}
+}
+
+func TestWavefrontNaiveStrategy(t *testing.T) {
+	d := db.OpenMemory()
+	defer d.Close()
+	loadEdges(t, d, "b1", "a>b", "b>c", "c>d")
+	loadEdges(t, d, "b2", "b>x", "x>y")
+	prog := multiStratumProgram(t)
+	seq, err := Evaluate(d, prog, Options{Strategy: Naive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := sched.NewPool(2)
+	defer pool.Close()
+	par, err := Evaluate(d, prog, Options{Strategy: Naive, Parallel: true, Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowSet(seq.Rows) != rowSet(par.Rows) {
+		t.Fatal("naive wavefront disagrees with sequential naive")
+	}
+}
+
+// fanoutProgram has a single clique with many exit rules, so every
+// iteration would spawn one goroutine per rule if the fan-out were
+// unbounded.
+func fanoutProgram(t *testing.T) *codegen.Program {
+	t.Helper()
+	types := map[string][]rel.Type{}
+	var srcs []string
+	for i := 0; i < 8; i++ {
+		types[fmt.Sprintf("e%d", i)] = []rel.Type{rel.TypeString, rel.TypeString}
+		srcs = append(srcs, fmt.Sprintf("anc(X, Y) :- e%d(X, Y).", i))
+	}
+	srcs = append(srcs, "anc(X, Y) :- e0(X, Z), anc(Z, Y).")
+	return compile(t, "anc", types, srcs...)
+}
+
+// TestFallbackGoroutinesBounded runs 32 concurrent Parallel queries on
+// the pool-less fallback path and checks the peak goroutine count stays
+// near queries*GOMAXPROCS rather than queries*rules (the pre-semaphore
+// behaviour).
+func TestFallbackGoroutinesBounded(t *testing.T) {
+	const queries = 32
+	prev := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(prev)
+
+	d := db.OpenMemory()
+	defer d.Close()
+	for i := 0; i < 8; i++ {
+		loadEdges(t, d, fmt.Sprintf("e%d", i), "a>b", "b>c", "c>d", "d>e2", "e2>f")
+	}
+	prog := fanoutProgram(t)
+
+	base := runtime.NumGoroutine()
+	var peak atomic.Int64
+	stop := make(chan struct{})
+	var mon sync.WaitGroup
+	mon.Add(1)
+	go func() {
+		defer mon.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if n := int64(runtime.NumGoroutine()); n > peak.Load() {
+				peak.Store(n)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, queries)
+	for q := 0; q < queries; q++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := Evaluate(d, prog, Options{Parallel: true}); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	mon.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Bound: base + one goroutine per query + GOMAXPROCS select workers
+	// per query + monitor slack. Unbounded fan-out would add 8 rule
+	// goroutines per query instead (base + 32*9).
+	limit := int64(base + queries + queries*2 + 16)
+	if p := peak.Load(); p > limit {
+		t.Fatalf("peak goroutines %d exceeds bound %d (base %d)", p, limit, base)
 	}
 }

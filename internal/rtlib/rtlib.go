@@ -22,7 +22,9 @@ package rtlib
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -30,6 +32,7 @@ import (
 	"dkbms/internal/db"
 	"dkbms/internal/obs"
 	"dkbms/internal/rel"
+	"dkbms/internal/sched"
 )
 
 // Strategy selects the LFP evaluation algorithm.
@@ -56,9 +59,16 @@ type Options struct {
 	// inspect derived relations; Cleanup must then be called manually.
 	KeepTables bool
 	// Parallel evaluates each iteration's recursive-rule differentials
-	// concurrently (the paper's conclusion 7a). Semi-naive only; the
-	// answer is identical to the sequential loop.
+	// concurrently (the paper's conclusion 7a), hash-partitions large
+	// dedup and termination checks across workers, and evaluates
+	// independent evaluation-order nodes as a dependency wavefront.
+	// The answer is identical to the sequential loop.
 	Parallel bool
+	// Pool, when non-nil and Parallel is set, bounds the evaluation's
+	// concurrency on a shared worker pool with fair per-query
+	// admission. Without a pool, parallel work falls back to transient
+	// goroutines capped at GOMAXPROCS per evaluation.
+	Pool *sched.Pool
 	// Trace, when non-nil, records an "eval" span tree: one span per
 	// evaluation-order node, per LFP iteration (delta cardinalities,
 	// accumulator sizes, set-difference cost) and per generated SQL
@@ -125,6 +135,11 @@ func (r *Result) Cleanup() error {
 // single DB). Incremented atomically: evaluations start concurrently.
 var runSeq uint64
 
+// maxPartitions caps hash-range partitioning of dedup, termination
+// checks and delta tables: beyond ~8 ways the per-partition bookkeeping
+// outweighs the parallelism for the deltas these workloads produce.
+const maxPartitions = 8
+
 // Evaluate runs a compiled program against the database.
 func Evaluate(d *db.DB, prog *codegen.Program, opts Options) (*Result, error) {
 	seq := atomic.AddUint64(&runSeq, 1)
@@ -135,6 +150,22 @@ func Evaluate(d *db.DB, prog *codegen.Program, opts Options) (*Result, error) {
 		prefix: fmt.Sprintf("dkb%d_", seq),
 		tables: make(map[string]string),
 		ctx:    opts.Ctx,
+		parts:  1,
+	}
+	if opts.Parallel {
+		if opts.Pool != nil {
+			ev.client = opts.Pool.NewClient()
+			defer ev.client.Close()
+			ev.parts = opts.Pool.Workers()
+		} else {
+			ev.parts = runtime.GOMAXPROCS(0)
+		}
+		if ev.parts > maxPartitions {
+			ev.parts = maxPartitions
+		}
+		if ev.parts < 1 {
+			ev.parts = 1
+		}
 	}
 	res, err := ev.run()
 	if err != nil {
@@ -157,12 +188,21 @@ type evaluator struct {
 	prog   *codegen.Program
 	opts   Options
 	prefix string
+	// mu guards tables and created: the stratum wavefront evaluates
+	// independent nodes concurrently, and each registers the temp
+	// tables it creates.
+	mu sync.Mutex
 	// tables maps derived predicates to their temp table names. Base
 	// predicates map to themselves.
 	tables  map[string]string
 	created []string // temp tables to drop at cleanup
 	stats   Stats
 	ctx     context.Context
+	// client is the evaluation's admission handle on the shared worker
+	// pool (nil without one); parts is the hash-range partition count
+	// for dedup/termcheck/delta partitioning (1 = no partitioning).
+	client *sched.Client
+	parts  int
 }
 
 // checkCtx polls the run's context (nil = never canceled). It is the
@@ -180,7 +220,10 @@ func (ev *evaluator) checkCtx() error {
 // tableOf resolves a predicate to its current relation name: the temp
 // table for derived predicates, the extensional table otherwise.
 func (ev *evaluator) tableOf(pred string) string {
-	if t, ok := ev.tables[pred]; ok {
+	ev.mu.Lock()
+	t, ok := ev.tables[pred]
+	ev.mu.Unlock()
+	if ok {
 		return t
 	}
 	return codegen.BaseTable(pred)
@@ -225,50 +268,34 @@ func (ev *evaluator) run() (*Result, error) {
 	ev.stats.TempTable += preStats.TempTable
 
 	evalSp := ev.opts.Trace.Start("eval")
-	for i := range ev.prog.Nodes {
-		if err := ev.checkCtx(); err != nil {
+	ev.stats.Nodes = make([]NodeStats, len(ev.prog.Nodes))
+	if ev.client != nil && len(ev.prog.Nodes) > 1 {
+		if err := ev.runWavefront(seeds, evalSp); err != nil {
 			return nil, err
 		}
-		node := &ev.prog.Nodes[i]
-		ns := NodeStats{Preds: node.Preds, Recursive: node.Recursive}
-		var sp *obs.Span
-		if evalSp != nil {
-			sp = evalSp.Start("node " + strings.Join(node.Preds, ","))
-			if node.Recursive {
-				sp.SetString("kind", "recursive")
+	} else {
+		for i := range ev.prog.Nodes {
+			if err := ev.checkCtx(); err != nil {
+				return nil, err
+			}
+			if err := ev.evalNode(i, seeds, evalSp, -1); err != nil {
+				return nil, err
 			}
 		}
-		nodeStart := time.Now()
-		var err error
-		if node.Recursive {
-			switch {
-			case ev.opts.Strategy == Naive:
-				err = ev.evalCliqueNaive(node, seeds, &ns, sp)
-			case ev.opts.Parallel:
-				err = ev.evalCliqueSemiNaiveParallel(node, seeds, &ns, sp)
-			default:
-				err = ev.evalCliqueSemiNaive(node, seeds, &ns, sp)
-			}
-		} else {
-			err = ev.evalNonRecursive(node, seeds, &ns, sp)
-		}
-		if err != nil {
-			return nil, err
-		}
-		ns.Elapsed = time.Since(nodeStart)
-		for _, p := range node.Preds {
-			ns.Tuples += ev.d.TableRows(ev.tableOf(p))
-		}
-		sp.SetInt("iterations", int64(ns.Iterations))
-		sp.SetInt("tuples", int64(ns.Tuples))
-		sp.End()
-		ev.stats.Nodes = append(ev.stats.Nodes, ns)
+	}
+	if ev.client != nil {
+		evalSp.SetInt("sched.admitted", ev.client.Admitted())
+	}
+	for i := range ev.stats.Nodes {
+		ns := &ev.stats.Nodes[i]
 		ev.stats.TempTable += ns.TempTable
 		ev.stats.Eval += ns.Eval
 		ev.stats.TermCheck += ns.TermCheck
 	}
 
+	ev.mu.Lock()
 	qt, ok := ev.tables[ev.prog.QueryPred]
+	ev.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("rtlib: query predicate %s was not evaluated", ev.prog.QueryPred)
 	}
@@ -282,6 +309,112 @@ func (ev *evaluator) run() (*Result, error) {
 	return &Result{Rows: rows.Tuples, Schema: ev.prog.Schemas[ev.prog.QueryPred], Stats: ev.stats}, nil
 }
 
+// evalNode evaluates evaluation-order node i and records its stats at
+// index i. worker is the pool worker running it (-1 when sequential or
+// inline), recorded on the node's span.
+func (ev *evaluator) evalNode(i int, seeds map[string][]rel.Tuple, evalSp *obs.Span, worker int) error {
+	node := &ev.prog.Nodes[i]
+	ns := &ev.stats.Nodes[i]
+	ns.Preds = node.Preds
+	ns.Recursive = node.Recursive
+	var sp *obs.Span
+	if evalSp != nil {
+		sp = evalSp.Start("node " + strings.Join(node.Preds, ","))
+		if node.Recursive {
+			sp.SetString("kind", "recursive")
+		}
+		if worker >= 0 {
+			sp.SetInt("sched.worker", int64(worker))
+		}
+	}
+	nodeStart := time.Now()
+	var err error
+	if node.Recursive {
+		switch {
+		case ev.opts.Strategy == Naive:
+			err = ev.evalCliqueNaive(node, seeds, ns, sp)
+		case ev.opts.Parallel:
+			err = ev.evalCliqueSemiNaiveParallel(node, seeds, ns, sp)
+		default:
+			err = ev.evalCliqueSemiNaive(node, seeds, ns, sp)
+		}
+	} else {
+		err = ev.evalNonRecursive(node, seeds, ns, sp)
+	}
+	if err != nil {
+		return err
+	}
+	ns.Elapsed = time.Since(nodeStart)
+	for _, p := range node.Preds {
+		ns.Tuples += ev.d.TableRows(ev.tableOf(p))
+	}
+	sp.SetInt("iterations", int64(ns.Iterations))
+	sp.SetInt("tuples", int64(ns.Tuples))
+	sp.End()
+	return nil
+}
+
+// runWavefront evaluates the evaluation-order list as a dependency
+// wavefront on the shared pool: a node is forked as soon as every node
+// it reads has finished, so independent cliques — separate recursions
+// with no path between them, or a query over several disjoint rule
+// families — evaluate concurrently. Program.Nodes is topologically
+// ordered (dependencies first), so at least one node is always ready
+// and the forked set grows monotonically toward completion.
+func (ev *evaluator) runWavefront(seeds map[string][]rel.Tuple, evalSp *obs.Span) error {
+	n := len(ev.prog.Nodes)
+	dependents := make([][]int, n)
+	remaining := make([]int, n)
+	for i := range ev.prog.Nodes {
+		deps := ev.prog.Nodes[i].Deps
+		remaining[i] = len(deps)
+		for _, j := range deps {
+			dependents[j] = append(dependents[j], i)
+		}
+	}
+	var mu sync.Mutex // guards remaining and firstErr
+	var firstErr error
+	g := ev.client.Group()
+	var launch func(i int)
+	launch = func(i int) {
+		g.Go(func(worker int) {
+			mu.Lock()
+			failed := firstErr != nil
+			mu.Unlock()
+			if failed {
+				return
+			}
+			err := ev.checkCtx()
+			if err == nil {
+				err = ev.evalNode(i, seeds, evalSp, worker)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			for _, j := range dependents[i] {
+				remaining[j]--
+				if remaining[j] == 0 {
+					launch(j)
+				}
+			}
+		})
+	}
+	mu.Lock()
+	for i := 0; i < n; i++ {
+		if remaining[i] == 0 {
+			launch(i)
+		}
+	}
+	mu.Unlock()
+	g.Wait()
+	return firstErr
+}
+
 // createPredTable creates the temp table for a derived predicate and
 // registers it, inserting any seeds.
 func (ev *evaluator) createPredTable(pred string, seeds map[string][]rel.Tuple, ns *NodeStats) error {
@@ -291,13 +424,10 @@ func (ev *evaluator) createPredTable(pred string, seeds map[string][]rel.Tuple, 
 		return err
 	}
 	ns.TempTable += time.Since(t0)
+	ev.mu.Lock()
 	ev.tables[pred] = name
-	for _, tu := range seeds[pred] {
-		if err := ev.insertTuple(name, tu); err != nil {
-			return err
-		}
-	}
-	return nil
+	ev.mu.Unlock()
+	return ev.d.InsertTuples(name, seeds[pred])
 }
 
 func (ev *evaluator) createTable(name string, schema *rel.Schema) error {
@@ -317,31 +447,22 @@ func (ev *evaluator) createTable(name string, schema *rel.Schema) error {
 	if err := ev.d.Exec(b.String()); err != nil {
 		return err
 	}
+	ev.mu.Lock()
 	ev.created = append(ev.created, name)
+	ev.mu.Unlock()
 	return nil
 }
 
 func (ev *evaluator) dropTable(name string) error {
+	ev.mu.Lock()
 	for i, t := range ev.created {
 		if t == name {
 			ev.created = append(ev.created[:i], ev.created[i+1:]...)
 			break
 		}
 	}
+	ev.mu.Unlock()
 	return ev.d.Exec("DROP TABLE " + name)
-}
-
-func (ev *evaluator) insertTuple(table string, tu rel.Tuple) error {
-	var b strings.Builder
-	fmt.Fprintf(&b, "INSERT INTO %s VALUES (", table)
-	for i, v := range tu {
-		if i > 0 {
-			b.WriteString(", ")
-		}
-		b.WriteString(v.SQL())
-	}
-	b.WriteByte(')')
-	return ev.d.Exec(b.String())
 }
 
 // evalNonRecursive evaluates a non-recursive predicate node: union of
@@ -354,7 +475,7 @@ func (ev *evaluator) evalNonRecursive(node *codegen.Node, seeds map[string][]rel
 	}
 	for i := range node.ExitRules {
 		r := &node.ExitRules[i]
-		target := ev.tables[r.Head]
+		target := ev.tableOf(r.Head)
 		var ruleSp *obs.Span
 		if sp != nil {
 			ruleSp = sp.Start("rule " + r.Head)

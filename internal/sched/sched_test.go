@@ -1,0 +1,193 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGroupRunsEveryTask(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	c := p.NewClient()
+	defer c.Close()
+
+	var n atomic.Int64
+	g := c.Group()
+	for i := 0; i < 100; i++ {
+		g.Go(func(int) { n.Add(1) })
+	}
+	g.Wait()
+	if n.Load() != 100 {
+		t.Fatalf("ran %d of 100 tasks", n.Load())
+	}
+	if got := c.Admitted(); got != 100 {
+		t.Fatalf("admitted = %d, want 100", got)
+	}
+	st := p.Stats()
+	if st.Completed != 100 || st.Submitted != 100 {
+		t.Fatalf("stats = %+v, want 100 submitted/completed", st)
+	}
+}
+
+func TestWaitHelpsInline(t *testing.T) {
+	// A pool of one worker, wedged on a task that blocks until the
+	// group under test finishes. Wait must run the group's tasks
+	// itself or this deadlocks.
+	p := NewPool(1)
+	defer p.Close()
+	blocker := p.NewClient()
+	defer blocker.Close()
+	release := make(chan struct{})
+	bg := blocker.Group()
+	bg.Go(func(int) { <-release })
+
+	c := p.NewClient()
+	defer c.Close()
+	var n atomic.Int64
+	g := c.Group()
+	for i := 0; i < 10; i++ {
+		g.Go(func(worker int) {
+			if worker != -1 {
+				t.Errorf("task ran on worker %d; the only worker is wedged", worker)
+			}
+			n.Add(1)
+		})
+	}
+	done := make(chan struct{})
+	go func() { g.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait deadlocked with the pool wedged")
+	}
+	if n.Load() != 10 {
+		t.Fatalf("ran %d of 10 tasks", n.Load())
+	}
+	if st := p.Stats(); st.Stolen < 10 {
+		t.Fatalf("stolen = %d, want >= 10 (all inline)", st.Stolen)
+	}
+	close(release)
+	bg.Wait()
+}
+
+func TestNestedGroupsAnyPoolSize(t *testing.T) {
+	// Tasks that fork nested groups and wait on them: the deadlock
+	// shape help-first stealing exists to prevent.
+	for _, workers := range []int{1, 2, 8} {
+		p := NewPool(workers)
+		c := p.NewClient()
+		var n atomic.Int64
+		g := c.Group()
+		for i := 0; i < 8; i++ {
+			g.Go(func(int) {
+				sub := c.Group()
+				for j := 0; j < 8; j++ {
+					sub.Go(func(int) { n.Add(1) })
+				}
+				sub.Wait()
+			})
+		}
+		g.Wait()
+		if n.Load() != 64 {
+			t.Fatalf("workers=%d: ran %d of 64 nested tasks", workers, n.Load())
+		}
+		c.Close()
+		p.Close()
+	}
+}
+
+func TestGoroutinesBoundedByPoolSize(t *testing.T) {
+	base := runtime.NumGoroutine()
+	p := NewPool(3)
+	defer p.Close()
+
+	// 16 concurrent "sessions", each forking 32 tasks. Without a pool
+	// that is 512 goroutines; with it, 3 workers plus the waiters.
+	var wg sync.WaitGroup
+	var peak atomic.Int64
+	for s := 0; s < 16; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := p.NewClient()
+			defer c.Close()
+			g := c.Group()
+			for i := 0; i < 32; i++ {
+				g.Go(func(int) {
+					if n := int64(runtime.NumGoroutine()); n > peak.Load() {
+						peak.Store(n)
+					}
+				})
+			}
+			g.Wait()
+		}()
+	}
+	wg.Wait()
+	// base + 16 session goroutines + 3 workers + slack; far under 512.
+	if limit := int64(base + 16 + 3 + 10); peak.Load() > limit {
+		t.Fatalf("peak goroutines %d exceeds pool bound %d", peak.Load(), limit)
+	}
+}
+
+func TestFairRoundRobinAdmission(t *testing.T) {
+	// One worker, two clients: a flood of tasks from the first must not
+	// starve the second. With round-robin admission the second client's
+	// single task runs after at most a couple of flood tasks.
+	p := NewPool(1)
+	defer p.Close()
+	flood := p.NewClient()
+	point := p.NewClient()
+	defer flood.Close()
+	defer point.Close()
+
+	gate := make(chan struct{})
+	var floodRuns atomic.Int64
+	fg := flood.Group()
+	fg.Go(func(int) { <-gate }) // wedge the worker while we queue
+	for i := 0; i < 64; i++ {
+		fg.Go(func(int) { floodRuns.Add(1); time.Sleep(time.Millisecond) })
+	}
+	var before int64
+	pg := point.Group()
+	pg.Go(func(int) { before = floodRuns.Load() })
+	close(gate)
+
+	// Only the worker may run these (Wait on pg would steal and defeat
+	// the point of the test), so poll for completion.
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Stats().Completed < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	pg.Wait()
+	if before > 2 {
+		t.Fatalf("point query waited behind %d flood tasks; round-robin should admit it after at most ~1", before)
+	}
+	fg.Wait()
+}
+
+func TestCloseCompletesQueuedWorkInline(t *testing.T) {
+	p := NewPool(2)
+	c := p.NewClient()
+	g := c.Group()
+	var n atomic.Int64
+	for i := 0; i < 50; i++ {
+		g.Go(func(int) { n.Add(1) })
+	}
+	p.Close() // workers gone; tickets may be stranded
+	g.Wait()  // must finish everything inline
+	if n.Load() != 50 {
+		t.Fatalf("ran %d of 50 tasks after Close", n.Load())
+	}
+	c.Close()
+}
+
+func TestNewPoolDefaultsToGOMAXPROCS(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+	if got, want := p.Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("Workers() = %d, want GOMAXPROCS = %d", got, want)
+	}
+}

@@ -145,6 +145,12 @@ func (s *Server) initRegistry() {
 	gauge("snapshot.copied_tables", func() int64 { return s.tb.SnapshotStats().CopiedTables })
 	gauge("snapshot.writer_stall_ns", func() int64 { return int64(s.tb.SnapshotStats().WriterStall) })
 	gauge("slowlog.recorded", s.slow.Recorded)
+	gauge("sched.workers", func() int64 { return int64(s.tb.SchedStats().Workers) })
+	gauge("sched.clients", func() int64 { return int64(s.tb.SchedStats().Clients) })
+	gauge("sched.queued", func() int64 { return int64(s.tb.SchedStats().Queued) })
+	gauge("sched.submitted", func() int64 { return s.tb.SchedStats().Submitted })
+	gauge("sched.completed", func() int64 { return s.tb.SchedStats().Completed })
+	gauge("sched.stolen", func() int64 { return s.tb.SchedStats().Stolen })
 	// The engine floor — per-table heap traffic, per-index tree shape,
 	// per-shard pool counters — is a dynamic metric set following the
 	// live schema, contributed through a collector.
@@ -263,7 +269,7 @@ func (s *Server) beginDrain() {
 // latency percentiles over the recent window, the shared plan cache's
 // hit counters and the buffer pool's aggregated shard counters.
 func (s *Server) Stats() Stats {
-	return s.stats.snapshot(s.tb.Generation(), s.tb.PlanStats(), s.tb.PagerStats(), s.tb.SnapshotStats())
+	return s.stats.snapshot(s.tb.Generation(), s.tb.PlanStats(), s.tb.PagerStats(), s.tb.SnapshotStats(), s.tb.SchedStats())
 }
 
 // Logf is a ready-made Options.Logf writing through the standard logger.

@@ -8,6 +8,7 @@ import (
 
 	"dkbms"
 	"dkbms/internal/obs"
+	"dkbms/internal/sched"
 	"dkbms/internal/snapshot"
 	"dkbms/internal/storage"
 	"dkbms/internal/wire"
@@ -77,7 +78,7 @@ func (c *counters) percentiles() (p50, p99 time.Duration) {
 }
 
 // snapshot assembles the wire-form stats.
-func (c *counters) snapshot(generation uint64, plan dkbms.PlanCacheStats, pool storage.PagerStats, snap snapshot.Stats) Stats {
+func (c *counters) snapshot(generation uint64, plan dkbms.PlanCacheStats, pool storage.PagerStats, snap snapshot.Stats, sch sched.Stats) Stats {
 	p50, p99 := c.percentiles()
 	return Stats{
 		ActiveSessions: c.activeSessions.Load(),
@@ -101,5 +102,10 @@ func (c *counters) snapshot(generation uint64, plan dkbms.PlanCacheStats, pool s
 		SnapshotReaders: snap.ActiveReaders,
 		ReclaimBacklog:  snap.ReclaimBacklog,
 		WriterStall:     snap.WriterStall,
+
+		SchedWorkers:   int64(sch.Workers),
+		SchedQueued:    int64(sch.Queued),
+		SchedSubmitted: sch.Submitted,
+		SchedStolen:    sch.Stolen,
 	}
 }

@@ -715,6 +715,16 @@ type ServerStats struct {
 	// writer time spent building copy-on-write table copies.
 	ReclaimBacklog int64
 	WriterStall    time.Duration
+	// SchedWorkers is the shared evaluation pool's size; SchedQueued
+	// counts admitted-but-unstarted tasks at snapshot time;
+	// SchedSubmitted and SchedStolen count tasks submitted over the
+	// pool's lifetime and tasks a waiting query ran inline instead of a
+	// worker. Trailing fields: absent from old peers' payloads, decoded
+	// as zero.
+	SchedWorkers   int64
+	SchedQueued    int64
+	SchedSubmitted int64
+	SchedStolen    int64
 }
 
 // Encode renders the payload. The snapshot fields trail the original
@@ -734,7 +744,11 @@ func (m ServerStats) Encode() []byte {
 	buf = binary.AppendUvarint(buf, m.SnapshotGen)
 	buf = binary.AppendVarint(buf, m.SnapshotReaders)
 	buf = binary.AppendVarint(buf, m.ReclaimBacklog)
-	return binary.AppendVarint(buf, int64(m.WriterStall))
+	buf = binary.AppendVarint(buf, int64(m.WriterStall))
+	for _, v := range []int64{m.SchedWorkers, m.SchedQueued, m.SchedSubmitted, m.SchedStolen} {
+		buf = binary.AppendVarint(buf, v)
+	}
+	return buf
 }
 
 // DecodeServerStats parses a STATSREPLY payload. The trailing snapshot
@@ -765,6 +779,15 @@ func DecodeServerStats(p []byte) (ServerStats, error) {
 		return ServerStats{}, err
 	}
 	for _, f := range []*int64{&m.SnapshotReaders, &m.ReclaimBacklog, (*int64)(&m.WriterStall)} {
+		if *f, buf, err = readVarint(buf); err != nil {
+			return ServerStats{}, err
+		}
+	}
+	if len(buf) == 0 {
+		// Pre-scheduler peer: scheduler fields stay zero.
+		return m, nil
+	}
+	for _, f := range []*int64{&m.SchedWorkers, &m.SchedQueued, &m.SchedSubmitted, &m.SchedStolen} {
 		if *f, buf, err = readVarint(buf); err != nil {
 			return ServerStats{}, err
 		}

@@ -285,11 +285,32 @@ func TestServerStatsRoundTrip(t *testing.T) {
 		P50: 150 * time.Microsecond, P99: 3 * time.Millisecond,
 		PlanResultHits: 40, PlanHits: 9, PlanMisses: 3,
 		PoolHits: 1 << 20, PoolMisses: 512, PoolEvictions: 77,
-		Generation: 17,
+		Generation:   17,
+		SchedWorkers: 4, SchedQueued: 2, SchedSubmitted: 999, SchedStolen: 31,
 	}
 	out, err := DecodeServerStats(in.Encode())
 	if err != nil {
 		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("got %+v, want %+v", out, in)
+	}
+}
+
+// TestServerStatsOldPeer: a payload from a server built before the
+// scheduler fields must still decode, with the trailing fields zero.
+func TestServerStatsOldPeer(t *testing.T) {
+	in := ServerStats{
+		Requests: 7, Generation: 3,
+		SnapshotReaders: 1, ReclaimBacklog: 2, WriterStall: time.Millisecond,
+	}
+	// With all four sched fields zero, Encode appends exactly four
+	// single-byte varints; dropping them reproduces an old peer's frame.
+	full := in.Encode()
+	old := full[:len(full)-4]
+	out, err := DecodeServerStats(old)
+	if err != nil {
+		t.Fatalf("old-peer payload rejected: %v", err)
 	}
 	if out != in {
 		t.Fatalf("got %+v, want %+v", out, in)

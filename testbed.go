@@ -42,6 +42,7 @@ import (
 	"dkbms/internal/obs"
 	"dkbms/internal/rel"
 	"dkbms/internal/rtlib"
+	"dkbms/internal/sched"
 	"dkbms/internal/stored"
 )
 
@@ -68,9 +69,20 @@ type Testbed struct {
 	// retractions). Cached query results are valid only while both
 	// generations stand still; cached plans only depend on ruleGen.
 	dataGen uint64
+	// pool, when set (SetEvalPool), bounds parallel evaluation work on
+	// a shared scheduler instead of per-evaluation goroutines.
+	pool *sched.Pool
 	// closed is set by Close; every later operation returns ErrClosed.
 	closed bool
 }
+
+// SetEvalPool attaches a shared evaluation worker pool: queries run
+// with QueryOptions.Parallel submit their differential SELECTs,
+// partitioned dedup/termination work and wavefront nodes to it instead
+// of spawning per-evaluation goroutines. The caller retains ownership
+// of the pool (ConcurrentTestbed wires and closes its own). Nil
+// detaches.
+func (tb *Testbed) SetEvalPool(p *sched.Pool) { tb.pool = p }
 
 // NewMemory opens a testbed over an in-memory database.
 func NewMemory() *Testbed {
@@ -286,8 +298,11 @@ type QueryOptions struct {
 	// whether to apply magic sets (the paper's proposed-but-not-
 	// implemented dynamic strategy; see DESIGN.md extensions).
 	Adaptive bool
-	// Parallel evaluates recursive-rule differentials concurrently
-	// within each LFP iteration (paper conclusion 7a; semi-naive only).
+	// Parallel evaluates the query on the shared scheduler pool (paper
+	// conclusion 7a): independent PCG nodes run as a dependency
+	// wavefront, each LFP iteration's differentials run concurrently,
+	// and duplicate elimination/termination checking moves from SQL set
+	// differences to hash-partitioned Go-side sets (conclusion 6b).
 	Parallel bool
 	// Trace records the query's execution as a span tree — compilation
 	// phases, evaluation nodes, LFP iterations with delta cardinalities,
@@ -454,6 +469,7 @@ func (tb *Testbed) evaluateWith(ctx context.Context, d *db.DB, compiled *core.Co
 	res, err := rtlib.Evaluate(d, compiled.Program, rtlib.Options{
 		Strategy: strategy,
 		Parallel: opts.Parallel,
+		Pool:     tb.pool,
 		Trace:    tr,
 		Ctx:      ctx,
 	})
