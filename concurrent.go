@@ -122,6 +122,7 @@ func (c *ConcurrentTestbed) Testbed() *Testbed { return c.tb }
 // and drops every cached plan and result. Call it after mutating the
 // wrapped testbed directly in a phase with no concurrent readers.
 func (c *ConcurrentTestbed) Resync() {
+	//dkblint:locksafe single-writer commit protocol: writers serialize on commitMu through publication I/O; readers never take it
 	c.commitMu.Lock()
 	defer c.commitMu.Unlock()
 	if c.closed.Load() {
@@ -134,6 +135,7 @@ func (c *ConcurrentTestbed) Resync() {
 // Close shuts the testbed down after all in-flight queries drain and
 // every superseded table version has been reclaimed.
 func (c *ConcurrentTestbed) Close() error {
+	//dkblint:locksafe shutdown drains in-flight readers under commitMu by design; no new commit can interleave with the close
 	c.commitMu.Lock()
 	defer c.commitMu.Unlock()
 	if !c.closed.CompareAndSwap(false, true) {
@@ -222,6 +224,7 @@ func (c *ConcurrentTestbed) publish(buildCost time.Duration) {
 // it appends to are copied, rules go to a fresh workspace clone, and
 // the result is published as the next snapshot.
 func (c *ConcurrentTestbed) Load(src string) error {
+	//dkblint:locksafe single-writer commit protocol: writers serialize on commitMu through copy-and-publish I/O; readers never take it
 	c.commitMu.Lock()
 	defer c.commitMu.Unlock()
 	if c.closed.Load() {
@@ -280,6 +283,7 @@ func (c *ConcurrentTestbed) Load(src string) error {
 
 // Assert adds one ground fact as one commit.
 func (c *ConcurrentTestbed) Assert(fact dlog.Atom) error {
+	//dkblint:locksafe single-writer commit protocol: writers serialize on commitMu through copy-and-publish I/O; readers never take it
 	c.commitMu.Lock()
 	defer c.commitMu.Unlock()
 	if c.closed.Load() {
@@ -307,6 +311,7 @@ func (c *ConcurrentTestbed) Assert(fact dlog.Atom) error {
 // match anything (no relation, or no matching rows) runs without
 // copying or publishing, so memoized answers survive no-op retractions.
 func (c *ConcurrentTestbed) Retract(pattern dlog.Atom) (int, error) {
+	//dkblint:locksafe single-writer commit protocol: writers serialize on commitMu through copy-and-publish I/O; readers never take it
 	c.commitMu.Lock()
 	defer c.commitMu.Unlock()
 	if c.closed.Load() {
@@ -353,6 +358,7 @@ func (c *ConcurrentTestbed) RetractSrc(src string) (int, error) {
 // rule-storage relations are copied, the workspace is cloned (Update
 // clears it), and the result is published as the next snapshot.
 func (c *ConcurrentTestbed) Update() (stored.UpdateStats, error) {
+	//dkblint:locksafe single-writer commit protocol: writers serialize on commitMu through copy-and-publish I/O; readers never take it
 	c.commitMu.Lock()
 	defer c.commitMu.Unlock()
 	if c.closed.Load() {
@@ -601,6 +607,7 @@ type ConcurrentPrepared struct {
 // ensure (re)compiles against the pinned snapshot when the cached
 // program predates its rule-base generation.
 func (cp *ConcurrentPrepared) ensure(s *snapshot.Snapshot) (*core.Compiled, error) {
+	//dkblint:locksafe per-statement singleflight: compiling under the lock guarantees one compile per rule-base generation
 	cp.mu.Lock()
 	defer cp.mu.Unlock()
 	if cp.compiled != nil && cp.gen == s.RuleGen {

@@ -232,6 +232,7 @@ func (c *Catalog) CreateTable(name string, schema *rel.Schema, temp bool) (*Tabl
 	if name == "" {
 		return nil, fmt.Errorf("catalog: empty table name")
 	}
+	//dkblint:locksafe DDL serializes on ddlMu off the query path; heap/index I/O must be atomic with the catalog mutation
 	c.ddlMu.Lock()
 	defer c.ddlMu.Unlock()
 	c.mu.RLock()
@@ -262,6 +263,7 @@ func (c *Catalog) CreateTable(name string, schema *rel.Schema, temp bool) (*Tabl
 
 // DropTable removes a table, its indexes, and releases its pages.
 func (c *Catalog) DropTable(name string) error {
+	//dkblint:locksafe DDL serializes on ddlMu off the query path; heap/index I/O must be atomic with the catalog mutation
 	c.ddlMu.Lock()
 	defer c.ddlMu.Unlock()
 	c.mu.RLock()
@@ -293,6 +295,7 @@ func (c *Catalog) DropTable(name string) error {
 // traffic, the caller's contract (the server's testbed lock provides
 // it).
 func (c *Catalog) CreateIndex(name, table string, cols []string, temp bool) (*Index, error) {
+	//dkblint:locksafe DDL serializes on ddlMu off the query path; heap/index I/O must be atomic with the catalog mutation
 	c.ddlMu.Lock()
 	defer c.ddlMu.Unlock()
 	c.mu.RLock()
@@ -328,6 +331,7 @@ func (c *Catalog) CreateIndex(name, table string, cols []string, temp bool) (*In
 
 // DropIndex removes an index.
 func (c *Catalog) DropIndex(name string) error {
+	//dkblint:locksafe DDL serializes on ddlMu off the query path; heap/index I/O must be atomic with the catalog mutation
 	c.ddlMu.Lock()
 	defer c.ddlMu.Unlock()
 	return c.dropIndexDDL(name)
@@ -373,6 +377,7 @@ func (c *Catalog) dropIndexDDL(name string) error {
 // Like all DDL, the clone's I/O runs under ddlMu only; the name maps
 // swap under mu at the end. Temp tables cannot be shadowed.
 func (c *Catalog) ShadowTable(name string) (*Table, error) {
+	//dkblint:locksafe DDL serializes on ddlMu off the query path; heap/index I/O must be atomic with the catalog mutation
 	c.ddlMu.Lock()
 	defer c.ddlMu.Unlock()
 	c.mu.RLock()

@@ -6,6 +6,7 @@
 package db
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -146,6 +147,14 @@ func (d *DB) Exec(stmt string) error { return d.ExecTraced(stmt, nil) }
 // (rows emitted per scan/join/filter) as child spans of sp. A nil sp
 // costs one nil check over Exec.
 func (d *DB) ExecTraced(stmt string, sp *obs.Span) error {
+	return d.ExecTracedCtx(context.Background(), stmt, sp)
+}
+
+// ExecTracedCtx is ExecTraced with statement cancellation: an
+// INSERT ... SELECT observes ctx between source tuples and aborts with
+// ctx.Err() when it is cancelled. Other statement forms do bounded work
+// and ignore ctx.
+func (d *DB) ExecTracedCtx(ctx context.Context, stmt string, sp *obs.Span) error {
 	st, err := sql.Parse(stmt)
 	if err != nil {
 		return err
@@ -163,7 +172,7 @@ func (d *DB) ExecTraced(stmt string, sp *obs.Span) error {
 		atomic.AddInt64(&d.stats.DDL, 1)
 		return d.cat.DropIndex(s.Name)
 	case sql.Insert:
-		return d.execInsert(s, sp)
+		return d.execInsert(ctx, s, sp)
 	case sql.Delete:
 		return d.execDelete(s)
 	default:
@@ -178,6 +187,14 @@ func (d *DB) Query(stmt string) (*Rows, error) { return d.QueryTraced(stmt, nil)
 // non-nil the SELECT's operator tree (rows emitted per operator) is
 // recorded as child spans of sp. A nil sp costs one nil check.
 func (d *DB) QueryTraced(stmt string, sp *obs.Span) (*Rows, error) {
+	return d.QueryTracedCtx(context.Background(), stmt, sp)
+}
+
+// QueryTracedCtx is QueryTraced with statement cancellation: the drain
+// observes ctx between result tuples and aborts with ctx.Err() when it
+// is cancelled, so a long scan or join stops mid-statement instead of
+// running to completion.
+func (d *DB) QueryTracedCtx(ctx context.Context, stmt string, sp *obs.Span) (*Rows, error) {
 	st, err := sql.Parse(stmt)
 	if err != nil {
 		return nil, err
@@ -186,7 +203,7 @@ func (d *DB) QueryTraced(stmt string, sp *obs.Span) (*Rows, error) {
 	if !ok {
 		return nil, fmt.Errorf("db: Query called with a non-SELECT %T; use Exec", st)
 	}
-	return d.runSelect(sel, sp)
+	return d.runSelect(ctx, sel, sp)
 }
 
 // QueryCount evaluates a SELECT COUNT(*) (or any single-int-row query)
@@ -227,7 +244,7 @@ func (d *DB) InsertTuples(table string, tuples []rel.Tuple) error {
 	return nil
 }
 
-func (d *DB) runSelect(sel *sql.Select, sp *obs.Span) (*Rows, error) {
+func (d *DB) runSelect(ctx context.Context, sel *sql.Select, sp *obs.Span) (*Rows, error) {
 	atomic.AddInt64(&d.stats.Selects, 1)
 	op, err := plan.BuildSelect(d, sel)
 	if err != nil {
@@ -235,7 +252,7 @@ func (d *DB) runSelect(sel *sql.Select, sp *obs.Span) (*Rows, error) {
 	}
 	op, flush := exec.Instrument(op, sp)
 	defer flush()
-	tuples, err := exec.Collect(op)
+	tuples, err := exec.CollectCtx(ctx, op)
 	if err != nil {
 		return nil, err
 	}
@@ -266,7 +283,7 @@ func (d *DB) execCreateIndex(s sql.CreateIndex) error {
 	return err
 }
 
-func (d *DB) execInsert(s sql.Insert, sp *obs.Span) error {
+func (d *DB) execInsert(ctx context.Context, s sql.Insert, sp *obs.Span) error {
 	atomic.AddInt64(&d.stats.Inserts, 1)
 	t := d.Table(s.Table)
 	if t == nil {
@@ -285,7 +302,7 @@ func (d *DB) execInsert(s sql.Insert, sp *obs.Span) error {
 		defer flush()
 		// Materialize before writing so self-referential inserts
 		// (INSERT INTO t SELECT ... FROM t) read a stable snapshot.
-		tuples, err := exec.Collect(op)
+		tuples, err := exec.CollectCtx(ctx, op)
 		if err != nil {
 			return err
 		}

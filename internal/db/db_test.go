@@ -1,6 +1,8 @@
 package db
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"path/filepath"
@@ -433,5 +435,34 @@ func TestStatsCounters(t *testing.T) {
 	st := d.StatsSnapshot()
 	if st.Selects == 0 || st.Inserts == 0 || st.InsertedRows != 5 || st.DDL == 0 {
 		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestQueryCancellation pins the statement-level cancellation point: a
+// cancelled context aborts a SELECT's drain (and an INSERT ... SELECT's
+// source drain) with ctx.Err() instead of running the statement to
+// completion, while a live context leaves results untouched.
+func TestQueryCancellation(t *testing.T) {
+	d := family(t)
+	ctx, cancel := context.WithCancel(context.Background())
+
+	rows, err := d.QueryTracedCtx(ctx, "SELECT * FROM parent", nil)
+	if err != nil {
+		t.Fatalf("live ctx: %v", err)
+	}
+	if len(rows.Tuples) != 5 {
+		t.Fatalf("live ctx: got %d rows, want 5", len(rows.Tuples))
+	}
+
+	cancel()
+	if _, err := d.QueryTracedCtx(ctx, "SELECT * FROM parent", nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled SELECT: got %v, want context.Canceled", err)
+	}
+	mustExec(t, d, "CREATE TABLE copy2 (par CHAR, chd CHAR)")
+	if err := d.ExecTracedCtx(ctx, "INSERT INTO copy2 SELECT * FROM parent", nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled INSERT ... SELECT: got %v, want context.Canceled", err)
+	}
+	if n := d.TableRows("copy2"); n != 0 {
+		t.Fatalf("cancelled INSERT ... SELECT wrote %d rows", n)
 	}
 }

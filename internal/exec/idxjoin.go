@@ -52,6 +52,7 @@ func (j *IndexNLJoin) Open() error {
 
 // Next returns the next joined tuple.
 func (j *IndexNLJoin) Next() (rel.Tuple, error) {
+	//dkblint:ctxok consumes one left tuple or one index posting per iteration over finite inputs; the RunCtx drain observes cancellation
 	for {
 		for j.mpos < len(j.matches) {
 			rt := j.matches[j.mpos]

@@ -1,0 +1,13 @@
+package ctxflow_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dkbms/internal/lint/ctxflow"
+	"dkbms/internal/lint/lintkit"
+)
+
+func TestFixtures(t *testing.T) {
+	lintkit.RunFixtures(t, ctxflow.Analyzer, filepath.Join("testdata", "src"))
+}

@@ -1,0 +1,39 @@
+// Fixtures for transitive observation through a helper chain, and the
+// waiver.
+package exec
+
+import "rtlib"
+
+type cursor struct {
+	helper *rtlib.Helper
+}
+
+// The observation is two calls down: Helper.Poll → pollInner → ctx.Err.
+func (c *cursor) goodTransitive() {
+	for {
+		if c.helper.Poll() != nil {
+			return
+		}
+		if c.done() {
+			return
+		}
+	}
+}
+
+func (c *cursor) waivedDrain(ch chan int) {
+	for { //dkblint:ctxok drains a closed channel; bounded by the producer's shutdown
+		if _, ok := <-ch; !ok {
+			return
+		}
+	}
+}
+
+func (c *cursor) badDrain(ch chan int) {
+	for { // want "unbounded for-loop in query-path package exec never observes the context"
+		if _, ok := <-ch; !ok {
+			return
+		}
+	}
+}
+
+func (c *cursor) done() bool { return true }

@@ -1,0 +1,11 @@
+// A package off the query path: unbounded loops are not ctxflow's
+// business here (gofanout and lockorder still apply).
+package other
+
+func Spin(step func() bool) {
+	for {
+		if step() {
+			return
+		}
+	}
+}

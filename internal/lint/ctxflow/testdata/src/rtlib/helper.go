@@ -1,0 +1,11 @@
+package rtlib
+
+import "context"
+
+// Helper exposes an exported observer for the exec fixture's
+// cross-package transitive case.
+type Helper struct{ Ctx context.Context }
+
+func (h *Helper) Poll() error { return h.pollInner() }
+
+func (h *Helper) pollInner() error { return h.Ctx.Err() }

@@ -1,0 +1,79 @@
+// Fixtures in a query-path package name: direct and amortized context
+// observation, plus the positive case.
+package rtlib
+
+import "context"
+
+type evaluator struct {
+	ctx   context.Context
+	steps int
+}
+
+// checkCtx is the engine's amortized poll: the canonical transitive
+// observer.
+func (ev *evaluator) checkCtx() error {
+	ev.steps++
+	if ev.steps%1024 != 0 {
+		return nil
+	}
+	return ev.ctx.Err()
+}
+
+func (ev *evaluator) goodDirect() error {
+	for {
+		if err := ev.ctx.Err(); err != nil {
+			return err
+		}
+		if ev.step() {
+			return nil
+		}
+	}
+}
+
+func (ev *evaluator) goodAmortized() error {
+	for {
+		if err := ev.checkCtx(); err != nil {
+			return err
+		}
+		if ev.step() {
+			return nil
+		}
+	}
+}
+
+func (ev *evaluator) goodSelect(ch chan int) {
+	for {
+		select {
+		case <-ev.ctx.Done():
+			return
+		case <-ch:
+		}
+	}
+}
+
+// A bounded loop terminates on its own: not flagged.
+func (ev *evaluator) goodBounded(n int) {
+	for i := 0; i < n; i++ {
+		ev.step()
+	}
+}
+
+func (ev *evaluator) badSpin() {
+	for { // want "unbounded for-loop in query-path package rtlib never observes the context"
+		if ev.step() {
+			return
+		}
+	}
+}
+
+// Observation inside a launched goroutine does not gate this loop.
+func (ev *evaluator) badGoroutineObserver() {
+	for { // want "never observes the context"
+		go func() { _ = ev.ctx.Err() }()
+		if ev.step() {
+			return
+		}
+	}
+}
+
+func (ev *evaluator) step() bool { return true }

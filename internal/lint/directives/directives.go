@@ -1,0 +1,57 @@
+// Package directives validates the //dkblint: comment grammar itself.
+// Waivers are load-bearing: a misspelled `//dkblint:locsafe` or a bare
+// `//dkblint:locksafe` with no justification would silently fail to
+// waive (or silently waive with no audit trail). This analyzer makes
+// both a finding, so the directive surface stays closed:
+//
+//   - unknown directive names are rejected, with the registry listed;
+//   - waiver directives (bounded, locksafe, pinsafe, ctxok) must carry
+//     a justification after the name;
+//   - valued directives (payload=Name) must carry their value, and
+//     flag directives must not.
+//
+// The registry lives in lintkit (shared with every analyzer and with
+// `dkblint -directives`), so adding a directive is one table entry.
+package directives
+
+import (
+	"strings"
+
+	"dkbms/internal/lint/lintkit"
+)
+
+// Analyzer is the directives pass.
+var Analyzer = &lintkit.Analyzer{
+	Name: "directives",
+	Doc:  "every //dkblint: directive is known, well-formed, and waivers carry a justification",
+	Run:  run,
+}
+
+func run(pass *lintkit.Pass) error {
+	for _, file := range pass.Pkg.Files {
+		for _, d := range lintkit.FileDirectives(pass.Fset, file) {
+			spec := lintkit.DirectiveSpecFor(d.Name)
+			if spec == nil {
+				pass.Reportf(d.Pos, "unknown directive //dkblint:%s (known: %s)", d.Name, knownNames())
+				continue
+			}
+			switch {
+			case spec.Valued && d.Value == "":
+				pass.Reportf(d.Pos, "directive //dkblint:%s requires a value (//dkblint:%s=<value>)", d.Name, d.Name)
+			case !spec.Valued && d.Value != "":
+				pass.Reportf(d.Pos, "directive //dkblint:%s does not take a value", d.Name)
+			case spec.NeedsJustification && d.Arg == "":
+				pass.Reportf(d.Pos, "waiver //dkblint:%s requires a justification (//dkblint:%s <why this is safe>)", d.Name, d.Name)
+			}
+		}
+	}
+	return nil
+}
+
+func knownNames() string {
+	names := make([]string, len(lintkit.Directives))
+	for i, s := range lintkit.Directives {
+		names[i] = s.Name
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,13 @@
+package directives_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dkbms/internal/lint/directives"
+	"dkbms/internal/lint/lintkit"
+)
+
+func TestFixtures(t *testing.T) {
+	lintkit.RunFixtures(t, directives.Analyzer, filepath.Join("testdata", "src"))
+}

@@ -1,0 +1,36 @@
+// Directive-grammar fixtures.
+package a
+
+import "sync"
+
+type T struct{ mu sync.Mutex }
+
+func waivedProperly(t *T, work func()) {
+	t.mu.Lock() //dkblint:locksafe the lock serializes whole commits by design
+	work()
+	t.mu.Unlock()
+}
+
+func misspelled(t *T, work func()) {
+	t.mu.Lock() //dkblint:locsafe serializes commits // want "unknown directive //dkblint:locsafe"
+	work()
+	t.mu.Unlock()
+}
+
+func bareWaiver(t *T, work func()) {
+	t.mu.Lock() //dkblint:locksafe // want "waiver //dkblint:locksafe requires a justification"
+	work()
+	t.mu.Unlock()
+}
+
+//dkblint:bounded // want "waiver //dkblint:bounded requires a justification"
+func bareBounded() {}
+
+//dkblint:payload // want "directive //dkblint:payload requires a value"
+const MsgOdd = 1
+
+//dkblint:nopayload=X // want "directive //dkblint:nopayload does not take a value"
+const MsgFlag = 2
+
+//dkblint:payload=ServerStats
+const MsgStats = 3

@@ -22,7 +22,6 @@ package gofanout
 import (
 	"go/ast"
 	"go/token"
-	"strings"
 
 	"dkbms/internal/lint/lintkit"
 )
@@ -36,7 +35,7 @@ var Analyzer = &lintkit.Analyzer{
 
 func run(pass *lintkit.Pass) error {
 	for _, file := range pass.Pkg.Files {
-		waived := waivedLines(pass.Fset, file)
+		waived := lintkit.WaivedLines(pass.Fset, file, "bounded")
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok || fn.Body == nil {
@@ -46,25 +45,6 @@ func run(pass *lintkit.Pass) error {
 		}
 	}
 	return nil
-}
-
-// waivedLines collects the line numbers covered by //dkblint:bounded
-// directives: the directive's own line and the one below it (so both
-// end-of-line and standalone-comment placements work).
-func waivedLines(fset *token.FileSet, file *ast.File) map[int]bool {
-	lines := map[int]bool{}
-	for _, cg := range file.Comments {
-		for _, c := range cg.List {
-			text := strings.TrimSpace(c.Text)
-			if text != "//dkblint:bounded" && !strings.HasPrefix(text, "//dkblint:bounded ") {
-				continue
-			}
-			line := fset.Position(c.Pos()).Line
-			lines[line] = true
-			lines[line+1] = true
-		}
-	}
-	return lines
 }
 
 // loopBody returns the body of a for or range statement, or nil.
@@ -78,7 +58,7 @@ func loopBody(n ast.Node) *ast.BlockStmt {
 	return nil
 }
 
-func checkFunc(pass *lintkit.Pass, fn *ast.FuncDecl, waived map[int]bool) {
+func checkFunc(pass *lintkit.Pass, fn *ast.FuncDecl, waived map[int]string) {
 	// loops is the stack of enclosing loop bodies at the current walk
 	// position; function literals push a frame boundary (a goroutine
 	// launched per iteration of a loop *outside* the literal is the
@@ -104,7 +84,7 @@ func checkFunc(pass *lintkit.Pass, fn *ast.FuncDecl, waived map[int]bool) {
 			if len(cur.loops) > 0 {
 				inner := cur.loops[len(cur.loops)-1]
 				line := pass.Fset.Position(s.Pos()).Line
-				if !waived[line] && !acquiresBefore(inner, s) {
+				if _, ok := waived[line]; !ok && !acquiresBefore(inner, s) {
 					pass.Reportf(s.Pos(), "goroutine launched per loop iteration with no concurrency bound (acquire a semaphore slot before `go`, submit to a worker pool, or waive with //dkblint:bounded)")
 				}
 			}

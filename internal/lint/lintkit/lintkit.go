@@ -30,6 +30,11 @@ type Analyzer struct {
 	Name string
 	Doc  string
 	Run  func(*Pass) error
+	// Module marks a whole-program analyzer: Run is invoked exactly once
+	// per load with Pass.Pkg == nil and Pass.All holding every package.
+	// Analyzers that build global structures (the lock-order graph) use
+	// this instead of a per-package pass.
+	Module bool
 }
 
 // Diagnostic is one finding, positioned in the analyzed source.
@@ -60,7 +65,8 @@ type Package struct {
 	TypeErrors []error
 }
 
-// Pass carries one analyzer's view of one package.
+// Pass carries one analyzer's view of one package (or, for Module
+// analyzers, of the whole load — Pkg is nil then).
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
@@ -69,9 +75,42 @@ type Pass struct {
 	// module-wide facts (atomicfield's atomic-access census) can collect
 	// them without a separate facts protocol.
 	All []*Package
+	// Cache is shared by every pass of one Run call: expensive
+	// module-wide structures (the call graph) are built once and reused
+	// across analyzers; main reads them back for -stats.
+	Cache *Cache
 
 	report func(Diagnostic)
 }
+
+// Cache holds per-run shared facts, built lazily on first use.
+type Cache struct {
+	cg    *CallGraph
+	extra map[string]any
+}
+
+// NewCache returns an empty per-run cache.
+func NewCache() *Cache { return &Cache{extra: make(map[string]any)} }
+
+// CallGraph returns the run's CHA call graph over the target packages,
+// building it on first call.
+func (c *Cache) CallGraph(fset *token.FileSet, all []*Package) *CallGraph {
+	if c.cg == nil {
+		c.cg = BuildCallGraph(fset, all)
+	}
+	return c.cg
+}
+
+// BuiltCallGraph returns the call graph if some analyzer built one
+// (nil otherwise) — for -stats reporting without forcing a build.
+func (c *Cache) BuiltCallGraph() *CallGraph { return c.cg }
+
+// Store saves an analyzer-published fact under a key (e.g. the
+// lock-order graph, for -stats and the module pin test).
+func (c *Cache) Store(key string, v any) { c.extra[key] = v }
+
+// Load returns a stored fact, or nil.
+func (c *Cache) Load(key string) any { return c.extra[key] }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
@@ -85,8 +124,23 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // Run applies each analyzer to each target package and returns the
 // findings in source order.
 func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunWithCache(fset, pkgs, analyzers, NewCache())
+}
+
+// RunWithCache is Run with a caller-provided fact cache, so the caller
+// can read back module-wide structures (call-graph sizes, the lock
+// graph) after the run.
+func RunWithCache(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, cache *Cache) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	report := func(d Diagnostic) { diags = append(diags, d) }
 	for _, a := range analyzers {
+		if a.Module {
+			pass := &Pass{Analyzer: a, Fset: fset, All: pkgs, Cache: cache, report: report}
+			if err := a.Run(pass); err != nil {
+				return diags, fmt.Errorf("%s: %w", a.Name, err)
+			}
+			continue
+		}
 		for _, pkg := range pkgs {
 			if !pkg.Target || pkg.Types == nil {
 				continue
@@ -96,7 +150,8 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnos
 				Fset:     fset,
 				Pkg:      pkg,
 				All:      pkgs,
-				report:   func(d Diagnostic) { diags = append(diags, d) },
+				Cache:    cache,
+				report:   report,
 			}
 			if err := a.Run(pass); err != nil {
 				return diags, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)

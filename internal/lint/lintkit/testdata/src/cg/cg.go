@@ -1,0 +1,31 @@
+// Fixture for the call-graph unit test: static calls, interface
+// dispatch (CHA fan-out), function-value calls (dynamic sites) and the
+// function-literal exclusion.
+package cg
+
+type Runner interface{ Run() }
+
+type A struct{}
+
+func (A) Run() { helper() }
+
+type B struct{}
+
+func (*B) Run() {}
+
+func helper() {}
+
+func Static() { helper() }
+
+// Dispatch calls through the interface: CHA adds A.Run and (*B).Run.
+func Dispatch(r Runner) { r.Run() }
+
+// Dynamic calls a function value: unresolvable, counted not edged.
+func Dynamic(f func()) { f() }
+
+// WithClosure: the call inside the literal is excluded from the graph;
+// the call of the literal itself is a dynamic site.
+func WithClosure() {
+	fn := func() { helper() }
+	fn()
+}

@@ -1,0 +1,13 @@
+package lockorder_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dkbms/internal/lint/lintkit"
+	"dkbms/internal/lint/lockorder"
+)
+
+func TestFixtures(t *testing.T) {
+	lintkit.RunFixtures(t, lockorder.Analyzer, filepath.Join("testdata", "src"))
+}

@@ -1,0 +1,61 @@
+// Clean fixtures: consistent order, release-before-I/O, cond.Wait
+// (which releases the mutex while parked) and per-goroutine work.
+package clean
+
+import (
+	"os"
+	"sync"
+)
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+var a A
+var b B
+
+// Consistent A → B order everywhere: an edge, no cycle.
+func One() {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func Two() {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+type S struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	ready bool
+	f     *os.File
+}
+
+// ReleaseFirst drops the lock before the write.
+func (s *S) ReleaseFirst(buf []byte) {
+	s.mu.Lock()
+	s.ready = false
+	s.mu.Unlock()
+	s.f.Write(buf)
+}
+
+// CondWait parks under the lock — sync.Cond.Wait releases the mutex, so
+// it is not "blocking while held".
+func (s *S) CondWait() {
+	s.mu.Lock()
+	for !s.ready {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// Spawn launches the write on another goroutine: not under this hold.
+func (s *S) Spawn(buf []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() { s.f.Write(buf) }()
+}

@@ -1,0 +1,41 @@
+// Positive fixtures: lock-order cycles, direct and transitive.
+package order
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+var a A
+var b B
+
+// AB and BA acquire the two classes in opposite orders: a cycle. Each
+// in-cycle edge is reported at the acquisition whose held region closes
+// it.
+func AB() {
+	a.mu.Lock() // want "lock-order cycle: order\\.B\\.mu acquired while order\\.A\\.mu is held; cycle order\\.A\\.mu → order\\.B\\.mu → order\\.A\\.mu"
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func BA() {
+	b.mu.Lock() // want "lock-order cycle: order\\.A\\.mu acquired while order\\.B\\.mu is held"
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// R self-nests: a one-node cycle. Lock classes collapse instances, so
+// this is reported even though a second *R instance would be distinct —
+// a documented over-approximation.
+type R struct{ mu sync.Mutex }
+
+var r1, r2 R
+
+func Nest() {
+	r1.mu.Lock() // want "lock-order cycle: order\\.R\\.mu acquired while order\\.R\\.mu is held"
+	r2.mu.Lock()
+	r2.mu.Unlock()
+	r1.mu.Unlock()
+}

@@ -1,0 +1,8 @@
+// A stand-in for the module's internal/sched package: lockorder
+// matches module packages by name, so fixtures can exercise the
+// sched.Group.Wait blocking rule without importing the real engine.
+package sched
+
+type Group struct{ n int }
+
+func (g *Group) Wait() {}

@@ -1,0 +1,31 @@
+// Transitive fixtures: the inverted acquisition happens in a callee
+// two frames down, and the diagnostic names the call chain.
+package trans
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+var a A
+var b B
+
+func lockB() {
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+func viaHelper() { lockB() }
+
+func Outer() {
+	a.mu.Lock() // want "lock-order cycle: trans\\.B\\.mu acquired via trans\\.viaHelper → trans\\.lockB while trans\\.A\\.mu is held"
+	viaHelper()
+	a.mu.Unlock()
+}
+
+func Inner() {
+	b.mu.Lock() // want "lock-order cycle: trans\\.A\\.mu acquired while trans\\.B\\.mu is held"
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}

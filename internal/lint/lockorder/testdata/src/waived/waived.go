@@ -1,0 +1,44 @@
+// Waiver fixtures: //dkblint:locksafe suppresses findings anchored at
+// the waived acquisition, and only there — the edge stays in the graph,
+// so the cycle still surfaces at its unwaived witness.
+package waived
+
+import (
+	"os"
+	"sync"
+)
+
+type S struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// Commit's lock is a long-lived serialization lock by design.
+func (s *S) Commit(b []byte) {
+	s.mu.Lock() //dkblint:locksafe the commit lock serializes whole write-backs by design
+	defer s.mu.Unlock()
+	s.f.Write(b)
+}
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+var a A
+var b B
+
+// The A→B witness is waived; the B→A witness is not, so exactly one
+// side of the cycle is reported.
+func AB() {
+	//dkblint:locksafe init-order only; BA is the audited path
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func BA() {
+	b.mu.Lock() // want "lock-order cycle: waived\\.A\\.mu acquired while waived\\.B\\.mu is held"
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}

@@ -133,69 +133,26 @@ var classes = []*class{
 	},
 }
 
-// lockOp is one Lock/RLock/Unlock/RUnlock call on a sync mutex.
+// lockOp wraps the kit's shared mutex-op decoding with this analyzer's
+// tracked-class resolution.
 type lockOp struct {
-	call *ast.CallExpr
-	op   string
-	recv string // types.ExprString of the mutex expression, for pairing
-	// owner of the mutex field, when it is a struct field
-	ownerPkg, ownerTyp, field string
-	class                     *class // non-nil if tracked
+	*lintkit.MutexOp
+	class *class // non-nil if tracked
 }
 
 // asLockOp decodes a call as a mutex operation, or returns nil.
 func asLockOp(info *types.Info, call *ast.CallExpr) *lockOp {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
+	m := lintkit.AsMutexOp(info, call)
+	if m == nil {
 		return nil
 	}
-	switch sel.Sel.Name {
-	case "Lock", "RLock", "Unlock", "RUnlock":
-	default:
-		return nil
-	}
-	fn := lintkit.Callee(info, call)
-	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
-		return nil
-	}
-	switch lintkit.ReceiverTypeName(fn) {
-	case "Mutex", "RWMutex":
-	default:
-		return nil
-	}
-	op := &lockOp{call: call, op: sel.Sel.Name, recv: types.ExprString(sel.X)}
-	// Resolve the owning struct when the mutex is a field (c.mu,
-	// sh.mu, p.flMu, ...). A local mutex variable stays untracked but
-	// still gets pairing checks.
-	if fieldSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
-		if s, ok := info.Selections[fieldSel]; ok && s.Kind() == types.FieldVal {
-			if v, ok := s.Obj().(*types.Var); ok && v.Pkg() != nil {
-				op.field = v.Name()
-				op.ownerPkg = v.Pkg().Name()
-				t := s.Recv()
-				if p, ok := t.(*types.Pointer); ok {
-					t = p.Elem()
-				}
-				if named, ok := t.(*types.Named); ok {
-					op.ownerTyp = named.Obj().Name()
-				}
-			}
-		}
-	}
+	op := &lockOp{MutexOp: m}
 	for _, c := range classes {
-		if op.ownerPkg == c.pkg && op.ownerTyp == c.typ && op.field == c.field {
+		if m.OwnerPkg == c.pkg && m.OwnerTyp == c.typ && m.Field == c.field {
 			op.class = c
 		}
 	}
 	return op
-}
-
-// unlockFor maps an acquire op to its release op name.
-func unlockFor(op string) string {
-	if op == "RLock" {
-		return "RUnlock"
-	}
-	return "Unlock"
 }
 
 func run(pass *lintkit.Pass) error {
@@ -258,9 +215,9 @@ func checkFunc(pass *lintkit.Pass, fn *ast.FuncDecl) {
 				return true
 			}
 			if op := asLockOp(info, call); op != nil {
-				if op.op == "Lock" || op.op == "RLock" {
-					if why := held.forbidLock(op.ownerPkg, op.ownerTyp, op.field, op.op); why != "" {
-						pass.Reportf(call.Pos(), "%s.%s while holding %s: %s", op.recv, op.op, held.doc, why)
+				if op.Acquires() {
+					if why := held.forbidLock(op.OwnerPkg, op.OwnerTyp, op.Field, op.Op); why != "" {
+						pass.Reportf(call.Pos(), "%s.%s while holding %s: %s", op.Recv, op.Op, held.doc, why)
 					}
 				}
 				return true
@@ -299,7 +256,7 @@ func checkFunc(pass *lintkit.Pass, fn *ast.FuncDecl) {
 					return true
 				}
 				op := asLockOp(info, call)
-				if op == nil || (op.op != "Lock" && op.op != "RLock") {
+				if op == nil || !op.Acquires() {
 					return true
 				}
 				checkAcquire(pass, cfg, fn, s, op, checkNode, onHeadline)
@@ -314,7 +271,7 @@ func checkFunc(pass *lintkit.Pass, fn *ast.FuncDecl) {
 func checkAcquire(pass *lintkit.Pass, cfg *lintkit.CFG, fn *ast.FuncDecl, at ast.Stmt, acq *lockOp,
 	checkNode func(*class, ast.Node), onHeadline func(ast.Stmt, func(ast.Node))) {
 	info := pass.Pkg.Info
-	want := unlockFor(acq.op)
+	want := lintkit.UnlockFor(acq.Op)
 
 	isRelease := func(n ast.Node) bool {
 		found := false
@@ -326,7 +283,7 @@ func checkAcquire(pass *lintkit.Pass, cfg *lintkit.CFG, fn *ast.FuncDecl, at ast
 			if !ok {
 				return true
 			}
-			if op := asLockOp(info, call); op != nil && op.op == want && op.recv == acq.recv {
+			if op := asLockOp(info, call); op != nil && op.Op == want && op.Recv == acq.Recv {
 				found = true
 				return false
 			}
@@ -362,9 +319,9 @@ func checkAcquire(pass *lintkit.Pass, cfg *lintkit.CFG, fn *ast.FuncDecl, at ast
 		release := func(s ast.Stmt) bool { return stmtReleases(s, isRelease, onHeadline) }
 		if leakAt, found := cfg.ReachesExitWithout(at, release, nil, nil); found {
 			if leakAt == at {
-				pass.Reportf(acq.call.Pos(), "%s.%s is still held when the loop re-acquires it", acq.recv, acq.op)
+				pass.Reportf(acq.Call.Pos(), "%s.%s is still held when the loop re-acquires it", acq.Recv, acq.Op)
 			} else {
-				pass.Reportf(acq.call.Pos(), "%s.%s is not released on every path out of %s (missing %s or defer)", acq.recv, acq.op, fn.Name.Name, want)
+				pass.Reportf(acq.Call.Pos(), "%s.%s is not released on every path out of %s (missing %s or defer)", acq.Recv, acq.Op, fn.Name.Name, want)
 			}
 		}
 	}

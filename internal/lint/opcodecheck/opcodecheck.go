@@ -239,17 +239,19 @@ func constDirectives(pass *lintkit.Pass) map[string]string {
 	return out
 }
 
+// directiveIn decodes the first //dkblint: directive of a comment group
+// through the shared grammar (lintkit.ParseDirective), rendered back to
+// the `name` / `name=value` form the payload rules match on.
 func directiveIn(cg *ast.CommentGroup) string {
 	if cg == nil {
 		return ""
 	}
 	for _, c := range cg.List {
-		if rest, ok := strings.CutPrefix(c.Text, "//dkblint:"); ok {
-			// Only the first token is the directive; anything after
-			// whitespace is ordinary comment text.
-			if f := strings.Fields(rest); len(f) > 0 {
-				return f[0]
+		if d, ok := lintkit.ParseDirective(c.Text); ok {
+			if d.Value != "" {
+				return d.Name + "=" + d.Value
 			}
+			return d.Name
 		}
 	}
 	return ""

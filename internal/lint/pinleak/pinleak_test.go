@@ -1,0 +1,13 @@
+package pinleak_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dkbms/internal/lint/lintkit"
+	"dkbms/internal/lint/pinleak"
+)
+
+func TestFixtures(t *testing.T) {
+	lintkit.RunFixtures(t, pinleak.Analyzer, filepath.Join("testdata", "src"))
+}

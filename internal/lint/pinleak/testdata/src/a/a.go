@@ -1,3 +1,5 @@
+// Page-pin fixtures, carried over from the retired pinpair analyzer:
+// the intraprocedural must-release core is unchanged.
 package a
 
 import "storage"
@@ -44,7 +46,9 @@ func goodErrGuard(p *storage.Pager) error {
 	return nil
 }
 
-// Returning the page transfers the unpin obligation to the caller.
+// Returning the page transfers the unpin obligation to the caller (and
+// makes this function an owner-returning source — see the owner
+// fixture package for the caller side).
 func goodEscapeReturn(p *storage.Pager) (*storage.Page, error) {
 	pg, err := p.Fetch(1)
 	if err != nil {
@@ -52,17 +56,6 @@ func goodEscapeReturn(p *storage.Pager) (*storage.Page, error) {
 	}
 	return pg, nil
 }
-
-// Passing the page to another function transfers ownership too.
-func goodEscapeCall(p *storage.Pager) {
-	pg, err := p.Fetch(1)
-	if err != nil {
-		return
-	}
-	consume(pg)
-}
-
-func consume(pg *storage.Page) {}
 
 // The fallthrough edge carries the obligation into the next clause.
 func goodFallthrough(p *storage.Pager, k int) {
@@ -91,13 +84,17 @@ func badEarlyReturn(p *storage.Pager) error {
 }
 
 func badDiscard(p *storage.Pager) {
-	_, _ = p.Allocate() // want "discarded without Unpin"
+	_, _ = p.Allocate() // want "discarded without Pager.Unpin"
+}
+
+func badBareCall(p *storage.Pager) {
+	p.Allocate() // want "discarded without Pager.Unpin"
 }
 
 func badLoop(p *storage.Pager, n int) {
 	var pg *storage.Page
 	for i := 0; i < n; i++ {
-		pg, _ = p.Fetch(1) // want "loop re-executes the pin"
+		pg, _ = p.Fetch(1) // want "still held when the loop re-acquires"
 		_ = pg.Data
 	}
 	if pg != nil {
@@ -106,7 +103,7 @@ func badLoop(p *storage.Pager, n int) {
 }
 
 func badSwitch(p *storage.Pager, k int) {
-	pg, _ := p.Fetch(1) // want "may leave the function without Unpin"
+	pg, _ := p.Fetch(1) // want "may leave the function without Pager.Unpin"
 	switch k {
 	case 0:
 		p.Unpin(pg)

@@ -1,0 +1,22 @@
+// Closure fixtures: an acquisition inside a function literal is
+// checked against the closure's own flow graph.
+package closures
+
+import "snapshot"
+
+func goodClosure(st *snapshot.Store) func() {
+	return func() {
+		s := st.Acquire()
+		defer s.Release()
+	}
+}
+
+func badClosure(st *snapshot.Store, c bool) func() {
+	return func() {
+		s := st.Acquire() // want "not released on the path"
+		if c {
+			return
+		}
+		s.Release()
+	}
+}

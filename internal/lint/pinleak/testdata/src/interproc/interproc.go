@@ -1,0 +1,65 @@
+// Interprocedural fixtures: callee parameter summaries decide whether
+// a call releases the resource, takes ownership, or leaves the
+// obligation with the caller.
+package interproc
+
+import "storage"
+
+func read(pg *storage.Page) int { return len(pg.Data) }
+
+// A readonly callee does NOT transfer ownership — the obligation stays
+// here and the missing Unpin is a leak. (pinpair assumed any call took
+// the page; this is the upgrade.)
+func badReadonlyCallee(p *storage.Pager) {
+	pg, err := p.Fetch(1) // want "not released on the path"
+	if err != nil {
+		return
+	}
+	read(pg)
+}
+
+func finish(p *storage.Pager, pg *storage.Page) { p.Unpin(pg) }
+
+// A callee that releases its parameter counts as the release.
+func goodReleaseHelper(p *storage.Pager) {
+	pg, err := p.Fetch(1)
+	if err != nil {
+		return
+	}
+	finish(p, pg)
+}
+
+// The release summary propagates through wrappers.
+func finish2(p *storage.Pager, pg *storage.Page) { finish(p, pg) }
+
+func goodChainedRelease(p *storage.Pager) {
+	pg, err := p.Fetch(1)
+	if err != nil {
+		return
+	}
+	finish2(p, pg)
+}
+
+var kept *storage.Page
+
+func keep(pg *storage.Page) { kept = pg }
+
+// A callee that stores its parameter owns it: tracking ends.
+func goodStoreHelper(p *storage.Pager) {
+	pg, err := p.Fetch(1)
+	if err != nil {
+		return
+	}
+	keep(pg)
+}
+
+// Readonly before a real release: the intermediate call must not end
+// tracking, and the release downstream must still satisfy it.
+func goodReadThenRelease(p *storage.Pager) {
+	pg, err := p.Fetch(1)
+	if err != nil {
+		return
+	}
+	read(pg)
+	p.Unpin(pg)
+}

@@ -1,0 +1,67 @@
+// Owner-return fixtures: a function returning a resource it acquired
+// hands the release obligation to its callers, exactly like a direct
+// acquisition (error-branch pruning included).
+package owner
+
+import (
+	"errors"
+
+	"snapshot"
+)
+
+var errClosed = errors.New("closed")
+
+func isClosed() bool { return false }
+
+// acquireChecked mirrors the testbed's snapshot acquire-with-recheck:
+// the error path releases, the success path returns ownership.
+func acquireChecked(st *snapshot.Store) (*snapshot.Snapshot, error) {
+	s := st.Acquire()
+	if isClosed() {
+		s.Release()
+		return nil, errClosed
+	}
+	return s, nil
+}
+
+func goodCaller(st *snapshot.Store) error {
+	s, err := acquireChecked(st)
+	if err != nil {
+		return err
+	}
+	defer s.Release()
+	return nil
+}
+
+func badCaller(st *snapshot.Store, c bool) error {
+	s, err := acquireChecked(st) // want "not released on the path"
+	if err != nil {
+		return err
+	}
+	if c {
+		return nil // leaks the inherited pin
+	}
+	s.Release()
+	return nil
+}
+
+// Wrappers stack: the owner-return summary is a fix-point.
+func acquireWrapped(st *snapshot.Store) (*snapshot.Snapshot, error) {
+	s, err := acquireChecked(st)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func badWrappedCaller(st *snapshot.Store, c bool) error {
+	s, err := acquireWrapped(st) // want "not released on the path"
+	if err != nil {
+		return err
+	}
+	if c {
+		return nil
+	}
+	s.Release()
+	return nil
+}

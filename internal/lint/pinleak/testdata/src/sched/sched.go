@@ -1,0 +1,16 @@
+// Package sched is a fixture stub for the real internal/sched package.
+package sched
+
+type Pool struct{}
+
+func (p *Pool) NewClient() *Client { return &Client{} }
+
+type Client struct{}
+
+func (c *Client) Close()        {}
+func (c *Client) Group() *Group { return &Group{} }
+
+type Group struct{}
+
+func (g *Group) Go(fn func()) {}
+func (g *Group) Wait()        {}

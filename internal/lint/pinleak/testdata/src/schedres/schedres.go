@@ -1,0 +1,34 @@
+// Scheduler-resource fixtures: clients and task groups carry the same
+// must-release obligation as pins.
+package schedres
+
+import "sched"
+
+func goodClient(p *sched.Pool) {
+	c := p.NewClient()
+	defer c.Close()
+	g := c.Group()
+	g.Go(func() {})
+	g.Wait()
+}
+
+func badClient(p *sched.Pool, n int) {
+	c := p.NewClient() // want "not released on the path"
+	if n > 0 {
+		return // client leaks its queue slot
+	}
+	c.Close()
+}
+
+func badGroup(c *sched.Client, cond bool) {
+	g := c.Group() // want "not released on the path"
+	g.Go(func() {})
+	if cond {
+		return // un-waited group strands its tickets
+	}
+	g.Wait()
+}
+
+func badSnapshotless(p *sched.Pool) {
+	p.NewClient() // want "discarded without Client.Close"
+}

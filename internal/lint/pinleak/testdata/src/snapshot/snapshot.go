@@ -1,0 +1,13 @@
+// Package snapshot is a fixture stub for the real internal/snapshot
+// package.
+package snapshot
+
+// Snapshot is a pinned database version.
+type Snapshot struct{ v int }
+
+func (s *Snapshot) Release() {}
+
+// Store hands out pinned snapshots.
+type Store struct{}
+
+func (st *Store) Acquire() *Snapshot { return &Snapshot{} }

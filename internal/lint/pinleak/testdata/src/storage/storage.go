@@ -1,5 +1,5 @@
 // Package storage is a fixture stub standing in for the real
-// internal/storage package: pinpair matches by package, type and method
+// internal/storage package: pinleak matches by package, type and method
 // name, so only the shapes matter.
 package storage
 

@@ -1,0 +1,20 @@
+// Waiver fixtures: //dkblint:pinsafe suppresses the finding at the
+// acquisition it covers, and only there.
+package waived
+
+import "storage"
+
+// The background flusher owns this pin by protocol.
+func waivedLeak(p *storage.Pager) {
+	pg, _ := p.Fetch(1) //dkblint:pinsafe handed to the background flusher, which unpins after write-back
+	_ = pg.Data
+}
+
+// A waiver on one acquisition does not cover the next.
+func waivedThenLeak(p *storage.Pager) {
+	//dkblint:pinsafe the flusher owns this one
+	a, _ := p.Fetch(1)
+	_ = a.Data
+	b, _ := p.Fetch(2) // want "not released on the path"
+	_ = b.Data
+}

@@ -68,7 +68,7 @@ func (ev *evaluator) evalCliqueNaive(node *codegen.Node, seeds map[string][]rel.
 			t0 := time.Now()
 			stmt := fmt.Sprintf("INSERT INTO %s %s EXCEPT SELECT * FROM %s",
 				target, r.SQL(ev.tableOf), target)
-			if err := ev.d.ExecTraced(stmt, ruleSp); err != nil {
+			if err := ev.d.ExecTracedCtx(ev.evalCtx(), stmt, ruleSp); err != nil {
 				return fmt.Errorf("rtlib: rule %q: %w", r.Source, err)
 			}
 			ruleSp.End()
@@ -162,7 +162,7 @@ func (ev *evaluator) evalCliqueSemiNaive(node *codegen.Node, seeds map[string][]
 		t0 := time.Now()
 		stmt := fmt.Sprintf("INSERT INTO %s %s EXCEPT SELECT * FROM %s",
 			target, r.SQL(ev.tableOf), target)
-		if err := ev.d.ExecTraced(stmt, ruleSp); err != nil {
+		if err := ev.d.ExecTracedCtx(ev.evalCtx(), stmt, ruleSp); err != nil {
 			return fmt.Errorf("rtlib: rule %q: %w", r.Source, err)
 		}
 		ruleSp.End()
@@ -228,7 +228,7 @@ func (ev *evaluator) evalCliqueSemiNaive(node *codegen.Node, seeds map[string][]
 				t0 := time.Now()
 				stmt := fmt.Sprintf("INSERT INTO %s %s EXCEPT SELECT * FROM %s EXCEPT SELECT * FROM %s",
 					target, r.SQLWithTables(tables), acc, target)
-				if err := ev.d.ExecTraced(stmt, ruleSp); err != nil {
+				if err := ev.d.ExecTracedCtx(ev.evalCtx(), stmt, ruleSp); err != nil {
 					return fmt.Errorf("rtlib: rule %q: %w", r.Source, err)
 				}
 				ruleSp.End()

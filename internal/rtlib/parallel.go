@@ -89,7 +89,7 @@ func (ev *evaluator) parallelSelects(sqls, labels []string, ns *NodeStats, sp *o
 			jobSp = sp.Start(labels[i])
 			jobSp.SetInt("sched.worker", int64(worker))
 		}
-		rows, err := ev.d.QueryTraced(sqls[i], jobSp)
+		rows, err := ev.d.QueryTracedCtx(ev.evalCtx(), sqls[i], jobSp)
 		jobSp.End()
 		if err != nil {
 			errs[i] = err

@@ -217,6 +217,16 @@ func (ev *evaluator) checkCtx() error {
 	return nil
 }
 
+// evalCtx returns the run's context for statement-level cancellation
+// (rule INSERT ... SELECTs and differential SELECTs observe it between
+// tuples), or Background when the run has none.
+func (ev *evaluator) evalCtx() context.Context {
+	if ev.ctx == nil {
+		return context.Background()
+	}
+	return ev.ctx
+}
+
 // tableOf resolves a predicate to its current relation name: the temp
 // table for derived predicates, the extensional table otherwise.
 func (ev *evaluator) tableOf(pred string) string {
@@ -484,7 +494,7 @@ func (ev *evaluator) evalNonRecursive(node *codegen.Node, seeds map[string][]rel
 		t0 := time.Now()
 		stmt := fmt.Sprintf("INSERT INTO %s %s EXCEPT SELECT * FROM %s",
 			target, r.SQL(ev.tableOf), target)
-		if err := ev.d.ExecTraced(stmt, ruleSp); err != nil {
+		if err := ev.d.ExecTracedCtx(ev.evalCtx(), stmt, ruleSp); err != nil {
 			return fmt.Errorf("rtlib: rule %q: %w", r.Source, err)
 		}
 		ruleSp.End()

@@ -97,8 +97,8 @@ type Snapshot struct {
 	// pins starts at 1 — the store's "currentness" reference — and
 	// counts readers on top. Publish drops the currentness pin when the
 	// snapshot is superseded; whoever takes pins to zero finalizes.
-	pins atomic.Int64
-	done atomic.Bool
+	pins  atomic.Int64
+	done  atomic.Bool
 	store *Store
 }
 

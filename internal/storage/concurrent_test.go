@@ -173,3 +173,104 @@ func TestPagerConcurrentSamePage(t *testing.T) {
 	}
 	p.Unpin(pg)
 }
+
+// TestPagerLatchFreeMissRead targets the miss path's latch-free read:
+// Fetch drops the shard latch around the backing-store read and retries
+// when an eviction write-back overlaps it (the evictGen recheck). A
+// file-backed pool one quarter the working-set size keeps cold misses
+// and dirty evictions running concurrently. Each page's record is a
+// marker prefix plus a run of one version byte; writers bump the version
+// under a per-page test lock (exclusive in-memory access, like the heap
+// layer's locking above the pager), so a torn read — a page assembled
+// from bytes of two different write-backs — shows up as a mixed-version
+// run.
+func TestPagerLatchFreeMissRead(t *testing.T) {
+	path := t.TempDir() + "/miss.db"
+	p, err := OpenPager(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		pages   = 32
+		fillLen = 512
+	)
+	record := func(id PageID, version byte) []byte {
+		rec := make([]byte, len(stressMarker(id))+fillLen)
+		copy(rec, stressMarker(id))
+		for i := len(stressMarker(id)); i < len(rec); i++ {
+			rec[i] = version
+		}
+		return rec
+	}
+	var ids []PageID
+	for i := 0; i < pages; i++ {
+		pg, err := p.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pg.Insert(record(pg.ID, 0)); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, pg.ID)
+		p.Unpin(pg)
+	}
+	pageLocks := make([]sync.Mutex, pages)
+	versions := make([]byte, pages)
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w) * 977))
+			for i := 0; i < 300; i++ {
+				slot := r.Intn(len(ids))
+				id := ids[slot]
+				pageLocks[slot].Lock()
+				pg, err := p.Fetch(id)
+				if err != nil {
+					pageLocks[slot].Unlock()
+					t.Errorf("fetch %d: %v", id, err)
+					return
+				}
+				got := pg.Record(0)
+				prefix := stressMarker(id)
+				if !bytes.Equal(got[:len(prefix)], prefix) {
+					t.Errorf("page %d served marker %q, want %q", id, got[:len(prefix)], prefix)
+				}
+				fill := got[len(prefix):]
+				for j := 1; j < len(fill); j++ {
+					if fill[j] != fill[0] {
+						t.Errorf("page %d: mixed versions %d and %d at offset %d (torn latch-free read?)",
+							id, fill[0], fill[j], j)
+						break
+					}
+				}
+				if r.Intn(3) == 0 {
+					// Bump the version in place so the page is dirty and
+					// its eviction write-back overlaps cold reads.
+					versions[slot]++
+					copy(got, record(id, versions[slot]))
+					pg.Dirty = true
+				}
+				p.Unpin(pg)
+				pageLocks[slot].Unlock()
+				if t.Failed() {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	st := p.Stats()
+	if st.Misses == 0 || st.Evictions == 0 {
+		t.Fatalf("stress never exercised the miss/eviction paths: %+v", st)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -60,6 +60,10 @@ type shard struct {
 	lruHead  *frame // most recently used
 	lruTail  *frame // least recently used
 	stats    PagerStats
+	// evictGen counts eviction write-backs in this stripe. Fetch's
+	// latch-free miss read snapshots it to detect a write-back that
+	// overlapped the read (see Fetch).
+	evictGen uint64
 }
 
 // PagerStats are cumulative counters for buffer-pool activity,
@@ -186,6 +190,7 @@ func (p *Pager) PageCount() PageID {
 
 // Allocate creates a new zero page and returns it pinned.
 func (p *Pager) Allocate() (*Page, error) {
+	//dkblint:locksafe file growth must be atomic with the page-count publish; allocMu is a leaf lock no reader path takes
 	p.allocMu.Lock()
 	id := PageID(p.pageCount.Load())
 	if p.file == nil {
@@ -207,6 +212,7 @@ func (p *Pager) Allocate() (*Page, error) {
 	pg.Init()
 	pg.pins.Store(1)
 	sh := p.shardOf(id)
+	//dkblint:locksafe install may evict a dirty victim; its write-back must finish before the frame vanishes (see evictOne)
 	sh.mu.Lock()
 	sh.install(p, pg)
 	sh.mu.Unlock()
@@ -214,11 +220,23 @@ func (p *Pager) Allocate() (*Page, error) {
 }
 
 // Fetch returns the page pinned; the caller must Unpin it.
+//
+// The miss path reads the page from the backing store with the shard
+// latch released, so a slow disk read never blocks hits on the same
+// stripe. Correctness of the latch-free read: the only writer of a
+// page's on-disk bytes while readers are active is eviction write-back,
+// which runs under this shard's latch and bumps evictGen before the
+// frame disappears. If evictGen is unchanged between dropping the latch
+// and re-taking it, no write-back overlapped our read and the copy is
+// intact; otherwise the copy may be torn and the read retries. A racing
+// Fetch of the same page that installs first wins — the re-check turns
+// our miss into a hit on its frame.
 func (p *Pager) Fetch(id PageID) (*Page, error) {
 	if uint32(id) >= p.pageCount.Load() {
 		return nil, fmt.Errorf("storage: fetch of unallocated page %d (have %d)", id, p.PageCount())
 	}
 	sh := p.shardOf(id)
+	//dkblint:locksafe eviction write-back must finish before the victim frame vanishes; the common miss path reads with the latch released
 	sh.mu.Lock()
 	if fr, ok := sh.frames[id]; ok {
 		sh.stats.Hits++
@@ -228,15 +246,32 @@ func (p *Pager) Fetch(id PageID) (*Page, error) {
 		return fr.page, nil
 	}
 	sh.stats.Misses++
-	pg := &Page{ID: id}
-	if err := p.readPage(id, pg.Data[:]); err != nil {
+	for {
+		gen := sh.evictGen
 		sh.mu.Unlock()
-		return nil, err
+		pg := &Page{ID: id}
+		if err := p.readPage(id, pg.Data[:]); err != nil {
+			return nil, err
+		}
+		//dkblint:locksafe install may evict a dirty victim; its write-back must finish before the frame vanishes (see evictOne)
+		sh.mu.Lock()
+		if fr, ok := sh.frames[id]; ok {
+			sh.stats.Hits++
+			fr.page.pins.Add(1)
+			sh.touch(fr)
+			sh.mu.Unlock()
+			return fr.page, nil
+		}
+		if sh.evictGen != gen {
+			// A write-back ran while the latch was down; our copy may
+			// be torn. Retry the read under a fresh generation.
+			continue
+		}
+		pg.pins.Store(1)
+		sh.install(p, pg)
+		sh.mu.Unlock()
+		return pg, nil
 	}
-	pg.pins.Store(1)
-	sh.install(p, pg)
-	sh.mu.Unlock()
-	return pg, nil
 }
 
 // Unpin releases a pin taken by Fetch or Allocate. It is lock-free: the
@@ -276,6 +311,7 @@ func (sh *shard) evictOne(p *Pager) bool {
 			continue
 		}
 		if fr.page.Dirty {
+			sh.evictGen++
 			if err := p.writePage(&sh.stats, fr.page); err != nil {
 				// Eviction write failures are unrecoverable mid-flight;
 				// keep the page resident and report pressure by refusing.
@@ -324,6 +360,7 @@ func (p *Pager) writePage(stats *PagerStats, pg *Page) error {
 func (p *Pager) Flush() error {
 	for i := range p.shards {
 		sh := &p.shards[i]
+		//dkblint:locksafe flush runs on serialized commit/close paths; the latch pins the dirty set against concurrent eviction
 		sh.mu.Lock()
 		for _, fr := range sh.frames {
 			if fr.page.Dirty {

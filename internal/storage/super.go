@@ -112,6 +112,7 @@ func (p *Pager) AllocateReusable() (*Page, error) {
 	// The pop below is a multi-step read-modify-write of the free list;
 	// flMu keeps concurrent allocators (e.g. two sessions materializing
 	// temp tables) from popping the same page twice.
+	//dkblint:locksafe free-list transactions are multi-page read-modify-writes; flMu must span the chain's page fetches
 	p.flMu.Lock()
 	defer p.flMu.Unlock()
 	head, err := p.freeHead()
@@ -141,6 +142,7 @@ func (p *Pager) FreeChain(head PageID) error {
 	if !p.superblockPresent() {
 		return nil
 	}
+	//dkblint:locksafe free-list transactions are multi-page read-modify-writes; flMu must span the chain's page fetches
 	p.flMu.Lock()
 	defer p.flMu.Unlock()
 	id := head
@@ -172,6 +174,7 @@ func (p *Pager) FreePages() (int, error) {
 	if !p.superblockPresent() {
 		return 0, nil
 	}
+	//dkblint:locksafe free-list transactions are multi-page read-modify-writes; flMu must span the chain's page fetches
 	p.flMu.Lock()
 	defer p.flMu.Unlock()
 	id, err := p.freeHead()
