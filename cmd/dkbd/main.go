@@ -48,6 +48,7 @@ func main() {
 	flag.IntVar(&cfg.slowSize, "slowlog-size", 0, "slow-query ring capacity (0 = default)")
 	flag.DurationVar(&cfg.slowThreshold, "slow-threshold", 0, "minimum latency to enter the slow-query log (0 retains every query)")
 	flag.IntVar(&cfg.schedWorkers, "sched-workers", 0, "evaluation pool workers shared by all sessions (0 = GOMAXPROCS)")
+	flag.StringVar(&cfg.maintPolicy, "maint-policy", "auto", "materialized-view maintenance policy for cached answers: auto|incremental|rederive")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -65,6 +66,7 @@ type config struct {
 	slowSize            int
 	slowThreshold       time.Duration
 	schedWorkers        int
+	maintPolicy         string
 }
 
 // buildLogger turns the -log-level/-log-format flags into the server's
@@ -97,7 +99,14 @@ func run(cfg config) error {
 			return err
 		}
 	}
-	ctb := dkbms.NewConcurrentWithOptions(tb, dkbms.ConcurrentOptions{SchedWorkers: cfg.schedWorkers})
+	policy, err := dkbms.ParseMaintenancePolicy(cfg.maintPolicy)
+	if err != nil {
+		return fmt.Errorf("-maint-policy: %w", err)
+	}
+	ctb := dkbms.NewConcurrentWithOptions(tb, dkbms.ConcurrentOptions{
+		SchedWorkers:      cfg.schedWorkers,
+		MaintenancePolicy: policy,
+	})
 	defer ctb.Close()
 
 	if cfg.load != "" {

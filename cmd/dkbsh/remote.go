@@ -122,6 +122,28 @@ func (s *remoteShell) handle(line string) error {
 			st.SnapshotGen, st.SnapshotReaders, st.ReclaimBacklog, st.WriterStall)
 		fmt.Fprintf(s.out, "scheduler: %d workers, %d queued, %d submitted, %d stolen inline\n",
 			st.SchedWorkers, st.SchedQueued, st.SchedSubmitted, st.SchedStolen)
+		fmt.Fprintf(s.out, "views: %d live, %d maintained, %d re-derived, %d delta tuples, %v maintaining\n",
+			st.ViewsLive, st.ViewsMaintained, st.ViewsRederives,
+			st.ViewsDeltaTuples, st.ViewsMaintainTime)
+		return nil
+	case line == ".views":
+		vs, err := s.c.Views()
+		if err != nil {
+			return err
+		}
+		if len(vs.Views) == 0 {
+			fmt.Fprintln(s.out, "no maintained views")
+			return nil
+		}
+		for _, v := range vs.Views {
+			fmt.Fprintf(s.out, "%-40q %-11s %6d rows, %d maintains",
+				v.Query, v.Policy, v.Rows, v.Maintains)
+			if v.Maintains > 0 {
+				fmt.Fprintf(s.out, " (last: %d delta tuples in %v)",
+					v.LastDeltaTuples, v.LastMaintain)
+			}
+			fmt.Fprintln(s.out)
+		}
 		return nil
 	case line == ".slowlog":
 		sl, err := s.c.Slowlog()
@@ -227,6 +249,7 @@ commands (remote session):
   .exec ID        run a prepared query
   .stats          server activity counters
   .slowlog        server slow-query log (slowest first)
+  .views          live maintained materialized views (most recent first)
   .trace Q        run a query with server-side tracing and print its span tree
   .opts WORDS     naive|seminaive  magic|nomagic|adaptive  parallel|serial
   .quit

@@ -160,6 +160,16 @@ func render(prev, cur *sample, elapsed time.Duration) string {
 		cur.get("sched.workers"), cur.get("sched.clients"), cur.get("sched.queued"),
 		cur.get("sched.completed"), taskRate, cur.get("sched.stolen"))
 
+	// Materialized views: maintenance throughput vs forced re-derivations.
+	var maintRate float64
+	if prev != nil && elapsed > 0 {
+		maintRate = float64(cur.get("matview.maintained")-prev.get("matview.maintained")) / elapsed.Seconds()
+	}
+	fmt.Fprintf(&b, "views %d live  maintained %d (%.1f/s)  rederived %d  delta %d tuples  spent %v\n",
+		cur.get("matview.live"), cur.get("matview.maintained"), maintRate,
+		cur.get("matview.rederives"), cur.get("matview.delta_tuples"),
+		time.Duration(cur.get("matview.maintain_ns")))
+
 	// Busiest tables by heap traffic (reads + scanned records), top 5.
 	type tableRow struct {
 		name          string

@@ -40,6 +40,11 @@ func TestRender(t *testing.T) {
 		{Name: "sched.queued", Kind: "gauge", Value: 1},
 		{Name: "sched.completed", Kind: "gauge", Value: 640},
 		{Name: "sched.stolen", Kind: "gauge", Value: 33},
+		{Name: "matview.live", Kind: "gauge", Value: 2},
+		{Name: "matview.maintained", Kind: "gauge", Value: 90},
+		{Name: "matview.rederives", Kind: "gauge", Value: 6},
+		{Name: "matview.delta_tuples", Kind: "gauge", Value: 410},
+		{Name: "matview.maintain_ns", Kind: "gauge", Value: int64(3 * time.Millisecond)},
 		{Name: "table.parent_2.rows", Kind: "gauge", Value: 1022},
 		{Name: "table.parent_2.heap_reads", Kind: "counter", Value: 7},
 		{Name: "table.parent_2.heap_recs_scanned", Kind: "counter", Value: 5000},
@@ -67,6 +72,9 @@ func TestRender(t *testing.T) {
 		"sched 4 workers",
 		"done 640",
 		"stolen 33",
+		"views 2 live",
+		"rederived 6",
+		"delta 410 tuples",
 		"parent_2",
 		"1022",
 		"SLOW QUERIES (2 recorded)",

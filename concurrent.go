@@ -11,6 +11,7 @@ import (
 	"dkbms/internal/core"
 	"dkbms/internal/db"
 	"dkbms/internal/dlog"
+	"dkbms/internal/matview"
 	"dkbms/internal/obs"
 	"dkbms/internal/rel"
 	"dkbms/internal/sched"
@@ -66,6 +67,9 @@ type ConcurrentTestbed struct {
 	// closed is set by Close before the reader drain; readers check it
 	// after pinning so a query admitted during shutdown backs out.
 	closed atomic.Bool
+	// defaultPolicy is the maintenance policy for queries that leave
+	// QueryOptions.Maintenance at MaintDefault.
+	defaultPolicy MaintenancePolicy
 }
 
 // ConcurrentOptions tune a ConcurrentTestbed.
@@ -76,6 +80,10 @@ type ConcurrentOptions struct {
 	// SchedWorkers sizes the shared evaluation worker pool (<= 0
 	// selects GOMAXPROCS).
 	SchedWorkers int
+	// MaintenancePolicy is the default materialized-view maintenance
+	// policy for queries that do not set QueryOptions.Maintenance
+	// (MaintDefault selects MaintAuto).
+	MaintenancePolicy MaintenancePolicy
 }
 
 // NewConcurrent wraps a testbed for concurrent use. The caller must not
@@ -97,14 +105,33 @@ func NewConcurrentWithOptions(tb *Testbed, opts ConcurrentOptions) *ConcurrentTe
 		planEntries = DefaultPlanCacheEntries
 	}
 	c := &ConcurrentTestbed{
-		tb:    tb,
-		snaps: snapshot.NewStore(BaseTableName("")),
-		plans: newPlanCache(planEntries),
-		sched: sched.NewPool(opts.SchedWorkers),
+		tb:            tb,
+		snaps:         snapshot.NewStore(BaseTableName("")),
+		plans:         newPlanCache(planEntries),
+		sched:         sched.NewPool(opts.SchedWorkers),
+		defaultPolicy: opts.MaintenancePolicy,
 	}
+	// Wire view maintenance: refreshes run against the live database
+	// (the writer maintains after publishing), in parallel across views
+	// on the shared pool.
+	c.plans.db = tb.db
+	c.plans.pool = c.sched
 	tb.SetEvalPool(c.sched)
 	c.publish(0) // the initial snapshot: the testbed state as wrapped
 	return c
+}
+
+// resolvePolicy maps a query's requested maintenance policy through the
+// testbed default down to the hard default, MaintAuto.
+func (c *ConcurrentTestbed) resolvePolicy(opts *QueryOptions) MaintenancePolicy {
+	p := opts.Maintenance
+	if p == MaintDefault {
+		p = c.defaultPolicy
+	}
+	if p == MaintDefault {
+		p = MaintAuto
+	}
+	return p
 }
 
 // SchedStats snapshots the shared evaluation pool's counters.
@@ -119,8 +146,11 @@ func (c *ConcurrentTestbed) SchedStats() sched.Stats {
 func (c *ConcurrentTestbed) Testbed() *Testbed { return c.tb }
 
 // Resync republishes the engine snapshot from the live testbed state
-// and drops every cached plan and result. Call it after mutating the
-// wrapped testbed directly in a phase with no concurrent readers.
+// and emits a flush invalidation event, dropping every cached plan,
+// result and maintained view (out-of-band mutation moves no
+// generations, so nothing cached can be trusted). Call it after
+// mutating the wrapped testbed directly in a phase with no concurrent
+// readers.
 func (c *ConcurrentTestbed) Resync() {
 	//dkblint:locksafe single-writer commit protocol: writers serialize on commitMu through publication I/O; readers never take it
 	c.commitMu.Lock()
@@ -128,8 +158,7 @@ func (c *ConcurrentTestbed) Resync() {
 	if c.closed.Load() {
 		return
 	}
-	c.publish(0)
-	c.plans.purgeAll()
+	c.publishEvent(0, &matview.Event{Kind: matview.EventFlush})
 }
 
 // Close shuts the testbed down after all in-flight queries drain and
@@ -201,12 +230,22 @@ func (c *ConcurrentTestbed) shadow(tables []string) (time.Duration, error) {
 	return time.Since(start), nil
 }
 
-// publish installs the successor snapshot from the live catalog state
-// (every non-temp table) and the current generations, then reconciles
-// the plan cache. It runs on every commit exit path — even a partially
-// failed update may have moved tables or generations. Caller holds
-// commitMu.
+// publish installs the successor snapshot with no invalidation event:
+// the plan cache treats the commit as an unknown mutation and drops
+// stale memos instead of maintaining them. Failed commit exit paths use
+// this — a partially applied update may have moved tables or
+// generations in ways the intended event no longer describes.
 func (c *ConcurrentTestbed) publish(buildCost time.Duration) {
+	c.publishEvent(buildCost, nil)
+}
+
+// publishEvent installs the successor snapshot from the live catalog
+// state (every non-temp table) and the current generations, then
+// reconciles the plan cache against the typed invalidation event:
+// memoized answers whose programs read the committed fact deltas are
+// maintained in place (policy permitting), everything staler is
+// dropped. It runs on every commit exit path. Caller holds commitMu.
+func (c *ConcurrentTestbed) publishEvent(buildCost time.Duration, ev *matview.Event) {
 	cat := c.tb.db.Catalog()
 	tables := make(map[string]*catalog.Table)
 	for _, name := range cat.Tables() {
@@ -216,8 +255,9 @@ func (c *ConcurrentTestbed) publish(buildCost time.Duration) {
 		}
 		tables[name] = t
 	}
+	prev := c.snaps.Current()
 	s := c.snaps.Publish(tables, c.tb.ruleGen, c.tb.dataGen, c.tb.ws, buildCost)
-	c.plans.purgeStale(s)
+	c.plans.Invalidate(prev, s, ev)
 }
 
 // Load enters a Horn-clause program as one commit: the fact relations
@@ -242,7 +282,8 @@ func (c *ConcurrentTestbed) Load(src string) error {
 	// when rules will be added.
 	cat := c.tb.db.Catalog()
 	var tables []string
-	seen := make(map[string]bool)
+	seen := make(map[string]int) // table -> 1 + index into deltas (0 = unseen)
+	var deltas []matview.TableDelta
 	hasRules, newTable := false, false
 	for _, cl := range prog.Clauses {
 		if !cl.IsFact() {
@@ -250,14 +291,24 @@ func (c *ConcurrentTestbed) Load(src string) error {
 			continue
 		}
 		t := BaseTableName(cl.Head.Pred)
-		if seen[t] {
-			continue
+		if seen[t] == 0 {
+			if cat.Table(t) != nil {
+				tables = append(tables, t)
+				deltas = append(deltas, matview.TableDelta{Table: t})
+				seen[t] = len(deltas)
+			} else {
+				// A fresh relation bumps the rule generation, which
+				// already re-derives every memo; no delta needed.
+				newTable = true
+				seen[t] = -1
+			}
 		}
-		seen[t] = true
-		if cat.Table(t) != nil {
-			tables = append(tables, t)
-		} else {
-			newTable = true
+		if di := seen[t]; di > 0 {
+			tu := make(rel.Tuple, len(cl.Head.Args))
+			for i, a := range cl.Head.Args {
+				tu[i] = a.Val
+			}
+			deltas[di-1].Inserted = append(deltas[di-1].Inserted, tu)
 		}
 	}
 	if newTable {
@@ -277,8 +328,23 @@ func (c *ConcurrentTestbed) Load(src string) error {
 		return err
 	}
 	err = c.tb.Load(src)
-	c.publish(cost)
-	return err
+	if err != nil {
+		// A partially applied program: the deltas above may overstate
+		// what landed, so invalidate conservatively.
+		c.publish(cost)
+		return err
+	}
+	c.publishEvent(cost, loadEvent(hasRules || newTable, deltas))
+	return nil
+}
+
+// loadEvent types a Load commit: rule or relation changes invalidate at
+// the rule-generation level, pure fact appends carry their deltas.
+func loadEvent(ruleChange bool, deltas []matview.TableDelta) *matview.Event {
+	if ruleChange {
+		return &matview.Event{Kind: matview.EventRuleGen}
+	}
+	return &matview.Event{Kind: matview.EventCommit, Deltas: deltas}
 }
 
 // Assert adds one ground fact as one commit.
@@ -294,7 +360,8 @@ func (c *ConcurrentTestbed) Assert(fact dlog.Atom) error {
 	}
 	table := BaseTableName(fact.Pred)
 	tables := []string{table}
-	if c.tb.db.Catalog().Table(table) == nil {
+	newTable := c.tb.db.Catalog().Table(table) == nil
+	if newTable {
 		tables = []string{stored.TabEDBRels, stored.TabEDBCols}
 	}
 	cost, err := c.shadow(tables)
@@ -303,8 +370,23 @@ func (c *ConcurrentTestbed) Assert(fact dlog.Atom) error {
 		return err
 	}
 	err = c.tb.Assert(fact)
-	c.publish(cost)
-	return err
+	if err != nil {
+		c.publish(cost)
+		return err
+	}
+	if newTable {
+		// Relation creation bumps the rule generation; every memo
+		// re-derives.
+		c.publishEvent(cost, &matview.Event{Kind: matview.EventRuleGen})
+		return nil
+	}
+	tu := make(rel.Tuple, len(fact.Args))
+	for i, a := range fact.Args {
+		tu[i] = a.Val
+	}
+	c.publishEvent(cost, &matview.Event{Kind: matview.EventCommit,
+		Deltas: []matview.TableDelta{{Table: table, Inserted: []rel.Tuple{tu}}}})
+	return nil
 }
 
 // Retract deletes matching facts as one commit. A retract that cannot
@@ -324,15 +406,19 @@ func (c *ConcurrentTestbed) Retract(pattern dlog.Atom) (int, error) {
 		// the testbed call mutates nothing.
 		return c.tb.Retract(pattern)
 	}
-	stmt := "SELECT COUNT(*) FROM " + table
+	// Read the matching rows up front: a no-op retract skips the commit
+	// entirely, and the matched set is exactly the fact delta the
+	// maintained views propagate (the read and the delete are atomic
+	// under commitMu).
+	stmt := "SELECT * FROM " + table
 	if where != "" {
 		stmt += " WHERE " + where
 	}
-	n, err := c.tb.db.QueryCount(stmt)
+	matched, err := c.tb.db.Query(stmt)
 	if err != nil {
 		return 0, err
 	}
-	if n == 0 {
+	if len(matched.Tuples) == 0 {
 		return c.tb.Retract(pattern)
 	}
 	cost, err := c.shadow([]string{table})
@@ -341,8 +427,13 @@ func (c *ConcurrentTestbed) Retract(pattern dlog.Atom) (int, error) {
 		return 0, err
 	}
 	removed, rerr := c.tb.Retract(pattern)
-	c.publish(cost)
-	return removed, rerr
+	if rerr != nil {
+		c.publish(cost)
+		return removed, rerr
+	}
+	c.publishEvent(cost, &matview.Event{Kind: matview.EventCommit,
+		Deltas: []matview.TableDelta{{Table: table, Deleted: matched.Tuples}}})
+	return removed, nil
 }
 
 // RetractSrc is Retract for a source-syntax pattern.
@@ -374,8 +465,12 @@ func (c *ConcurrentTestbed) Update() (stored.UpdateStats, error) {
 		return stored.UpdateStats{}, err
 	}
 	st, uerr := c.tb.Update()
-	c.publish(cost)
-	return st, uerr
+	if uerr != nil {
+		c.publish(cost)
+		return st, uerr
+	}
+	c.publishEvent(cost, &matview.Event{Kind: matview.EventRuleGen})
+	return st, nil
 }
 
 // --- Read path: pinned-snapshot queries ---
@@ -405,10 +500,13 @@ func (c *ConcurrentTestbed) QueryContext(ctx context.Context, src string, opts *
 	defer s.Release()
 	key := planKey{src: src, opts: *opts}
 	key.opts.Trace = false // the trace flag does not change the plan
-	compiled, cached := c.plans.lookup(key, s)
+	compiled, cached, maintained := c.plans.lookup(key, s)
 	if cached != nil && !opts.Trace {
 		out := shareResult(cached)
 		out.Cache = "result"
+		if maintained {
+			out.Cache = "maintained"
+		}
 		out.Snapshot = s.Gen
 		return out, nil
 	}
@@ -431,15 +529,25 @@ func (c *ConcurrentTestbed) QueryContext(ctx context.Context, src string, opts *
 			return nil, err
 		}
 	}
-	res, err := c.tb.evaluateWith(ctx, vdb, compiled, opts, tr)
+	// A maintainable answer keeps its evaluation's derived relations:
+	// the view layer refreshes them (and the memo) through commits.
+	// Traced runs never publish answers, so they keep nothing.
+	policy := c.resolvePolicy(opts)
+	keep := policy != MaintRederive && !opts.Trace
+	res, rres, err := c.tb.evaluateKeep(ctx, vdb, compiled, opts, tr, keep)
 	if err != nil {
 		return nil, err
 	}
 	res.Snapshot = s.Gen
 	if opts.Trace {
-		c.plans.store(key, s, compiled, nil)
+		c.plans.store(key, s, compiled, nil, nil, policy)
 	} else {
-		c.plans.store(key, s, compiled, res)
+		var view *matview.View
+		if rres != nil && keep {
+			tables, created := rres.Detach()
+			view = matview.New(compiled.Program, tables, created)
+		}
+		c.plans.store(key, s, compiled, res, view, policy)
 	}
 	out := shareResult(res)
 	out.Cache = cacheStatus

@@ -149,3 +149,13 @@ func (c *Client) Slowlog() (wire.Slowlog, error) {
 	}
 	return wire.DecodeSlowlog(rp)
 }
+
+// Views fetches the server's live maintained materialized views, most
+// recently used first.
+func (c *Client) Views() (wire.Views, error) {
+	rp, err := c.roundTrip(wire.MsgViews, nil, wire.MsgViewsReply)
+	if err != nil {
+		return wire.Views{}, err
+	}
+	return wire.DecodeViews(rp)
+}

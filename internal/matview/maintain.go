@@ -1,0 +1,582 @@
+package matview
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"dkbms/internal/codegen"
+	"dkbms/internal/db"
+	"dkbms/internal/obs"
+	"dkbms/internal/rel"
+	"dkbms/internal/storage"
+)
+
+// Maintain refreshes the view through one commit's fact deltas and
+// returns the refreshed answer rows (a fresh slice; the previous
+// memoized rows are never mutated). It must run on the single-writer
+// commit path, after the commit published: base tables are then in
+// their post-commit state, which is exactly what the delta rounds join
+// against.
+//
+// Deletions go first (Delete-and-Rederive against the pre-state, which
+// is reconstructed as post-state ∪ deleted), then insertions propagate
+// semi-naive. On error the view is inconsistent and the caller must
+// drop it.
+func (v *View) Maintain(d *db.DB, ev *Event) ([]rel.Tuple, error) {
+	start := time.Now()
+	tr := obs.NewTrace("maintain")
+
+	// Restrict the commit footprint to tables the program reads.
+	reads := make(map[string]bool, len(v.prog.BasePreds))
+	for _, p := range v.prog.BasePreds {
+		reads[codegen.BaseTable(p)] = true
+	}
+	ins := make(map[string][]rel.Tuple)
+	del := make(map[string][]rel.Tuple)
+	for _, td := range ev.Deltas {
+		if !reads[td.Table] {
+			continue
+		}
+		if len(td.Inserted) > 0 {
+			ins[td.Table] = append(ins[td.Table], td.Inserted...)
+		}
+		if len(td.Deleted) > 0 {
+			del[td.Table] = append(del[td.Table], td.Deleted...)
+		}
+	}
+
+	m := &maint{d: d, v: v, prefix: fmt.Sprintf("mv%d_", atomic.AddUint64(&viewSeq, 1))}
+	defer m.dropAll()
+	if len(del) > 0 {
+		if err := m.dred(del, tr.Root()); err != nil {
+			return nil, err
+		}
+	}
+	if len(ins) > 0 {
+		if err := m.propagate(ins, tr.Root()); err != nil {
+			return nil, err
+		}
+	}
+
+	rows, err := d.Query("SELECT * FROM " + v.tableOf(v.prog.QueryPred))
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	tr.Root().SetInt("delta_tuples", int64(m.deltaTuples))
+	tr.Root().SetInt("maintain_us", elapsed.Microseconds())
+	tr.Finish()
+	v.maintains.Add(1)
+	v.lastDelta.Store(int64(m.deltaTuples))
+	v.lastNs.Store(int64(elapsed))
+	v.lastTrace.Store(tr)
+	return rows.Tuples, nil
+}
+
+// maint is the working state of one maintenance run: the scratch temp
+// tables it creates (delta tables, pre-state copies) are dropped when
+// the run ends, leaving only the view's accumulators.
+type maint struct {
+	d       *db.DB
+	v       *View
+	prefix  string
+	created []string
+	seq     int
+	// deltaTuples counts derived-relation changes applied: tuples
+	// over-deleted plus delta tuples promoted into accumulators.
+	deltaTuples int
+}
+
+func (m *maint) createTable(hint string, schema *rel.Schema) (string, error) {
+	if schema == nil {
+		return "", fmt.Errorf("matview: no schema for scratch table %s", hint)
+	}
+	m.seq++
+	name := fmt.Sprintf("%s%s%d", m.prefix, hint, m.seq)
+	var b strings.Builder
+	fmt.Fprintf(&b, "CREATE TEMP TABLE %s (", name)
+	for i := 0; i < schema.Len(); i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		c := schema.Col(i)
+		fmt.Fprintf(&b, "%s %s", c.Name, c.Type.String())
+	}
+	b.WriteByte(')')
+	if err := m.d.Exec(b.String()); err != nil {
+		return "", err
+	}
+	m.created = append(m.created, name)
+	return name, nil
+}
+
+func (m *maint) dropAll() {
+	for _, t := range m.created {
+		// Best-effort: a failed scratch drop leaks a temp table until
+		// the database closes, nothing worse.
+		m.d.Exec("DROP TABLE " + t) //nolint:errcheck
+	}
+	m.created = nil
+}
+
+// rules iterates every compiled rule of the program (exit and recursive
+// across all evaluation-order nodes). Delta propagation differentiates
+// globally, not per clique: an exit rule of a later node reads derived
+// relations of earlier nodes, so it too must fire on their deltas.
+func (m *maint) rules(f func(r *codegen.RuleSQL) error) error {
+	for ni := range m.v.prog.Nodes {
+		n := &m.v.prog.Nodes[ni]
+		for i := range n.ExitRules {
+			if err := f(&n.ExitRules[i]); err != nil {
+				return err
+			}
+		}
+		for i := range n.RecursiveRules {
+			if err := f(&n.RecursiveRules[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// tableSchema returns the schema of a live table (base-table deltas and
+// pre-state copies reuse the extensional schema).
+func (m *maint) tableSchema(table string) (*rel.Schema, error) {
+	t := m.d.Table(table)
+	if t == nil {
+		return nil, fmt.Errorf("matview: base table %s vanished", table)
+	}
+	return t.Schema, nil
+}
+
+// materialize creates a scratch table holding the given tuples.
+func (m *maint) materialize(hint, table string, tuples []rel.Tuple) (string, error) {
+	schema, err := m.tableSchema(table)
+	if err != nil {
+		return "", err
+	}
+	name, err := m.createTable(hint, schema)
+	if err != nil {
+		return "", err
+	}
+	return name, m.d.InsertTuples(name, tuples)
+}
+
+// --- Insert propagation (semi-naive delta rules) ---
+
+// propagate applies base-table insertions: round 1 evaluates every rule
+// once per touched-base FROM position with the delta at that position
+// and full post-state elsewhere; later rounds differentiate derived
+// positions exactly like rtlib's semi-naive loop, with the EXCEPT chain
+// deduplicating across occurrences. Monotonicity makes this sound and
+// complete: lfp(post) = lfp(pre ∪ Δ) and every new derivation uses at
+// least one new tuple in some position.
+func (m *maint) propagate(ins map[string][]rel.Tuple, root *obs.Span) error {
+	sp := root.Start("propagate")
+	defer sp.End()
+	base := 0
+	for _, tus := range ins {
+		base += len(tus)
+	}
+	sp.SetInt("inserted_base", int64(base))
+
+	dbase := make(map[string]string, len(ins))
+	for table, tuples := range ins {
+		name, err := m.materialize("ins_", table, tuples)
+		if err != nil {
+			return err
+		}
+		dbase[table] = name
+	}
+	prev, next, err := m.deltaPair()
+	if err != nil {
+		return err
+	}
+
+	// Round 1: fire every rule at each touched-base position.
+	err = m.rules(func(r *codegen.RuleSQL) error {
+		for fi, f := range r.From {
+			if m.v.derived(f.Pred) {
+				continue
+			}
+			dt, ok := dbase[codegen.BaseTable(f.Pred)]
+			if !ok {
+				continue
+			}
+			if err := m.fire(r, fi, dt, m.v.tableOf, prev); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Later rounds: promote deltas into accumulators, differentiate
+	// derived positions until the delta runs dry.
+	rounds := 0
+	for {
+		counts, total, err := m.deltaCounts(prev)
+		if err != nil {
+			return err
+		}
+		if total == 0 {
+			break
+		}
+		rounds++
+		m.deltaTuples += total
+		for p, t := range prev {
+			if counts[p] == 0 {
+				continue
+			}
+			if err := m.d.Exec(fmt.Sprintf("INSERT INTO %s SELECT * FROM %s", m.v.tableOf(p), t)); err != nil {
+				return err
+			}
+		}
+		err = m.rules(func(r *codegen.RuleSQL) error {
+			for fi, f := range r.From {
+				if !m.v.derived(f.Pred) || counts[f.Pred] == 0 {
+					continue
+				}
+				if err := m.fire(r, fi, prev[f.Pred], m.v.tableOf, next); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if err := m.truncate(prev); err != nil {
+			return err
+		}
+		prev, next = next, prev
+	}
+	sp.SetInt("rounds", int64(rounds))
+	sp.SetInt("delta_tuples", int64(m.deltaTuples))
+	return nil
+}
+
+// fire evaluates one rule with the delta table at FROM position fi and
+// tableOf everywhere else, inserting genuinely new head tuples (not in
+// the accumulator, not already in this round's delta) into dst[head].
+func (m *maint) fire(r *codegen.RuleSQL, fi int, deltaTable string, tableOf func(string) string, dst map[string]string) error {
+	tables := make([]string, len(r.From))
+	for fj, f := range r.From {
+		if fj == fi {
+			tables[fj] = deltaTable
+		} else {
+			tables[fj] = tableOf(f.Pred)
+		}
+	}
+	stmt := fmt.Sprintf("INSERT INTO %s %s EXCEPT SELECT * FROM %s EXCEPT SELECT * FROM %s",
+		dst[r.Head], r.SQLWithTables(tables), m.v.tableOf(r.Head), dst[r.Head])
+	if err := m.d.Exec(stmt); err != nil {
+		return fmt.Errorf("matview: delta rule %q: %w", r.Source, err)
+	}
+	return nil
+}
+
+// deltaPair creates two empty per-predicate delta table sets (current
+// and next round), reused across rounds by truncation.
+func (m *maint) deltaPair() (prev, next map[string]string, err error) {
+	prev = make(map[string]string, len(m.v.tables))
+	next = make(map[string]string, len(m.v.tables))
+	for p := range m.v.tables {
+		if prev[p], err = m.createTable("d_", m.v.prog.Schemas[p]); err != nil {
+			return nil, nil, err
+		}
+		if next[p], err = m.createTable("d_", m.v.prog.Schemas[p]); err != nil {
+			return nil, nil, err
+		}
+	}
+	return prev, next, nil
+}
+
+func (m *maint) deltaCounts(delta map[string]string) (map[string]int, int, error) {
+	counts := make(map[string]int, len(delta))
+	total := 0
+	for p, t := range delta {
+		n, err := m.d.QueryCount("SELECT COUNT(*) FROM " + t)
+		if err != nil {
+			return nil, 0, err
+		}
+		counts[p] = int(n)
+		total += int(n)
+	}
+	return counts, total, nil
+}
+
+func (m *maint) truncate(delta map[string]string) error {
+	for _, t := range delta {
+		if err := m.d.Exec("DELETE FROM " + t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- Delete-and-Rederive ---
+
+// dred applies base-table deletions with the DRed algorithm:
+//
+//  1. reconstruct pre-state for each deleted-from base table
+//     (post ∪ deleted — the accumulators are still pre-state);
+//  2. over-delete: propagate deletion candidates through the delta
+//     rules against the pre-state, to a fixpoint;
+//  3. remove the candidates (except magic seeds, which are axioms of
+//     the program) from the accumulators;
+//  4. re-derive survivors: one-step rule evaluation over the now
+//     post-state relations, re-inserting any candidate that is still
+//     derivable, to a fixpoint.
+func (m *maint) dred(del map[string][]rel.Tuple, root *obs.Span) error {
+	sp := root.Start("dred")
+	defer sp.End()
+	base := 0
+	for _, tus := range del {
+		base += len(tus)
+	}
+	sp.SetInt("deleted_base", int64(base))
+
+	// Pre-state copies and delta tables for the deleted facts.
+	dbase := make(map[string]string, len(del))
+	pre := make(map[string]string, len(del))
+	for table, tuples := range del {
+		dt, err := m.materialize("del_", table, tuples)
+		if err != nil {
+			return err
+		}
+		dbase[table] = dt
+		pt, err := m.materialize("pre_", table, nil)
+		if err != nil {
+			return err
+		}
+		if err := m.d.Exec(fmt.Sprintf("INSERT INTO %s SELECT * FROM %s", pt, table)); err != nil {
+			return err
+		}
+		if err := m.d.InsertTuples(pt, tuples); err != nil {
+			return err
+		}
+		pre[table] = pt
+	}
+	preOf := func(pred string) string {
+		if t, ok := m.v.tables[pred]; ok {
+			return t // accumulators are still pre-state here
+		}
+		bt := codegen.BaseTable(pred)
+		if p, ok := pre[bt]; ok {
+			return p
+		}
+		return bt
+	}
+
+	// Accumulated deletion candidates per derived predicate, plus the
+	// per-round pair.
+	acc := make(map[string]string, len(m.v.tables))
+	for p := range m.v.tables {
+		t, err := m.createTable("dd_", m.v.prog.Schemas[p])
+		if err != nil {
+			return err
+		}
+		acc[p] = t
+	}
+	prev, next, err := m.deltaPair()
+	if err != nil {
+		return err
+	}
+	// fireDel is fire against the pre-state with the candidate chain's
+	// dedup (EXCEPT accumulated candidates EXCEPT this round).
+	fireDel := func(r *codegen.RuleSQL, fi int, deltaTable string, dst map[string]string) error {
+		tables := make([]string, len(r.From))
+		for fj, f := range r.From {
+			if fj == fi {
+				tables[fj] = deltaTable
+			} else {
+				tables[fj] = preOf(f.Pred)
+			}
+		}
+		stmt := fmt.Sprintf("INSERT INTO %s %s EXCEPT SELECT * FROM %s EXCEPT SELECT * FROM %s",
+			dst[r.Head], r.SQLWithTables(tables), acc[r.Head], dst[r.Head])
+		if err := m.d.Exec(stmt); err != nil {
+			return fmt.Errorf("matview: over-delete rule %q: %w", r.Source, err)
+		}
+		return nil
+	}
+
+	// Round 1: candidates from the deleted base facts.
+	err = m.rules(func(r *codegen.RuleSQL) error {
+		for fi, f := range r.From {
+			if m.v.derived(f.Pred) {
+				continue
+			}
+			dt, ok := dbase[codegen.BaseTable(f.Pred)]
+			if !ok {
+				continue
+			}
+			if err := fireDel(r, fi, dt, prev); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// Later rounds: candidates breed candidates through derived
+	// positions, still against the pre-state.
+	for {
+		counts, total, err := m.deltaCounts(prev)
+		if err != nil {
+			return err
+		}
+		if total == 0 {
+			break
+		}
+		for p, t := range prev {
+			if counts[p] == 0 {
+				continue
+			}
+			if err := m.d.Exec(fmt.Sprintf("INSERT INTO %s SELECT * FROM %s", acc[p], t)); err != nil {
+				return err
+			}
+		}
+		err = m.rules(func(r *codegen.RuleSQL) error {
+			for fi, f := range r.From {
+				if !m.v.derived(f.Pred) || counts[f.Pred] == 0 {
+					continue
+				}
+				if err := fireDel(r, fi, prev[f.Pred], next); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if err := m.truncate(prev); err != nil {
+			return err
+		}
+		prev, next = next, prev
+	}
+
+	// Apply: delete the candidates from the accumulators, protecting
+	// seeds (they are facts of the program, never derived).
+	seeds := make(map[string]map[string]bool, len(m.v.prog.Seeds))
+	for _, s := range m.v.prog.Seeds {
+		if seeds[s.Pred] == nil {
+			seeds[s.Pred] = make(map[string]bool)
+		}
+		seeds[s.Pred][s.Tuple.Key()] = true
+	}
+	candidates := make(map[string]map[string]rel.Tuple, len(acc))
+	overDeleted := 0
+	for p, t := range acc {
+		rows, err := m.d.Query("SELECT * FROM " + t)
+		if err != nil {
+			return err
+		}
+		if len(rows.Tuples) == 0 {
+			continue
+		}
+		victims := make(map[string]rel.Tuple, len(rows.Tuples))
+		for _, tu := range rows.Tuples {
+			k := tu.Key()
+			if seeds[p][k] {
+				continue
+			}
+			victims[k] = tu
+		}
+		n, err := deleteMatching(m.d, m.v.tableOf(p), victims)
+		if err != nil {
+			return err
+		}
+		overDeleted += n
+		if n > 0 {
+			candidates[p] = victims
+		}
+	}
+	m.deltaTuples += overDeleted
+	sp.SetInt("overdeleted", int64(overDeleted))
+
+	// Re-derive survivors: one-step consequences over the post-state,
+	// intersected with the candidate sets (Go-side — the SQL dialect
+	// has no subqueries), to a fixpoint.
+	rederived := 0
+	rounds := 0
+	for changed := true; changed; {
+		changed = false
+		rounds++
+		err = m.rules(func(r *codegen.RuleSQL) error {
+			cand := candidates[r.Head]
+			if len(cand) == 0 {
+				return nil
+			}
+			rows, err := m.d.Query(r.SQL(m.v.tableOf))
+			if err != nil {
+				return fmt.Errorf("matview: re-derive rule %q: %w", r.Source, err)
+			}
+			var back []rel.Tuple
+			for _, tu := range rows.Tuples {
+				k := tu.Key()
+				if _, ok := cand[k]; !ok {
+					continue
+				}
+				back = append(back, tu)
+				delete(cand, k)
+			}
+			if len(back) == 0 {
+				return nil
+			}
+			if err := m.d.InsertTuples(m.v.tableOf(r.Head), back); err != nil {
+				return err
+			}
+			rederived += len(back)
+			changed = true
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	m.deltaTuples += rederived
+	sp.SetInt("rederived", int64(rederived))
+	sp.SetInt("rounds", int64(rounds))
+	return nil
+}
+
+// deleteMatching removes the rows whose keys appear in victims from a
+// table, in one scan (the dialect's DELETE takes only literal
+// conjunctions, so per-tuple statements would rescan per victim). It
+// returns how many rows actually left the table — candidates a magic
+// program never materialized simply do not match.
+func deleteMatching(d *db.DB, table string, victims map[string]rel.Tuple) (int, error) {
+	t := d.Table(table)
+	if t == nil {
+		return 0, fmt.Errorf("matview: view relation %s vanished", table)
+	}
+	type victim struct {
+		rid storage.RID
+		tu  rel.Tuple
+	}
+	var hit []victim
+	err := t.Scan(func(rid storage.RID, tu rel.Tuple) error {
+		if _, ok := victims[tu.Key()]; ok {
+			hit = append(hit, victim{rid, tu})
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	for _, vx := range hit {
+		if err := t.DeleteRID(vx.rid, vx.tu); err != nil {
+			return len(hit), err
+		}
+	}
+	return len(hit), nil
+}

@@ -130,6 +130,22 @@ func (r *Result) Cleanup() error {
 	return err
 }
 
+// Detach transfers ownership of the evaluation's derived relations to
+// the caller: the predicate→temp-table map and the list of tables to
+// drop eventually (the materialized-view layer wraps them and maintains
+// them in place). After Detach, Cleanup is a no-op; both return nil
+// maps unless the evaluation ran with Options.KeepTables. The
+// evaluation is complete by the time a Result exists, so no lock is
+// needed.
+func (r *Result) Detach() (tables map[string]string, created []string) {
+	if r.ev == nil {
+		return nil, nil
+	}
+	ev := r.ev
+	r.ev = nil
+	return ev.tables, ev.created
+}
+
 // runSeq distinguishes concurrent evaluations' temp table names within
 // one process (the shell, the benches and the server's sessions reuse a
 // single DB). Incremented atomically: evaluations start concurrently.

@@ -151,6 +151,11 @@ func (s *Server) initRegistry() {
 	gauge("sched.submitted", func() int64 { return s.tb.SchedStats().Submitted })
 	gauge("sched.completed", func() int64 { return s.tb.SchedStats().Completed })
 	gauge("sched.stolen", func() int64 { return s.tb.SchedStats().Stolen })
+	gauge("matview.live", func() int64 { return s.tb.MatViewStats().Live })
+	gauge("matview.maintained", func() int64 { return s.tb.MatViewStats().Maintained })
+	gauge("matview.rederives", func() int64 { return s.tb.MatViewStats().Rederives })
+	gauge("matview.delta_tuples", func() int64 { return s.tb.MatViewStats().DeltaTuples })
+	gauge("matview.maintain_ns", func() int64 { return int64(s.tb.MatViewStats().MaintainTime) })
 	// The engine floor — per-table heap traffic, per-index tree shape,
 	// per-shard pool counters — is a dynamic metric set following the
 	// live schema, contributed through a collector.
@@ -269,7 +274,8 @@ func (s *Server) beginDrain() {
 // latency percentiles over the recent window, the shared plan cache's
 // hit counters and the buffer pool's aggregated shard counters.
 func (s *Server) Stats() Stats {
-	return s.stats.snapshot(s.tb.Generation(), s.tb.PlanStats(), s.tb.PagerStats(), s.tb.SnapshotStats(), s.tb.SchedStats())
+	return s.stats.snapshot(s.tb.Generation(), s.tb.PlanStats(), s.tb.PagerStats(),
+		s.tb.SnapshotStats(), s.tb.SchedStats(), s.tb.MatViewStats())
 }
 
 // Logf is a ready-made Options.Logf writing through the standard logger.

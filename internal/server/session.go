@@ -212,6 +212,21 @@ func (s *session) handle(t wire.MsgType, payload []byte) (wire.MsgType, []byte) 
 			Entries:     s.srv.slow.Snapshot(),
 		}.Encode()
 
+	case wire.MsgViews:
+		views := s.srv.tb.Views()
+		m := wire.Views{Views: make([]wire.ViewInfo, 0, len(views))}
+		for _, v := range views {
+			m.Views = append(m.Views, wire.ViewInfo{
+				Query:           v.Query,
+				Policy:          v.Policy.String(),
+				Rows:            int64(v.Rows),
+				Maintains:       v.Maintains,
+				LastDeltaTuples: v.LastDeltaTuples,
+				LastMaintain:    v.LastDuration,
+			})
+		}
+		return wire.MsgViewsReply, m.Encode()
+
 	default:
 		return errFrame(fmt.Errorf("server: unknown request type %v", t))
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dkbms"
+	"dkbms/internal/matview"
 	"dkbms/internal/obs"
 	"dkbms/internal/sched"
 	"dkbms/internal/snapshot"
@@ -78,7 +79,7 @@ func (c *counters) percentiles() (p50, p99 time.Duration) {
 }
 
 // snapshot assembles the wire-form stats.
-func (c *counters) snapshot(generation uint64, plan dkbms.PlanCacheStats, pool storage.PagerStats, snap snapshot.Stats, sch sched.Stats) Stats {
+func (c *counters) snapshot(generation uint64, plan dkbms.PlanCacheStats, pool storage.PagerStats, snap snapshot.Stats, sch sched.Stats, mv matview.Stats) Stats {
 	p50, p99 := c.percentiles()
 	return Stats{
 		ActiveSessions: c.activeSessions.Load(),
@@ -107,5 +108,11 @@ func (c *counters) snapshot(generation uint64, plan dkbms.PlanCacheStats, pool s
 		SchedQueued:    int64(sch.Queued),
 		SchedSubmitted: sch.Submitted,
 		SchedStolen:    sch.Stolen,
+
+		ViewsLive:         mv.Live,
+		ViewsMaintained:   mv.Maintained,
+		ViewsRederives:    mv.Rederives,
+		ViewsDeltaTuples:  mv.DeltaTuples,
+		ViewsMaintainTime: mv.MaintainTime,
 	}
 }

@@ -45,6 +45,7 @@ const (
 	MsgRetract
 	MsgStats   //dkblint:nopayload
 	MsgSlowlog //dkblint:nopayload
+	MsgViews   //dkblint:nopayload
 )
 
 // Response messages.
@@ -57,6 +58,7 @@ const (
 	MsgRetracted
 	MsgStatsReply   //dkblint:payload=ServerStats
 	MsgSlowlogReply //dkblint:payload=Slowlog
+	MsgViewsReply   //dkblint:payload=Views
 )
 
 // String names the message type.
@@ -78,6 +80,8 @@ func (t MsgType) String() string {
 		return "STATS"
 	case MsgSlowlog:
 		return "SLOWLOG"
+	case MsgViews:
+		return "VIEWS"
 	case MsgPong:
 		return "PONG"
 	case MsgOK:
@@ -94,6 +98,8 @@ func (t MsgType) String() string {
 		return "STATSREPLY"
 	case MsgSlowlogReply:
 		return "SLOWLOGREPLY"
+	case MsgViewsReply:
+		return "VIEWSREPLY"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -725,6 +731,17 @@ type ServerStats struct {
 	SchedQueued    int64
 	SchedSubmitted int64
 	SchedStolen    int64
+	// ViewsLive is the number of maintained materialized views in the
+	// plan cache; ViewsMaintained and ViewsRederives count memos
+	// refreshed incrementally and memos dropped for re-derivation;
+	// ViewsDeltaTuples and ViewsMaintainTime aggregate the derived-delta
+	// sizes and wall-clock cost of all maintenance runs. Trailing
+	// fields: absent from pre-matview peers' payloads, decoded as zero.
+	ViewsLive         int64
+	ViewsMaintained   int64
+	ViewsRederives    int64
+	ViewsDeltaTuples  int64
+	ViewsMaintainTime time.Duration
 }
 
 // Encode renders the payload. The snapshot fields trail the original
@@ -746,6 +763,10 @@ func (m ServerStats) Encode() []byte {
 	buf = binary.AppendVarint(buf, m.ReclaimBacklog)
 	buf = binary.AppendVarint(buf, int64(m.WriterStall))
 	for _, v := range []int64{m.SchedWorkers, m.SchedQueued, m.SchedSubmitted, m.SchedStolen} {
+		buf = binary.AppendVarint(buf, v)
+	}
+	for _, v := range []int64{m.ViewsLive, m.ViewsMaintained, m.ViewsRederives,
+		m.ViewsDeltaTuples, int64(m.ViewsMaintainTime)} {
 		buf = binary.AppendVarint(buf, v)
 	}
 	return buf
@@ -788,6 +809,16 @@ func DecodeServerStats(p []byte) (ServerStats, error) {
 		return m, nil
 	}
 	for _, f := range []*int64{&m.SchedWorkers, &m.SchedQueued, &m.SchedSubmitted, &m.SchedStolen} {
+		if *f, buf, err = readVarint(buf); err != nil {
+			return ServerStats{}, err
+		}
+	}
+	if len(buf) == 0 {
+		// Pre-matview peer: view-maintenance fields stay zero.
+		return m, nil
+	}
+	for _, f := range []*int64{&m.ViewsLive, &m.ViewsMaintained, &m.ViewsRederives,
+		&m.ViewsDeltaTuples, (*int64)(&m.ViewsMaintainTime)} {
 		if *f, buf, err = readVarint(buf); err != nil {
 			return ServerStats{}, err
 		}

@@ -287,6 +287,8 @@ func TestServerStatsRoundTrip(t *testing.T) {
 		PoolHits: 1 << 20, PoolMisses: 512, PoolEvictions: 77,
 		Generation:   17,
 		SchedWorkers: 4, SchedQueued: 2, SchedSubmitted: 999, SchedStolen: 31,
+		ViewsLive: 2, ViewsMaintained: 55, ViewsRederives: 4,
+		ViewsDeltaTuples: 310, ViewsMaintainTime: 9 * time.Millisecond,
 	}
 	out, err := DecodeServerStats(in.Encode())
 	if err != nil {
@@ -297,23 +299,59 @@ func TestServerStatsRoundTrip(t *testing.T) {
 	}
 }
 
-// TestServerStatsOldPeer: a payload from a server built before the
-// scheduler fields must still decode, with the trailing fields zero.
+// TestServerStatsOldPeer: payloads from servers built before the
+// scheduler fields, and before the view-maintenance fields, must still
+// decode with the absent trailing fields zero.
 func TestServerStatsOldPeer(t *testing.T) {
 	in := ServerStats{
 		Requests: 7, Generation: 3,
 		SnapshotReaders: 1, ReclaimBacklog: 2, WriterStall: time.Millisecond,
 	}
-	// With all four sched fields zero, Encode appends exactly four
-	// single-byte varints; dropping them reproduces an old peer's frame.
+	// With the four sched and five view fields zero, Encode appends
+	// exactly nine single-byte varints; dropping suffixes reproduces the
+	// older peers' frames.
 	full := in.Encode()
-	old := full[:len(full)-4]
-	out, err := DecodeServerStats(old)
-	if err != nil {
-		t.Fatalf("old-peer payload rejected: %v", err)
+	for _, tc := range []struct {
+		name string
+		cut  int
+	}{
+		{"pre-scheduler", 9},
+		{"pre-matview", 5},
+	} {
+		out, err := DecodeServerStats(full[:len(full)-tc.cut])
+		if err != nil {
+			t.Fatalf("%s payload rejected: %v", tc.name, err)
+		}
+		if out != in {
+			t.Fatalf("%s: got %+v, want %+v", tc.name, out, in)
+		}
 	}
-	if out != in {
+}
+
+func TestViewsRoundTrip(t *testing.T) {
+	in := Views{Views: []ViewInfo{
+		{Query: "?- ancestor(c0, X).", Policy: "auto", Rows: 16,
+			Maintains: 12, LastDeltaTuples: 3, LastMaintain: 480 * time.Microsecond},
+		{Query: "?- same_gen(a, X).", Policy: "incremental", Rows: 1022},
+	}}
+	out, err := DecodeViews(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Views) != 2 || out.Views[0] != in.Views[0] || out.Views[1] != in.Views[1] {
 		t.Fatalf("got %+v, want %+v", out, in)
+	}
+	// Empty reply round-trips too.
+	empty, err := DecodeViews(Views{}.Encode())
+	if err != nil || len(empty.Views) != 0 {
+		t.Fatalf("empty reply: %+v, %v", empty, err)
+	}
+	// Truncated payloads are rejected, not panicked on.
+	enc := in.Encode()
+	for _, p := range [][]byte{nil, {0xFF}, enc[:len(enc)-3], enc[:5]} {
+		if _, err := DecodeViews(p); err == nil {
+			t.Errorf("DecodeViews(%v) accepted", p)
+		}
 	}
 }
 

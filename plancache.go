@@ -1,10 +1,14 @@
 package dkbms
 
 import (
+	"fmt"
 	"sync"
 
 	"dkbms/internal/codegen"
 	"dkbms/internal/core"
+	"dkbms/internal/db"
+	"dkbms/internal/matview"
+	"dkbms/internal/sched"
 	"dkbms/internal/snapshot"
 )
 
@@ -14,8 +18,8 @@ import (
 const DefaultPlanCacheEntries = 128
 
 // planKey identifies a cacheable query: its source text plus the
-// compilation/evaluation options (QueryOptions is a comparable struct
-// of booleans, so the key is directly usable in a map).
+// compilation/evaluation options (QueryOptions is a comparable struct,
+// so the key is directly usable in a map).
 type planKey struct {
 	src  string
 	opts QueryOptions
@@ -35,13 +39,21 @@ type planEntry struct {
 	compiled *core.Compiled
 	ruleGen  uint64
 	// deps are the base-table names the compiled program reads
-	// (derived from Program.BasePreds once, at store time).
+	// (derived from Program.BasePreds once per program, at store time).
 	deps []string
 	// result is the memoized answer; resultVec maps each dependency to
 	// the table-version generation the answer was computed against
 	// (0 = table absent in that snapshot).
 	result    *QueryResult
 	resultVec map[string]uint64
+	// view, when non-nil, owns the evaluation's derived relations so
+	// commits can maintain result in place instead of dropping it;
+	// policy is the resolved maintenance policy it was stored under.
+	// maintained marks a result refreshed by maintenance (served as
+	// Cache "maintained" rather than "result").
+	view       *matview.View
+	policy     MaintenancePolicy
+	maintained bool
 
 	prev, next *planEntry
 }
@@ -49,7 +61,8 @@ type planEntry struct {
 // PlanCacheStats snapshots the shared plan cache's traffic counters.
 type PlanCacheStats struct {
 	// ResultHits counts queries answered entirely from the memoized
-	// result (no compilation, no evaluation).
+	// result (no compilation, no evaluation) — including answers kept
+	// current by view maintenance.
 	ResultHits int64
 	// PlanHits counts queries that reused a compiled program but
 	// re-evaluated it (a base table the program reads had moved).
@@ -57,7 +70,7 @@ type PlanCacheStats struct {
 	// Misses counts full compilations.
 	Misses int64
 	// Invalidations counts entries dropped because a rule-base change
-	// outdated their compiled program.
+	// outdated their compiled program (or an explicit flush).
 	Invalidations int64
 	// Entries is the current cache population.
 	Entries int64
@@ -65,7 +78,9 @@ type PlanCacheStats struct {
 
 // planCache is the server-wide compiled-plan and result cache behind
 // ConcurrentTestbed.Query. It is safe for concurrent use; lookups and
-// stores run from many pinned-snapshot readers at once.
+// stores run from many pinned-snapshot readers at once, while
+// Invalidate (view maintenance, condemned-table teardown) runs only
+// from the single writer holding the commit mutex.
 type planCache struct {
 	mu       sync.Mutex
 	capacity int
@@ -73,6 +88,20 @@ type planCache struct {
 	head     *planEntry // most recently used
 	tail     *planEntry // least recently used
 	stats    PlanCacheStats
+
+	// db is the live database view maintenance runs against; pool,
+	// when non-nil, parallelizes maintenance across views. Both are
+	// set once at wiring time (NewConcurrentWithOptions), before any
+	// concurrent use.
+	db   *db.DB
+	pool *sched.Pool
+	// mv aggregates maintenance telemetry across the cache's views.
+	mv matview.Counters
+	// condemned are views whose entries were replaced or evicted by
+	// readers: readers must not drop tables (the writer may be
+	// maintaining the view at that moment), so teardown is deferred to
+	// the writer, which drains the list at the end of each Invalidate.
+	condemned []*matview.View
 }
 
 func newPlanCache(capacity int) *planCache {
@@ -101,33 +130,49 @@ func depTables(compiled *core.Compiled) []string {
 	return out
 }
 
+// assertDeps panics when a reused dependency list no longer covers the
+// program's base predicates — the validity vector would silently stop
+// guarding a table, serving stale answers forever.
+func assertDeps(deps []string, compiled *core.Compiled) {
+	set := make(map[string]struct{}, len(deps))
+	for _, t := range deps {
+		set[t] = struct{}{}
+	}
+	for _, p := range compiled.Program.BasePreds {
+		if _, ok := set[codegen.BaseTable(p)]; !ok {
+			panic(fmt.Sprintf("dkbms: plan-cache deps %v miss base predicate %s", deps, p))
+		}
+	}
+}
+
 // lookup returns the cached compilation for the key as seen from the
-// given snapshot: (compiled, result) on a full result hit — every base
-// table the program reads is at the generation the answer was computed
-// against — (compiled, nil) when only the plan is reusable, (nil, nil)
-// on a miss. Hit counters are updated here; the miss counter is charged
-// in store, so a lookup/store pair counts once.
-func (pc *planCache) lookup(key planKey, snap *snapshot.Snapshot) (*core.Compiled, *QueryResult) {
+// given snapshot: (compiled, result, maintained) on a full result hit —
+// every base table the program reads is at the generation the answer
+// was computed against, maintained reporting whether that answer was
+// last refreshed by view maintenance — (compiled, nil, false) when only
+// the plan is reusable, (nil, nil, false) on a miss. Hit counters are
+// updated here; the miss counter is charged in store, so a lookup/store
+// pair counts once.
+func (pc *planCache) lookup(key planKey, snap *snapshot.Snapshot) (*core.Compiled, *QueryResult, bool) {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	e, ok := pc.entries[key]
 	if !ok {
-		return nil, nil
+		return nil, nil, false
 	}
 	if e.ruleGen != snap.RuleGen {
 		// The rule base moved: the compiled program is stale.
-		pc.unlink(e)
-		delete(pc.entries, key)
+		pc.dropLocked(e)
 		pc.stats.Invalidations++
-		return nil, nil
+		return nil, nil, false
 	}
 	pc.touch(e)
 	if e.result != nil && vecCurrent(e.resultVec, snap) {
 		pc.stats.ResultHits++
-		return e.compiled, e.result
+		return e.compiled, e.result, e.maintained
 	}
 	pc.stats.PlanHits++
-	return e.compiled, nil
+	return e.compiled, nil, false
 }
 
 // vecCurrent reports whether every dependency in the vector is at the
@@ -146,24 +191,35 @@ func vecCurrent(vec map[string]uint64, snap *snapshot.Snapshot) bool {
 // store records a compilation and its result as evaluated against the
 // given snapshot, evicting the least recently used entry beyond
 // capacity. A nil result stores the plan without touching any memoized
-// answer (traced runs share plans with untraced queries but never
-// publish their answers).
+// answer or view (traced runs share plans with untraced queries but
+// never publish their answers). A non-nil view transfers ownership of
+// the evaluation's derived relations; whatever view the entry held
+// before is condemned for the writer to tear down.
 //
 // Racing stores for one key (readers pinned to different snapshots)
 // need no ordering: a result stored with an older dependency vector
 // simply fails validation for newer snapshots at lookup time.
-func (pc *planCache) store(key planKey, snap *snapshot.Snapshot, compiled *core.Compiled, result *QueryResult) {
+func (pc *planCache) store(key planKey, snap *snapshot.Snapshot, compiled *core.Compiled, result *QueryResult, view *matview.View, policy MaintenancePolicy) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	e, ok := pc.entries[key]
+	var deps []string
+	if ok && e.compiled == compiled {
+		// Same program: the dependency set is a pure function of it, so
+		// reuse the list instead of recomputing per store.
+		deps = e.deps
+		assertDeps(deps, compiled)
+	} else {
+		deps = depTables(compiled)
+	}
 	var vec map[string]uint64
-	deps := depTables(compiled)
 	if result != nil {
 		vec = make(map[string]uint64, len(deps))
 		for _, name := range deps {
 			vec[name] = snap.TableGen(name)
 		}
 	}
-	pc.mu.Lock()
-	defer pc.mu.Unlock()
-	if e, ok := pc.entries[key]; ok {
+	if ok {
 		// A concurrent reader (or this one, refreshing a stale result)
 		// raced us here; keep the newest state.
 		if e.compiled != compiled {
@@ -171,51 +227,199 @@ func (pc *planCache) store(key planKey, snap *snapshot.Snapshot, compiled *core.
 		}
 		e.compiled, e.ruleGen, e.deps = compiled, snap.RuleGen, deps
 		if result != nil {
-			e.result, e.resultVec = result, vec
+			e.result, e.resultVec, e.maintained = result, vec, false
+			pc.condemnLocked(e.view)
+			e.view, e.policy = view, policy
 		}
 		pc.touch(e)
 		return
 	}
 	pc.stats.Misses++
-	e := &planEntry{key: key, compiled: compiled, ruleGen: snap.RuleGen, deps: deps,
+	e = &planEntry{key: key, compiled: compiled, ruleGen: snap.RuleGen, deps: deps,
 		result: result, resultVec: vec}
+	if result != nil {
+		e.view, e.policy = view, policy
+	} else if view != nil {
+		// A traced run must not adopt a view it has no result for.
+		pc.condemnLocked(view)
+	}
 	pc.entries[key] = e
 	pc.pushFront(e)
 	for len(pc.entries) > pc.capacity {
-		lru := pc.tail
-		pc.unlink(lru)
-		delete(pc.entries, lru.key)
+		pc.dropLocked(pc.tail)
 	}
 }
 
-// purgeStale runs after a commit publishes a new snapshot: entries
-// compiled at an old rule-base generation are dropped. Memoized
-// results are left in place — their per-table vectors are validated
-// lazily at lookup, so a commit invalidates only the queries that read
-// the tables it touched.
-func (pc *planCache) purgeStale(snap *snapshot.Snapshot) {
+// dropLocked removes an entry, condemning its view. Caller holds mu.
+func (pc *planCache) dropLocked(e *planEntry) {
+	pc.unlink(e)
+	delete(pc.entries, e.key)
+	pc.condemnLocked(e.view)
+	e.view = nil
+}
+
+// condemnLocked queues a replaced or evicted view for teardown by the
+// writer. Caller holds mu.
+func (pc *planCache) condemnLocked(v *matview.View) {
+	if v != nil {
+		pc.condemned = append(pc.condemned, v)
+	}
+}
+
+// Invalidate reconciles the cache with one published commit. It runs on
+// the single-writer commit path (caller holds the commit mutex), with
+// prev the snapshot the commit superseded, next the one it published
+// and ev the typed description of what the commit did — nil meaning an
+// unknown mutation (failed commits publish conservatively), which
+// drops stale memos like EventRuleGen does.
+//
+// Entries whose compiled program predates next's rule generation are
+// dropped. Entries whose memo went stale with exactly this commit
+// (valid against prev, stale against next) are maintained in place when
+// the event carries fact deltas and the entry's policy allows it;
+// otherwise the memo is dropped and the plan kept. Maintenance runs
+// after the cache mutex is released — concurrent readers keep hitting
+// the plan — and each refreshed answer installs only if the entry still
+// holds the same view (a racing reader may have replaced it). Condemned
+// views' tables are torn down at the end: only here is it safe, because
+// no maintenance can be running without commitMu.
+func (pc *planCache) Invalidate(prev, next *snapshot.Snapshot, ev *matview.Event) {
+	type job struct {
+		e      *planEntry
+		view   *matview.View
+		result *QueryResult
+	}
+	var jobs []job
+	flush := ev != nil && ev.Kind == matview.EventFlush
+	commit := ev != nil && ev.Kind == matview.EventCommit
+	//dkblint:locksafe released before maintenance runs, Group.Wait and drainCondemned (explicit Unlock below, not deferred)
 	pc.mu.Lock()
-	defer pc.mu.Unlock()
-	for key, e := range pc.entries {
-		if e.ruleGen != snap.RuleGen {
-			pc.unlink(e)
-			delete(pc.entries, key)
+	for _, e := range pc.entries {
+		if flush || e.ruleGen != next.RuleGen {
+			pc.dropLocked(e)
 			pc.stats.Invalidations++
+			continue
+		}
+		if e.result == nil || vecCurrent(e.resultVec, next) {
+			continue // no memo, or untouched by this commit
+		}
+		// The memo went stale with this commit. Maintain it when the
+		// commit is an exact fact delta, the entry owns a view, and the
+		// delta is worth it; otherwise drop the memo, keep the plan.
+		ok := commit && e.view != nil && e.policy != MaintRederive &&
+			prev != nil && vecCurrent(e.resultVec, prev)
+		if ok && e.policy == MaintAuto {
+			ok = matview.AutoIncremental(ev.RelevantSize(e.deps), len(e.result.Rows))
+		}
+		if !ok {
+			if e.view != nil {
+				pc.mv.Rederives.Add(1)
+				pc.condemnLocked(e.view)
+				e.view = nil
+			}
+			e.result, e.resultVec, e.maintained = nil, nil, false
+			continue
+		}
+		jobs = append(jobs, job{e, e.view, e.result})
+	}
+	pc.mu.Unlock()
+
+	run := func(j job) {
+		rows, err := j.view.Maintain(pc.db, ev)
+		pc.mu.Lock()
+		defer pc.mu.Unlock()
+		if j.e.view != j.view {
+			// A racing reader replaced the entry (fresh evaluation,
+			// already-current answer) while we maintained: its state
+			// wins, ours was condemned at replacement.
+			return
+		}
+		if err != nil {
+			pc.mv.Errors.Add(1)
+			pc.condemnLocked(j.e.view)
+			j.e.view = nil
+			j.e.result, j.e.resultVec, j.e.maintained = nil, nil, false
+			return
+		}
+		// Refresh onto a copy: the old result struct and row slice are
+		// shared with readers that hit it earlier.
+		nr := *j.result
+		nr.Rows = rows
+		vec := make(map[string]uint64, len(j.e.deps))
+		for _, name := range j.e.deps {
+			vec[name] = next.TableGen(name)
+		}
+		j.e.result, j.e.resultVec, j.e.maintained = &nr, vec, true
+		pc.mv.Maintained.Add(1)
+		pc.mv.DeltaTuples.Add(j.view.LastDeltaTuples())
+		pc.mv.MaintainNs.Add(int64(j.view.LastDuration()))
+	}
+	if len(jobs) > 1 && pc.pool != nil {
+		// Independent views touch disjoint temp tables; propagate their
+		// deltas in parallel on the shared evaluation pool.
+		cl := pc.pool.NewClient()
+		g := cl.Group()
+		for _, j := range jobs {
+			j := j
+			g.Go(func(int) { run(j) })
+		}
+		g.Wait()
+		cl.Close()
+	} else {
+		for _, j := range jobs {
+			run(j)
+		}
+	}
+	pc.drainCondemned()
+}
+
+// drainCondemned tears down replaced/evicted views' temp tables. Only
+// the writer calls it (from Invalidate, under the commit mutex), so a
+// condemned view is never mid-maintenance when its tables drop.
+func (pc *planCache) drainCondemned() {
+	pc.mu.Lock()
+	doomed := pc.condemned
+	pc.condemned = nil
+	pc.mu.Unlock()
+	for _, v := range doomed {
+		if err := v.Drop(pc.db); err != nil {
+			pc.mv.Errors.Add(1)
 		}
 	}
 }
 
-// purgeAll drops every entry (after an out-of-band mutation of the
-// wrapped testbed, which moves no generations — see
-// ConcurrentTestbed.Resync).
-func (pc *planCache) purgeAll() {
+// views lists the maintained views, most recently used first.
+func (pc *planCache) views() []MaterializedView {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
-	for key, e := range pc.entries {
-		pc.unlink(e)
-		delete(pc.entries, key)
-		pc.stats.Invalidations++
+	var out []MaterializedView
+	for e := pc.head; e != nil; e = e.next {
+		if e.view == nil {
+			continue
+		}
+		out = append(out, MaterializedView{
+			Query:           e.key.src,
+			Policy:          e.policy,
+			Rows:            len(e.result.Rows),
+			Maintains:       e.view.Maintains(),
+			LastDeltaTuples: e.view.LastDeltaTuples(),
+			LastDuration:    e.view.LastDuration(),
+		})
 	}
+	return out
+}
+
+// mvStats snapshots the maintenance counters plus the live-view gauge.
+func (pc *planCache) mvStats() matview.Stats {
+	st := pc.mv.Snapshot()
+	pc.mu.Lock()
+	for e := pc.head; e != nil; e = e.next {
+		if e.view != nil {
+			st.Live++
+		}
+	}
+	pc.mu.Unlock()
+	return st
 }
 
 // snapshot returns the counters plus current population.

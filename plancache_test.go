@@ -31,6 +31,18 @@ func queryRows(t *testing.T, c *ConcurrentTestbed, src string) int {
 	return len(res.Rows)
 }
 
+// queryRowsRederive queries with the memo pinned to MaintRederive, so a
+// commit drops the stale answer instead of maintaining it through the
+// change — the classic invalidation behavior these tests assert.
+func queryRowsRederive(t *testing.T, c *ConcurrentTestbed, src string) int {
+	t.Helper()
+	res, err := c.Query(src, &QueryOptions{Maintenance: MaintRederive})
+	if err != nil {
+		t.Fatalf("query %q: %v", src, err)
+	}
+	return len(res.Rows)
+}
+
 // TestPlanCacheResultHit: an identical repeated query on an unchanged
 // D/KB is answered from the memoized result, and the shared rows are
 // safe against caller mutation.
@@ -68,14 +80,14 @@ func TestPlanCacheResultHit(t *testing.T) {
 func TestPlanCacheRetractInvalidates(t *testing.T) {
 	c := newCachedTestbed(t)
 	const q = "?- ancestor(a, X)."
-	if n := queryRows(t, c, q); n != 2 {
+	if n := queryRowsRederive(t, c, q); n != 2 {
 		t.Fatalf("before retract: %d rows, want 2", n)
 	}
 	n, err := c.RetractSrc("parent(b, c)")
 	if err != nil || n != 1 {
 		t.Fatalf("retract: %d, %v", n, err)
 	}
-	if n := queryRows(t, c, q); n != 1 {
+	if n := queryRowsRederive(t, c, q); n != 1 {
 		t.Fatalf("after retract: %d rows, want 1 (stale cached answer served?)", n)
 	}
 	st := c.PlanStats()
@@ -87,7 +99,7 @@ func TestPlanCacheRetractInvalidates(t *testing.T) {
 	if n, err := c.RetractSrc("parent(z, z)"); err != nil || n != 0 {
 		t.Fatalf("no-op retract: %d, %v", n, err)
 	}
-	if n := queryRows(t, c, q); n != 1 {
+	if n := queryRowsRederive(t, c, q); n != 1 {
 		t.Fatalf("after no-op retract: %d rows, want 1", n)
 	}
 	if st := c.PlanStats(); st.ResultHits != 1 {
@@ -100,7 +112,7 @@ func TestPlanCacheRetractInvalidates(t *testing.T) {
 func TestPlanCacheLoadInvalidates(t *testing.T) {
 	c := newCachedTestbed(t)
 	const q = "?- ancestor(a, X)."
-	if n := queryRows(t, c, q); n != 2 {
+	if n := queryRowsRederive(t, c, q); n != 2 {
 		t.Fatalf("cold query: %d rows, want 2", n)
 	}
 
@@ -108,7 +120,7 @@ func TestPlanCacheLoadInvalidates(t *testing.T) {
 	if err := c.Load("parent(c, d)."); err != nil {
 		t.Fatal(err)
 	}
-	if n := queryRows(t, c, q); n != 3 {
+	if n := queryRowsRederive(t, c, q); n != 3 {
 		t.Fatalf("after fact load: %d rows, want 3", n)
 	}
 	st := c.PlanStats()
@@ -120,7 +132,7 @@ func TestPlanCacheLoadInvalidates(t *testing.T) {
 	if err := c.Load("forebear(X, Y) :- ancestor(X, Y)."); err != nil {
 		t.Fatal(err)
 	}
-	if n := queryRows(t, c, q); n != 3 {
+	if n := queryRowsRederive(t, c, q); n != 3 {
 		t.Fatalf("after rule load: %d rows, want 3", n)
 	}
 	st = c.PlanStats()

@@ -171,7 +171,9 @@ func TestSnapshotReadersDoNotBlockWriters(t *testing.T) {
 	if res.Cache != "result" {
 		t.Fatalf("unrelated write evicted the memoized answer (cache=%q)", res.Cache)
 	}
-	// A write to the read table re-evaluates but keeps the plan.
+	// A write to the read table no longer re-evaluates: the default Auto
+	// maintenance policy folds the one-fact delta into the memoized
+	// answer, so the next repeat serves the maintained result.
 	if err := c.Load("parent(c15, c16)."); err != nil {
 		t.Fatal(err)
 	}
@@ -179,8 +181,8 @@ func TestSnapshotReadersDoNotBlockWriters(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Cache != "plan" {
-		t.Fatalf("touched-table write should re-evaluate with the cached plan (cache=%q)", res.Cache)
+	if res.Cache != "maintained" {
+		t.Fatalf("touched-table write should maintain the memoized answer (cache=%q)", res.Cache)
 	}
 	if len(res.Rows) != 16 {
 		t.Fatalf("re-evaluation missed the new edge: %d rows", len(res.Rows))

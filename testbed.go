@@ -310,6 +310,12 @@ type QueryOptions struct {
 	// QueryResult.Trace. Off by default; the off state costs only nil
 	// checks.
 	Trace bool
+	// Maintenance selects how a ConcurrentTestbed keeps this query's
+	// memoized answer when commits touch tables it reads: re-derive
+	// from scratch, maintain incrementally through the commit's fact
+	// deltas, or decide per commit by delta size (MaintAuto, the
+	// default). Ignored on the plain Testbed path, which has no cache.
+	Maintenance MaintenancePolicy
 }
 
 // QueryResult is the answer to a D/KB query plus its cost breakdown.
@@ -330,8 +336,10 @@ type QueryResult struct {
 	Trace *obs.Trace
 	// Cache is the plan-cache outcome when the query went through a
 	// ConcurrentTestbed: "result" (answered from the memoized result),
-	// "plan" (compiled program reused, re-evaluated) or "miss" (full
-	// compile). Empty on the plain Testbed path, which has no cache.
+	// "maintained" (answered from a memoized result that view
+	// maintenance kept current through commits), "plan" (compiled
+	// program reused, re-evaluated) or "miss" (full compile). Empty on
+	// the plain Testbed path, which has no cache.
 	Cache string
 	// Snapshot is the generation of the pinned snapshot the query ran
 	// against when it went through a ConcurrentTestbed (0 on the plain
@@ -451,15 +459,24 @@ func (tb *Testbed) evaluate(ctx context.Context, compiled *core.Compiled, opts *
 // versions while its session-private temp tables still land in the
 // live catalog.
 func (tb *Testbed) evaluateWith(ctx context.Context, d *db.DB, compiled *core.Compiled, opts *QueryOptions, tr *obs.Trace) (*QueryResult, error) {
+	res, _, err := tb.evaluateKeep(ctx, d, compiled, opts, tr, false)
+	return res, err
+}
+
+// evaluateKeep is evaluateWith with control over temp-table retention:
+// with keep set, the rtlib result retains the evaluation's derived
+// relations (Result.Detach hands them to the materialized-view layer)
+// and is returned alongside the query result.
+func (tb *Testbed) evaluateKeep(ctx context.Context, d *db.DB, compiled *core.Compiled, opts *QueryOptions, tr *obs.Trace, keep bool) (*QueryResult, *rtlib.Result, error) {
 	if tb.closed {
-		return nil, ErrClosed
+		return nil, nil, ErrClosed
 	}
 	if opts == nil {
 		opts = &QueryOptions{}
 	}
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("dkbms: query canceled: %w", err)
+			return nil, nil, fmt.Errorf("dkbms: query canceled: %w", err)
 		}
 	}
 	strategy := rtlib.SemiNaive
@@ -467,14 +484,15 @@ func (tb *Testbed) evaluateWith(ctx context.Context, d *db.DB, compiled *core.Co
 		strategy = rtlib.Naive
 	}
 	res, err := rtlib.Evaluate(d, compiled.Program, rtlib.Options{
-		Strategy: strategy,
-		Parallel: opts.Parallel,
-		Pool:     tb.pool,
-		Trace:    tr,
-		Ctx:      ctx,
+		Strategy:   strategy,
+		KeepTables: keep,
+		Parallel:   opts.Parallel,
+		Pool:       tb.pool,
+		Trace:      tr,
+		Ctx:        ctx,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	tr.Finish()
 	return &QueryResult{
@@ -485,7 +503,7 @@ func (tb *Testbed) evaluateWith(ctx context.Context, d *db.DB, compiled *core.Co
 		Optimized: compiled.Optimized,
 		Strategy:  strategy,
 		Trace:     tr,
-	}, nil
+	}, res, nil
 }
 
 // Update commits the workspace rules into the stored D/KB (paper §4.3),
