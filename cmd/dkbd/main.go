@@ -8,9 +8,10 @@
 //	dkbd                          # in-memory D/KB on :7407
 //	dkbd -db family.db -addr :9000
 //	dkbd -load family.dl          # preload a program at startup
-//	dkbd -debug-addr 127.0.0.1:7408   # HTTP /metrics /slowlog /healthz /debug/pprof
+//	dkbd -debug-addr 127.0.0.1:7408   # HTTP /metrics /timeseries /slowlog /healthz /debug/{trace,pprof}
 //	dkbd -log-level debug -log-format json
 //	dkbd -slow-threshold 10ms     # only retain queries at or above 10ms
+//	dkbd -sample-interval 500ms -sample-window 1200   # 10 min of 0.5s samples
 //
 // dkbd shuts down gracefully on SIGINT/SIGTERM: the listener closes at
 // once, in-flight requests finish and receive their responses, then the
@@ -49,6 +50,8 @@ func main() {
 	flag.DurationVar(&cfg.slowThreshold, "slow-threshold", 0, "minimum latency to enter the slow-query log (0 retains every query)")
 	flag.IntVar(&cfg.schedWorkers, "sched-workers", 0, "evaluation pool workers shared by all sessions (0 = GOMAXPROCS)")
 	flag.StringVar(&cfg.maintPolicy, "maint-policy", "auto", "materialized-view maintenance policy for cached answers: auto|incremental|rederive")
+	flag.DurationVar(&cfg.sampleInterval, "sample-interval", obs.DefaultSampleInterval, "retained-telemetry sampling period for /timeseries (negative disables)")
+	flag.IntVar(&cfg.sampleWindow, "sample-window", obs.DefaultSampleWindow, "retained-telemetry ring capacity in samples (negative disables)")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -67,6 +70,8 @@ type config struct {
 	slowThreshold       time.Duration
 	schedWorkers        int
 	maintPolicy         string
+	sampleInterval      time.Duration
+	sampleWindow        int
 }
 
 // buildLogger turns the -log-level/-log-format flags into the server's
@@ -124,11 +129,13 @@ func run(cfg config) error {
 	defer stop()
 
 	srv := server.New(ctb, server.Options{
-		MaxConns:      cfg.maxConns,
-		IOTimeout:     cfg.ioTimeout,
-		Logger:        logger,
-		SlowLogSize:   cfg.slowSize,
-		SlowThreshold: cfg.slowThreshold,
+		MaxConns:       cfg.maxConns,
+		IOTimeout:      cfg.ioTimeout,
+		Logger:         logger,
+		SlowLogSize:    cfg.slowSize,
+		SlowThreshold:  cfg.slowThreshold,
+		SampleInterval: cfg.sampleInterval,
+		SampleWindow:   cfg.sampleWindow,
 	})
 
 	// The debug HTTP server is shut down after the TCP side drains, with
@@ -148,7 +155,7 @@ func run(cfg config) error {
 				dbg.Close()
 			}
 		}
-		fmt.Printf("dkbd: debug endpoints on http://%s/{metrics,slowlog,healthz,debug/pprof}\n", cfg.debugAddr)
+		fmt.Printf("dkbd: debug endpoints on http://%s/{metrics,metrics.json,timeseries,slowlog,healthz,debug/trace,debug/pprof}\n", cfg.debugAddr)
 	}
 
 	ready := make(chan net.Addr, 1)

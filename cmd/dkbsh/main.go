@@ -181,7 +181,10 @@ func (s *shell) query(line string) error {
 
 // trace runs one query with tracing on and prints the span tree — the
 // per-phase, per-iteration, per-operator account of the evaluation.
-func (s *shell) trace(q string) error {
+// With `-o FILE` the tree is written as Chrome trace-event JSON instead,
+// loadable in ui.perfetto.dev or chrome://tracing.
+func (s *shell) trace(arg string) error {
+	outFile, q := parseTraceArgs(arg)
 	opts := s.opts
 	opts.Trace = true
 	start := time.Now()
@@ -196,9 +199,44 @@ func (s *shell) trace(q string) error {
 		fmt.Fprint(s.out, " (magic sets)")
 	}
 	fmt.Fprintf(s.out, " [%s]\n", res.Strategy)
-	if res.Trace != nil {
-		fmt.Fprint(s.out, res.Trace.Format())
+	fmt.Fprintf(s.out, "query id %s\n", obs.FormatQueryID(res.QueryID))
+	if res.Trace == nil {
+		return nil
 	}
+	if outFile != "" {
+		return writeTraceFile(s.out, outFile, res.Trace.Root(), res.QueryID)
+	}
+	fmt.Fprint(s.out, res.Trace.Format())
+	return nil
+}
+
+// parseTraceArgs splits a .trace argument into an optional `-o FILE`
+// and the query text.
+func parseTraceArgs(arg string) (outFile, query string) {
+	query = strings.TrimSpace(arg)
+	if rest, ok := strings.CutPrefix(query, "-o "); ok {
+		rest = strings.TrimSpace(rest)
+		if i := strings.IndexAny(rest, " \t"); i > 0 {
+			outFile, query = rest[:i], strings.TrimSpace(rest[i:])
+		}
+	}
+	return outFile, query
+}
+
+// writeTraceFile exports a span tree as Chrome trace-event JSON.
+func writeTraceFile(out io.Writer, path string, root *obs.Span, qid uint64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := obs.WriteChromeTrace(f, root, qid)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
+	}
+	fmt.Fprintf(out, "wrote Perfetto trace to %s (open in ui.perfetto.dev)\n", path)
 	return nil
 }
 
@@ -212,6 +250,7 @@ func (s *shell) recordSlow(src string, start time.Time, res *dkbms.QueryResult, 
 		e.Rows = int64(len(res.Rows))
 		e.Iterations = res.Iterations()
 		e.Trace = res.Trace.Root()
+		e.QueryID = res.QueryID
 	}
 	s.slow.Record(e)
 }
@@ -299,7 +338,8 @@ commands:
   .opts WORDS     naive|seminaive  magic|nomagic|adaptive  parallel|serial
   .timing on|off  print compile/eval breakdowns per query
   .explain Q      show the compiled evaluation program for a query
-  .trace Q        run a query with tracing and print its span tree
+  .trace [-o FILE] Q   run a query traced; print the span tree, or export
+                       Chrome/Perfetto trace-event JSON with -o
   .slowlog        this session's queries, slowest first
   .sql STMT       raw SQL against the DBMS
   .quit

@@ -125,6 +125,7 @@ func (s *remoteShell) handle(line string) error {
 		fmt.Fprintf(s.out, "views: %d live, %d maintained, %d re-derived, %d delta tuples, %v maintaining\n",
 			st.ViewsLive, st.ViewsMaintained, st.ViewsRederives,
 			st.ViewsDeltaTuples, st.ViewsMaintainTime)
+		fmt.Fprintf(s.out, "queries served %d\n", st.Queries)
 		return nil
 	case line == ".views":
 		vs, err := s.c.Views()
@@ -156,17 +157,23 @@ func (s *remoteShell) handle(line string) error {
 		return s.setOpts(strings.Fields(strings.TrimPrefix(line, ".opts ")))
 	case strings.HasPrefix(line, ".trace "):
 		// Same query path with the TRACE bit set: the server evaluates
-		// with tracing and ships the span tree back in the RESULT frame.
+		// with tracing and ships the span tree back in the RESULT frame,
+		// tagged with the query ID it ran (and was slow-logged) under.
+		outFile, q := parseTraceArgs(strings.TrimPrefix(line, ".trace "))
 		opts := s.opts
 		opts.Trace = true
-		res, err := s.c.Query(strings.TrimSpace(strings.TrimPrefix(line, ".trace ")), opts)
+		res, err := s.c.Query(q, opts)
 		if err != nil {
 			return err
 		}
 		s.printResult(res)
-		if res.Trace != nil {
-			fmt.Fprint(s.out, obs.Adopt(res.Trace).Format())
+		if res.Trace == nil {
+			return nil
 		}
+		if outFile != "" {
+			return writeTraceFile(s.out, outFile, res.Trace, res.QueryID)
+		}
+		fmt.Fprint(s.out, obs.Adopt(res.Trace).Format())
 		return nil
 	case strings.HasPrefix(line, "."):
 		return fmt.Errorf("unknown command %q (.help)", line)
@@ -206,6 +213,11 @@ func (s *remoteShell) printResult(res *wire.Result) {
 		fmt.Fprint(s.out, " (magic sets)")
 	}
 	fmt.Fprintf(s.out, " [%s]\n", res.Strategy)
+	if res.QueryID != 0 {
+		// The server filed this execution in its log and slow-query ring
+		// under the echoed ID; /debug/trace?id=... addresses it.
+		fmt.Fprintf(s.out, "query id %s\n", obs.FormatQueryID(res.QueryID))
+	}
 }
 
 func (s *remoteShell) setOpts(words []string) error {
@@ -250,7 +262,8 @@ commands (remote session):
   .stats          server activity counters
   .slowlog        server slow-query log (slowest first)
   .views          live maintained materialized views (most recent first)
-  .trace Q        run a query with server-side tracing and print its span tree
+  .trace [-o FILE] Q   run a query with server-side tracing; print the span
+                       tree, or export Chrome/Perfetto trace-event JSON with -o
   .opts WORDS     naive|seminaive  magic|nomagic|adaptive  parallel|serial
   .quit
 `)

@@ -39,6 +39,9 @@ func printSlowlog(w io.Writer, threshold time.Duration, capacity int, recorded i
 			if e.Session > 0 {
 				line += fmt.Sprintf(", session %d", e.Session)
 			}
+			if e.QueryID != 0 {
+				line += ", id " + obs.FormatQueryID(e.QueryID)
+			}
 			if e.Trace != nil {
 				line += ", traced"
 			}

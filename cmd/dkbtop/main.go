@@ -1,9 +1,10 @@
 // Command dkbtop is a live terminal monitor for a running dkbd server,
 // in the spirit of top(1): it polls the server's debug HTTP endpoints
-// (/metrics and /slowlog, enabled with `dkbd -debug-addr`) and redraws a
-// one-screen dashboard every interval — request throughput and latency
-// percentiles, session and cache activity, the busiest tables, and the
-// slowest queries.
+// (/metrics.json, /timeseries and /slowlog, enabled with
+// `dkbd -debug-addr`) and redraws a one-screen dashboard every interval
+// — request throughput and latency percentiles, session and cache
+// activity, sparklines over the server's retained time-series ring, the
+// busiest tables, and the slowest queries.
 //
 // Usage:
 //
@@ -11,7 +12,9 @@
 //	dkbtop -addr 127.0.0.1:7408 -interval 500ms
 //	dkbtop -addr 127.0.0.1:7408 -n 1       # one snapshot, then exit (scripts)
 //
-// dkbtop is read-only: it touches nothing but the two debug endpoints.
+// dkbtop is read-only: it touches nothing but the debug endpoints. The
+// /timeseries ring is optional — against an old server, or one started
+// with sampling disabled, rates fall back to poll-to-poll deltas.
 package main
 
 import (
@@ -78,6 +81,7 @@ func run(out io.Writer, baseURL string, interval time.Duration, n int) error {
 type sample struct {
 	metrics map[string]obs.Metric
 	slow    obs.SlowLogSnapshot
+	ts      *obs.TimeSeriesSnapshot // nil when the server has no ring
 }
 
 // get returns the value of a metric, 0 when absent.
@@ -86,10 +90,24 @@ func (s *sample) get(name string) int64 { return s.metrics[name].Value }
 // metric returns the full metric (for histogram percentiles).
 func (s *sample) metric(name string) obs.Metric { return s.metrics[name] }
 
-// fetch polls /metrics and /slowlog.
+// stat returns one series from the time-series ring, false when the ring
+// is absent or the series unknown.
+func (s *sample) stat(name string) (obs.SeriesStat, bool) {
+	if s.ts == nil {
+		return obs.SeriesStat{}, false
+	}
+	for _, st := range s.ts.Series {
+		if st.Name == name {
+			return st, true
+		}
+	}
+	return obs.SeriesStat{}, false
+}
+
+// fetch polls /metrics.json, /slowlog and /timeseries.
 func fetch(baseURL string) (*sample, error) {
 	var list []obs.Metric
-	if err := getJSON(baseURL+"/metrics", &list); err != nil {
+	if err := getJSON(baseURL+"/metrics.json", &list); err != nil {
 		return nil, err
 	}
 	s := &sample{metrics: make(map[string]obs.Metric, len(list))}
@@ -98,6 +116,12 @@ func fetch(baseURL string) (*sample, error) {
 	}
 	if err := getJSON(baseURL+"/slowlog", &s.slow); err != nil {
 		return nil, err
+	}
+	// The ring is optional: pre-telemetry servers have no /timeseries, and
+	// `dkbd -sample-interval -1` 404s it. Degrade to poll-to-poll rates.
+	var ts obs.TimeSeriesSnapshot
+	if err := getJSON(baseURL+"/timeseries?points="+fmt.Sprint(sparkWidth), &ts); err == nil {
+		s.ts = &ts
 	}
 	return s, nil
 }
@@ -121,11 +145,21 @@ func getJSON(url string, v any) error {
 func render(prev, cur *sample, elapsed time.Duration) string {
 	var b strings.Builder
 
-	reqs := cur.get("server.requests")
-	var reqRate float64
-	if prev != nil && elapsed > 0 {
-		reqRate = float64(reqs-prev.get("server.requests")) / elapsed.Seconds()
+	// Rates come from the server's retained ring when it has one — a
+	// windowed rate over many samples, steady from the first frame — and
+	// otherwise from the delta between this poll and the previous one.
+	rate := func(name string) float64 {
+		if st, ok := cur.stat(name); ok {
+			return st.Rate
+		}
+		if prev != nil && elapsed > 0 {
+			return float64(cur.get(name)-prev.get(name)) / elapsed.Seconds()
+		}
+		return 0
 	}
+
+	reqs := cur.get("server.requests")
+	reqRate := rate("server.requests")
 	lat := cur.metric("server.request_latency_ns")
 	fmt.Fprintf(&b, "dkbd  requests %d (%.1f/s)  errors %d  sessions %d/%d active  in-flight %d\n",
 		reqs, reqRate, cur.get("server.errors"),
@@ -142,33 +176,39 @@ func render(prev, cur *sample, elapsed time.Duration) string {
 		cur.get("plan.entries"), cur.get("dkb.generation"))
 
 	// Snapshot store: commit rate, copy-on-write stall, reclamation lag.
-	var commitRate float64
-	if prev != nil && elapsed > 0 {
-		commitRate = float64(cur.get("snapshot.commits")-prev.get("snapshot.commits")) / elapsed.Seconds()
-	}
+	commitRate := rate("snapshot.commits")
 	fmt.Fprintf(&b, "snap  gen %d  readers %d  commits %d (%.1f/s)  copied %d  backlog %d  stall %v\n",
 		cur.get("snapshot.gen"), cur.get("snapshot.active_readers"),
 		cur.get("snapshot.commits"), commitRate, cur.get("snapshot.copied_tables"),
 		cur.get("snapshot.reclaim_backlog"), time.Duration(cur.get("snapshot.writer_stall_ns")))
 
 	// Shared evaluation pool: task throughput and inline-steal share.
-	var taskRate float64
-	if prev != nil && elapsed > 0 {
-		taskRate = float64(cur.get("sched.completed")-prev.get("sched.completed")) / elapsed.Seconds()
-	}
+	taskRate := rate("sched.completed")
 	fmt.Fprintf(&b, "sched %d workers  %d clients  queued %d  done %d (%.1f/s)  stolen %d\n",
 		cur.get("sched.workers"), cur.get("sched.clients"), cur.get("sched.queued"),
 		cur.get("sched.completed"), taskRate, cur.get("sched.stolen"))
 
 	// Materialized views: maintenance throughput vs forced re-derivations.
-	var maintRate float64
-	if prev != nil && elapsed > 0 {
-		maintRate = float64(cur.get("matview.maintained")-prev.get("matview.maintained")) / elapsed.Seconds()
-	}
+	maintRate := rate("matview.maintained")
 	fmt.Fprintf(&b, "views %d live  maintained %d (%.1f/s)  rederived %d  delta %d tuples  spent %v\n",
 		cur.get("matview.live"), cur.get("matview.maintained"), maintRate,
 		cur.get("matview.rederives"), cur.get("matview.delta_tuples"),
 		time.Duration(cur.get("matview.maintain_ns")))
+
+	// Sparklines over the server's time-series ring: throughput shape,
+	// cache health and reclamation lag at a glance.
+	if cur.ts != nil {
+		fmt.Fprintf(&b, "\nring  %v × %d samples (window %v)\n",
+			time.Duration(cur.ts.IntervalNs), cur.ts.Capacity, time.Duration(cur.ts.WindowNs))
+		req, _ := cur.stat("server.requests")
+		com, _ := cur.stat("snapshot.commits")
+		hit, _ := cur.stat("pool.hit_rate_pct")
+		back, _ := cur.stat("snapshot.reclaim_backlog")
+		fmt.Fprintf(&b, "      req/s    %s %.1f/s\n", spark(deltas(req.Points)), req.Rate)
+		fmt.Fprintf(&b, "      commit/s %s %.1f/s\n", spark(deltas(com.Points)), com.Rate)
+		fmt.Fprintf(&b, "      pool-hit %s %d%%\n", spark(hit.Points), hit.Last)
+		fmt.Fprintf(&b, "      backlog  %s %d\n", spark(back.Points), back.Last)
+	}
 
 	// Busiest tables by heap traffic (reads + scanned records), top 5.
 	type tableRow struct {
@@ -229,6 +269,47 @@ func render(prev, cur *sample, elapsed time.Duration) string {
 			e.Latency.Round(time.Microsecond), e.Rows, status, oneLine(e.Query, 60))
 	}
 	return b.String()
+}
+
+// sparkWidth is how many ring points the sparklines ask for and draw.
+const sparkWidth = 30
+
+// sparkBlocks are the eighth-block runes a sparkline is drawn with.
+var sparkBlocks = []rune("▁▂▃▄▅▆▇█")
+
+// spark draws values as a row of block characters scaled to the max;
+// an all-zero or empty series renders flat.
+func spark(vals []int64) string {
+	var max int64
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		i := 0
+		if max > 0 && v > 0 {
+			i = int(v * int64(len(sparkBlocks)-1) / max)
+		}
+		b.WriteRune(sparkBlocks[i])
+	}
+	return b.String()
+}
+
+// deltas turns a counter's cumulative points into per-interval
+// increments, clamped at zero across restarts.
+func deltas(points []int64) []int64 {
+	if len(points) < 2 {
+		return nil
+	}
+	out := make([]int64, len(points)-1)
+	for i := 1; i < len(points); i++ {
+		if d := points[i] - points[i-1]; d > 0 {
+			out[i-1] = d
+		}
+	}
+	return out
 }
 
 // pct formats part-of-whole as "NN%", "n/a" when nothing counted.

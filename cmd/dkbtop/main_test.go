@@ -99,6 +99,87 @@ func TestRender(t *testing.T) {
 	}
 }
 
+func TestRenderWithRing(t *testing.T) {
+	// With a /timeseries ring present, rates come from the ring's windowed
+	// rate (not poll deltas) and the sparkline block renders.
+	cur := sampleFrom([]obs.Metric{
+		{Name: "server.requests", Kind: "counter", Value: 150},
+	}, obs.SlowLogSnapshot{})
+	cur.ts = &obs.TimeSeriesSnapshot{
+		IntervalNs: int64(time.Second),
+		Capacity:   600,
+		WindowNs:   int64(10 * time.Minute),
+		Series: []obs.SeriesStat{
+			{Name: "server.requests", Kind: "counter", Last: 150, Rate: 12.5,
+				Points: []int64{100, 120, 150}},
+			{Name: "snapshot.commits", Kind: "counter", Last: 4, Rate: 0.2,
+				Points: []int64{2, 3, 4}},
+			{Name: "pool.hit_rate_pct", Kind: "gauge", Last: 93,
+				Points: []int64{90, 91, 93}},
+			{Name: "snapshot.reclaim_backlog", Kind: "gauge", Last: 2,
+				Points: []int64{0, 1, 2}},
+		},
+	}
+
+	// prev says the poll-to-poll rate would be 5/s; the ring must win.
+	prev := sampleFrom([]obs.Metric{
+		{Name: "server.requests", Kind: "counter", Value: 100},
+	}, obs.SlowLogSnapshot{})
+	out := render(prev, cur, 10*time.Second)
+
+	for _, w := range []string{
+		"requests 150 (12.5/s)", // ring rate, not (5.0/s)
+		"ring  1s × 600 samples (window 10m0s)",
+		"req/s",
+		"commit/s",
+		"0.2/s",
+		"pool-hit",
+		"93%",
+		"backlog",
+	} {
+		if !strings.Contains(out, w) {
+			t.Errorf("ring frame missing %q:\n%s", w, out)
+		}
+	}
+	if !strings.ContainsAny(out, "▁▂▃▄▅▆▇█") {
+		t.Errorf("no sparkline blocks in frame:\n%s", out)
+	}
+
+	// Without the ring, the same samples fall back to poll deltas.
+	cur.ts = nil
+	if out := render(prev, cur, 10*time.Second); !strings.Contains(out, "(5.0/s)") {
+		t.Errorf("fallback rate missing:\n%s", out)
+	}
+}
+
+func TestSpark(t *testing.T) {
+	if got := spark([]int64{0, 1, 2, 4}); got != "▁▂▄█" {
+		t.Errorf("spark = %q", got)
+	}
+	if got := spark([]int64{0, 0}); got != "▁▁" {
+		t.Errorf("flat spark = %q", got)
+	}
+	if got := spark(nil); got != "" {
+		t.Errorf("empty spark = %q", got)
+	}
+}
+
+func TestDeltas(t *testing.T) {
+	got := deltas([]int64{10, 15, 15, 12, 20})
+	want := []int64{5, 0, 0, 8} // dips (restart) clamp to zero
+	if len(got) != len(want) {
+		t.Fatalf("deltas = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("deltas = %v, want %v", got, want)
+		}
+	}
+	if deltas([]int64{7}) != nil {
+		t.Error("single-point deltas should be nil")
+	}
+}
+
 func TestOneLine(t *testing.T) {
 	if got := oneLine("a\n  b\tc", 60); got != "a b c" {
 		t.Errorf("oneLine = %q", got)
@@ -112,11 +193,12 @@ func TestOneLine(t *testing.T) {
 func TestRunOnceAgainstFakeServer(t *testing.T) {
 	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		switch r.URL.Path {
-		case "/metrics":
+		case "/metrics.json":
 			w.Write([]byte(`[{"name":"server.requests","kind":"gauge","value":9}]`))
 		case "/slowlog":
 			w.Write([]byte(`{"threshold_ns":0,"capacity":128,"recorded":0,"entries":[]}`))
 		default:
+			// No /timeseries: dkbtop must tolerate a ring-less server.
 			http.NotFound(w, r)
 		}
 	}))

@@ -493,6 +493,10 @@ func (c *ConcurrentTestbed) QueryContext(ctx context.Context, src string, opts *
 	if opts == nil {
 		opts = &QueryOptions{}
 	}
+	qid := opts.QueryID
+	if qid == 0 {
+		qid = obs.NewQueryID()
+	}
 	s, err := c.acquire()
 	if err != nil {
 		return nil, err
@@ -500,6 +504,7 @@ func (c *ConcurrentTestbed) QueryContext(ctx context.Context, src string, opts *
 	defer s.Release()
 	key := planKey{src: src, opts: *opts}
 	key.opts.Trace = false // the trace flag does not change the plan
+	key.opts.QueryID = 0   // neither does the per-request ID
 	compiled, cached, maintained := c.plans.lookup(key, s)
 	if cached != nil && !opts.Trace {
 		out := shareResult(cached)
@@ -508,6 +513,7 @@ func (c *ConcurrentTestbed) QueryContext(ctx context.Context, src string, opts *
 			out.Cache = "maintained"
 		}
 		out.Snapshot = s.Gen
+		out.QueryID = qid
 		return out, nil
 	}
 	cacheStatus := "miss"
@@ -518,6 +524,7 @@ func (c *ConcurrentTestbed) QueryContext(ctx context.Context, src string, opts *
 	if opts.Trace {
 		tr = obs.NewTrace("query")
 		tr.Root().SetInt("snapshot_gen", int64(s.Gen))
+		tr.Root().SetInt("query_id", int64(qid))
 	}
 	vdb, vst := c.view(s)
 	if compiled == nil {
@@ -539,6 +546,7 @@ func (c *ConcurrentTestbed) QueryContext(ctx context.Context, src string, opts *
 		return nil, err
 	}
 	res.Snapshot = s.Gen
+	res.QueryID = 0 // cached answers are query-neutral; the copy below carries the ID
 	if opts.Trace {
 		c.plans.store(key, s, compiled, nil, nil, policy)
 	} else {
@@ -551,6 +559,7 @@ func (c *ConcurrentTestbed) QueryContext(ctx context.Context, src string, opts *
 	}
 	out := shareResult(res)
 	out.Cache = cacheStatus
+	out.QueryID = qid
 	return out, nil
 }
 
@@ -558,6 +567,10 @@ func (c *ConcurrentTestbed) QueryContext(ctx context.Context, src string, opts *
 func (c *ConcurrentTestbed) RunQuery(q dlog.Query, opts *QueryOptions) (*QueryResult, error) {
 	if opts == nil {
 		opts = &QueryOptions{}
+	}
+	qid := opts.QueryID
+	if qid == 0 {
+		qid = obs.NewQueryID()
 	}
 	s, err := c.acquire()
 	if err != nil {
@@ -568,6 +581,7 @@ func (c *ConcurrentTestbed) RunQuery(q dlog.Query, opts *QueryOptions) (*QueryRe
 	if opts.Trace {
 		tr = obs.NewTrace("query")
 		tr.Root().SetInt("snapshot_gen", int64(s.Gen))
+		tr.Root().SetInt("query_id", int64(qid))
 	}
 	vdb, vst := c.view(s)
 	compiled, err := c.tb.compileWith(s.WS(), vdb, vst, q, opts, tr)
@@ -579,6 +593,7 @@ func (c *ConcurrentTestbed) RunQuery(q dlog.Query, opts *QueryOptions) (*QueryRe
 		return nil, err
 	}
 	res.Snapshot = s.Gen
+	res.QueryID = qid
 	return res, nil
 }
 
@@ -733,6 +748,15 @@ func (cp *ConcurrentPrepared) ensure(s *snapshot.Snapshot) (*core.Compiled, erro
 
 // Run executes the prepared query against a pinned snapshot.
 func (cp *ConcurrentPrepared) Run() (*QueryResult, error) {
+	return cp.RunWithQueryID(0)
+}
+
+// RunWithQueryID is Run under an explicit query ID (0 mints one); the
+// server threads each EXECP request's wire-propagated ID through here.
+func (cp *ConcurrentPrepared) RunWithQueryID(qid uint64) (*QueryResult, error) {
+	if qid == 0 {
+		qid = obs.NewQueryID()
+	}
 	s, err := cp.c.acquire()
 	if err != nil {
 		return nil, err
@@ -746,6 +770,7 @@ func (cp *ConcurrentPrepared) Run() (*QueryResult, error) {
 	if cp.opts.Trace {
 		tr = obs.NewTrace("query")
 		tr.Root().SetInt("snapshot_gen", int64(s.Gen))
+		tr.Root().SetInt("query_id", int64(qid))
 	}
 	vdb := cp.c.tb.db.WithResolver(s)
 	res, err := cp.c.tb.evaluateWith(context.Background(), vdb, compiled, &cp.opts, tr)
@@ -753,6 +778,7 @@ func (cp *ConcurrentPrepared) Run() (*QueryResult, error) {
 		return nil, err
 	}
 	res.Snapshot = s.Gen
+	res.QueryID = qid
 	return res, nil
 }
 

@@ -111,7 +111,13 @@ func (c *Client) Prepare(src string, opts wire.QueryOpts) (*Stmt, error) {
 
 // Exec runs the prepared query against the current D/KB state.
 func (s *Stmt) Exec() (*wire.Result, error) {
-	rp, err := s.c.roundTrip(wire.MsgExecP, wire.ExecP{ID: s.ID}.Encode(), wire.MsgResult)
+	return s.ExecWithQueryID(0)
+}
+
+// ExecWithQueryID is Exec under an explicit query ID (0 lets the server
+// mint one); the reply echoes the ID the execution ran under.
+func (s *Stmt) ExecWithQueryID(qid uint64) (*wire.Result, error) {
+	rp, err := s.c.roundTrip(wire.MsgExecP, wire.ExecP{ID: s.ID, QueryID: qid}.Encode(), wire.MsgResult)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Query IDs identify one request end to end: minted by whichever side
+// sees the query first (dkbsh, the client library, or the server
+// session), carried over the wire in the QUERY frame, echoed in the
+// RESULT frame, and stamped into the structured log, the span trace and
+// the slow-query ring — so one query can be followed from client
+// prompt to heap I/O.
+//
+// An ID is a non-zero uint64: a per-process counter seeded once from
+// crypto/rand, so IDs minted by different processes (a client and a
+// server, two clients) collide only with birthday-bound probability
+// while staying cheap to mint (one atomic add, no allocation).
+
+// queryIDCounter is the process-wide mint state.
+var queryIDCounter atomic.Uint64
+
+func init() {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err == nil {
+		queryIDCounter.Store(binary.BigEndian.Uint64(b[:]))
+	} else {
+		queryIDCounter.Store(uint64(time.Now().UnixNano()))
+	}
+}
+
+// NewQueryID mints a process-unique, non-zero query ID.
+func NewQueryID() uint64 {
+	for {
+		if id := queryIDCounter.Add(1); id != 0 {
+			return id
+		}
+	}
+}
+
+// FormatQueryID renders an ID the way every surface prints it:
+// "q" + 16 hex digits. FormatQueryID(0) is "" — zero means "no ID".
+func FormatQueryID(id uint64) string {
+	if id == 0 {
+		return ""
+	}
+	return fmt.Sprintf("q%016x", id)
+}
+
+// ParseQueryID parses the FormatQueryID form ("q3f2a…", case-insensitive,
+// leading zeros optional) or a plain decimal/0x-hex integer.
+func ParseQueryID(s string) (uint64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("obs: empty query id")
+	}
+	if s[0] == 'q' || s[0] == 'Q' {
+		id, err := strconv.ParseUint(s[1:], 16, 64)
+		if err != nil {
+			return 0, fmt.Errorf("obs: bad query id %q", s)
+		}
+		return id, nil
+	}
+	id, err := strconv.ParseUint(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("obs: bad query id %q", s)
+	}
+	return id, nil
+}

@@ -216,6 +216,44 @@ func (h *Histogram) Quantile(q float64) int64 {
 	return math.MaxInt64
 }
 
+// bucketCounts copies the raw bucket counters (the time-series sampler
+// stores them so windowed quantiles can be computed from bucket deltas).
+func (h *Histogram) bucketCounts() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// quantileFromBuckets is Histogram.Quantile over an explicit bucket
+// vector — the bucket-delta form the time-series window uses. Buckets
+// follow the Histogram layout: bucket i counts values of bit length i.
+func quantileFromBuckets(buckets []int64, q float64) int64 {
+	var total int64
+	for _, b := range buckets {
+		total += b
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total-1))
+	var seen int64
+	for i, b := range buckets {
+		seen += b
+		if seen > rank {
+			if i >= 62 {
+				return math.MaxInt64
+			}
+			return 1 << uint(i+1)
+		}
+	}
+	return math.MaxInt64
+}
+
 // Histogram returns (registering on first use) the named histogram.
 func (r *Registry) Histogram(name string) *Histogram {
 	r.mu.Lock()
@@ -240,23 +278,33 @@ type Metric struct {
 	P99 int64 `json:"p99,omitempty"`
 }
 
-// Snapshot returns every metric, sorted by name, with callback gauges
-// evaluated now.
-func (r *Registry) Snapshot() []Metric {
+// SamplePoint is one metric's state at one sampling instant: the
+// snapshot Metric plus, for histograms, the raw bucket counts the
+// time-series ring stores so windowed quantiles can be computed from
+// bucket deltas.
+type SamplePoint struct {
+	Metric
+	Buckets []int64 `json:"-"`
+}
+
+// sample returns every metric (sorted by name, callbacks evaluated now)
+// with histogram bucket counts attached — the time-series sampler's
+// read path. Snapshot derives from it.
+func (r *Registry) sample() []SamplePoint {
 	r.mu.Lock()
-	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.histograms)+len(r.funcs))
+	out := make([]SamplePoint, 0, len(r.counters)+len(r.gauges)+len(r.histograms)+len(r.funcs))
 	for name, c := range r.counters {
-		out = append(out, Metric{Name: name, Kind: "counter", Value: c.Load()})
+		out = append(out, SamplePoint{Metric: Metric{Name: name, Kind: "counter", Value: c.Load()}})
 	}
 	for name, g := range r.gauges {
-		out = append(out, Metric{Name: name, Kind: "gauge", Value: g.Load()})
+		out = append(out, SamplePoint{Metric: Metric{Name: name, Kind: "gauge", Value: g.Load()}})
 	}
 	for name, h := range r.histograms {
-		out = append(out, Metric{
+		out = append(out, SamplePoint{Metric: Metric{
 			Name: name, Kind: "histogram",
 			Value: h.Count(), Sum: h.Sum(),
 			P50: h.Quantile(0.50), P99: h.Quantile(0.99),
-		})
+		}, Buckets: h.bucketCounts()})
 	}
 	funcs := make(map[string]func() int64, len(r.funcs))
 	for name, fn := range r.funcs {
@@ -270,12 +318,25 @@ func (r *Registry) Snapshot() []Metric {
 	// Callbacks run outside the registry lock: they may take other locks
 	// (the plan cache's, the pager's).
 	for name, fn := range funcs {
-		out = append(out, Metric{Name: name, Kind: "gauge", Value: fn()})
+		out = append(out, SamplePoint{Metric: Metric{Name: name, Kind: "gauge", Value: fn()}})
 	}
 	for _, fn := range collectors {
-		out = append(out, fn()...)
+		for _, m := range fn() {
+			out = append(out, SamplePoint{Metric: m})
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Snapshot returns every metric, sorted by name, with callback gauges
+// evaluated now.
+func (r *Registry) Snapshot() []Metric {
+	pts := r.sample()
+	out := make([]Metric, len(pts))
+	for i, p := range pts {
+		out[i] = p.Metric
+	}
 	return out
 }
 

@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestRuntimeCollector(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	RegisterRuntimeMetrics(nil) // nil-safe
+	runtime.GC()
+	byName := map[string]Metric{}
+	for _, m := range reg.Snapshot() {
+		byName[m.Name] = m
+	}
+	if m, ok := byName[runtimeGoroutines]; !ok || m.Value < 1 {
+		t.Fatalf("goroutines metric = %+v ok=%v", m, ok)
+	}
+	if m, ok := byName[runtimeHeapInuse]; !ok || m.Value <= 0 {
+		t.Fatalf("heap metric = %+v ok=%v", m, ok)
+	}
+	if m, ok := byName[runtimeGCCycles]; !ok || m.Value < 1 {
+		t.Fatalf("gc cycles metric = %+v ok=%v (after runtime.GC)", m, ok)
+	}
+	if _, ok := byName[runtimeGCPauseP99]; !ok {
+		t.Fatalf("gc pause metric missing")
+	}
+}

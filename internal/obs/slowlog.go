@@ -15,6 +15,9 @@ import (
 type SlowQuery struct {
 	// Query is the query source text.
 	Query string `json:"query"`
+	// QueryID is the request's wire-propagated query ID (0 when the
+	// query predates ID minting, e.g. local shells without tracing).
+	QueryID uint64 `json:"query_id,omitempty"`
 	// Start is when evaluation began.
 	Start time.Time `json:"start"`
 	// Latency is how long the query took end to end.

@@ -52,6 +52,10 @@ func (a Attr) Value() string {
 type Span struct {
 	Name     string        `json:"name"`
 	Duration time.Duration `json:"duration_ns"`
+	// Offset is when the span started, relative to the trace root's
+	// start (0 for the root itself). It positions spans on a shared
+	// timeline — the Perfetto exporter's ts axis.
+	Offset   time.Duration `json:"offset_ns,omitempty"`
 	Attrs    []Attr        `json:"attrs,omitempty"`
 	Children []*Span       `json:"children,omitempty"`
 
@@ -125,6 +129,12 @@ func (s *Span) Start(name string) *Span {
 		return nil
 	}
 	child := &Span{Name: name, start: time.Now(), tr: s.tr}
+	// root.start is written once (NewTrace) before any Start can run, so
+	// reading it without the trace lock is safe; adopted trees have a
+	// zero root start and keep whatever offsets they were decoded with.
+	if rs := s.tr.root.start; !rs.IsZero() {
+		child.Offset = child.start.Sub(rs)
+	}
 	s.tr.mu.Lock()
 	s.Children = append(s.Children, child)
 	s.tr.mu.Unlock()

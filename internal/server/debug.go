@@ -4,12 +4,22 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"dkbms/internal/obs"
 )
 
 // DebugHandler returns the server's debug HTTP surface, mounted by dkbd
 // under -debug-addr:
 //
-//	/metrics       metrics-registry snapshot (JSON array)
+//	/metrics       metrics-registry snapshot, Prometheus text exposition
+//	/metrics.json  the same snapshot as a JSON array
+//	/timeseries    windowed rates/deltas/quantiles from the retained ring
+//	               (?window=30s trims the window, ?points=60 attaches raw
+//	               samples per series)
+//	/debug/trace   Chrome/Perfetto trace-event JSON for one retained
+//	               query (?id=q<hex> from a RESULT echo or the slow log)
 //	/slowlog       slow-query ring snapshot (JSON object)
 //	/healthz       liveness probe ("ok", 200)
 //	/debug/pprof/  Go runtime profiles
@@ -21,10 +31,67 @@ import (
 func (s *Server) DebugHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", obs.PromContentType)
+		if err := s.reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		if err := s.reg.WriteJSON(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
+	})
+	mux.HandleFunc("/timeseries", func(w http.ResponseWriter, r *http.Request) {
+		if s.ts == nil {
+			http.Error(w, "time-series sampling disabled (-sample-interval < 0)", http.StatusNotFound)
+			return
+		}
+		var window time.Duration
+		if v := r.URL.Query().Get("window"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				http.Error(w, "bad ?window= duration: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			window = d
+		}
+		points := 0
+		if v := r.URL.Query().Get("points"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				http.Error(w, "bad ?points= count", http.StatusBadRequest)
+				return
+			}
+			points = n
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := s.ts.WriteJSON(w, window, points); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		qid, err := obs.ParseQueryID(r.URL.Query().Get("id"))
+		if err != nil {
+			http.Error(w, "bad or missing ?id= query id: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		for _, e := range s.slow.Snapshot() {
+			if e.QueryID != qid {
+				continue
+			}
+			if e.Trace == nil {
+				http.Error(w, "query retained without a trace; run it with the Trace option",
+					http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			if err := obs.WriteChromeTrace(w, e.Trace, qid); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
+		http.Error(w, "no retained query with id "+obs.FormatQueryID(qid), http.StatusNotFound)
 	})
 	mux.HandleFunc("/slowlog", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

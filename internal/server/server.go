@@ -54,6 +54,15 @@ type Options struct {
 	// the slow log. 0 retains every query (the ring then holds the most
 	// recent SlowLogSize queries).
 	SlowThreshold time.Duration
+	// SampleInterval is the retained-telemetry sampling period: every
+	// interval the time-series ring snapshots the whole metrics registry
+	// so /timeseries (and dkbtop's sparklines) can serve windowed rates
+	// and quantiles. 0 selects obs.DefaultSampleInterval; negative
+	// disables retention entirely (no sampler goroutine runs).
+	SampleInterval time.Duration
+	// SampleWindow is the ring capacity in samples. 0 selects
+	// obs.DefaultSampleWindow; negative disables retention.
+	SampleWindow int
 }
 
 // Default option values.
@@ -71,7 +80,8 @@ type Server struct {
 
 	stats  counters
 	reg    *obs.Registry
-	nextID atomic.Uint64 // session ids
+	ts     *obs.TimeSeries // retained telemetry; nil when sampling is disabled
+	nextID atomic.Uint64   // session ids
 
 	mu       sync.Mutex
 	sessions map[*session]struct{}
@@ -99,6 +109,16 @@ func New(tb *dkbms.ConcurrentTestbed, opts Options) *Server {
 		sessions: make(map[*session]struct{}),
 	}
 	s.initRegistry()
+	interval, window := opts.SampleInterval, opts.SampleWindow
+	if interval == 0 {
+		interval = obs.DefaultSampleInterval
+	}
+	if window == 0 {
+		window = obs.DefaultSampleWindow
+	}
+	// A negative interval or window leaves s.ts nil: every read serves
+	// the disabled shape and Serve starts no sampler goroutine.
+	s.ts = obs.NewTimeSeries(s.reg, interval, window)
 	return s
 }
 
@@ -111,6 +131,8 @@ func (s *Server) initRegistry() {
 	r := obs.NewRegistry()
 	s.reg = r
 	s.stats.lat = r.Histogram("server.request_latency_ns")
+	s.stats.queries = r.Counter("query.count")
+	obs.RegisterRuntimeMetrics(r)
 	gauge := func(name string, fn func() int64) { r.GaugeFunc(name, fn) }
 	gauge("server.sessions_active", s.stats.activeSessions.Load)
 	gauge("server.sessions_total", s.stats.totalSessions.Load)
@@ -170,6 +192,10 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 // SLOWLOG and over HTTP by the /slowlog debug endpoint).
 func (s *Server) SlowLog() *obs.SlowLog { return s.slow }
 
+// TimeSeries exposes the retained-telemetry ring (nil when sampling is
+// disabled; the obs methods are nil-safe).
+func (s *Server) TimeSeries() *obs.TimeSeries { return s.ts }
+
 // ListenAndServe listens on addr ("host:port") and serves until ctx is
 // cancelled. The listener's actual address (useful with ":0") is sent on
 // ready, if non-nil, once accepting.
@@ -194,6 +220,11 @@ func (s *Server) Serve(ctx context.Context, lis net.Listener) error {
 		s.beginDrain()
 	})
 	defer stop()
+
+	// Retained telemetry samples for the server's lifetime; Stop waits
+	// for the sampler goroutine, so none outlives Serve.
+	s.ts.Start()
+	defer s.ts.Stop()
 
 	sem := make(chan struct{}, s.opts.MaxConns)
 	var wg sync.WaitGroup

@@ -589,13 +589,29 @@ func TestDebugEndpoints(t *testing.T) {
 		t.Fatalf("/healthz = %d %q", code, body)
 	}
 
+	// /metrics is Prometheus text now; the JSON snapshot moved to
+	// /metrics.json.
 	code, body := get("/metrics")
 	if code != 200 {
 		t.Fatalf("/metrics = %d", code)
 	}
+	for _, want := range []string{
+		"# TYPE dkb_query_count counter",
+		"# TYPE dkb_server_request_latency_ns summary",
+		"dkb_runtime_goroutines",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	code, body = get("/metrics.json")
+	if code != 200 {
+		t.Fatalf("/metrics.json = %d", code)
+	}
 	var metrics []obs.Metric
 	if err := json.Unmarshal([]byte(body), &metrics); err != nil {
-		t.Fatalf("/metrics is not JSON: %v", err)
+		t.Fatalf("/metrics.json is not JSON: %v", err)
 	}
 	var hasTable, hasShard, hasRate bool
 	for _, m := range metrics {
@@ -672,4 +688,264 @@ func (s *syncBuffer) String() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.b.String()
+}
+
+// TestQueryIDOverWire: a client-supplied query ID is echoed in the
+// RESULT and filed in the server's slow-query ring; a server-minted ID
+// (client sends none) is echoed too and matches the ring entry.
+func TestQueryIDOverWire(t *testing.T) {
+	tb := dkbms.NewConcurrent(dkbms.NewMemory())
+	defer tb.Close()
+	if err := tb.Load(baseProgram); err != nil {
+		t.Fatal(err)
+	}
+	addr, cancel, done := startServer(t, tb, server.Options{})
+	defer func() { cancel(); <-done }()
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Client-supplied ID.
+	const qid = 0x1234abcd
+	res, err := c.Query("?- ancestor(c0, W).", wire.QueryOpts{QueryID: qid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QueryID != qid {
+		t.Fatalf("echoed id = %#x, want %#x", res.QueryID, qid)
+	}
+
+	// Server-minted ID.
+	res2, err := c.Query("?- parent(c0, W).", wire.QueryOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.QueryID == 0 || res2.QueryID == qid {
+		t.Fatalf("minted id = %#x", res2.QueryID)
+	}
+
+	// Prepared execution propagates the ID too.
+	stmt, err := c.Prepare("?- ancestor(c0, W).", wire.QueryOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pqid = 0x777
+	res3, err := stmt.ExecWithQueryID(pqid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.QueryID != pqid {
+		t.Fatalf("execp echoed id = %#x, want %#x", res3.QueryID, pqid)
+	}
+	// An ID-less Exec gets a server-minted one.
+	res4, err := stmt.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res4.QueryID == 0 {
+		t.Fatal("execp without id not minted")
+	}
+
+	// Every execution above is filed in the slow log under its ID.
+	sl, err := c.Slowlog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[uint64]obs.SlowQuery{}
+	for _, e := range sl.Entries {
+		byID[e.QueryID] = e
+	}
+	for _, want := range []uint64{qid, res2.QueryID, pqid, res4.QueryID} {
+		if _, ok := byID[want]; !ok {
+			t.Fatalf("slowlog has no entry for id %#x (entries: %+v)", want, sl.Entries)
+		}
+	}
+	if e := byID[qid]; e.Query != "?- ancestor(c0, W)." {
+		t.Fatalf("slowlog entry for %#x = %+v", qid, e)
+	}
+}
+
+// TestTimeSeriesPinnedDeltas: with deterministic sample boundaries
+// around a burst of N queries, the windowed query.count delta is
+// exactly N.
+func TestTimeSeriesPinnedDeltas(t *testing.T) {
+	tb := dkbms.NewConcurrent(dkbms.NewMemory())
+	defer tb.Close()
+	if err := tb.Load(baseProgram); err != nil {
+		t.Fatal(err)
+	}
+	// A huge interval keeps the background ticker quiet so the only ring
+	// samples are the pinned SampleNow calls below (plus Start's).
+	srv := server.New(tb, server.Options{SampleInterval: time.Hour})
+	addr, cancel, done := startServerWith(t, srv)
+	defer func() { cancel(); <-done }()
+
+	ts := srv.TimeSeries()
+	ts.SampleNow()
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const n = 10
+	for i := 0; i < n; i++ {
+		if _, err := c.Query("?- ancestor(c0, W).", wire.QueryOpts{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts.SampleNow()
+
+	st, ok := ts.Stat("query.count", 0)
+	if !ok {
+		t.Fatal("query.count not sampled")
+	}
+	if st.Delta != n {
+		t.Fatalf("windowed query.count delta = %d, want %d", st.Delta, n)
+	}
+	if st.Rate <= 0 {
+		t.Fatalf("rate = %v", st.Rate)
+	}
+
+	// The STATS reply carries the same counter.
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Queries != n {
+		t.Fatalf("stats.Queries = %d, want %d", stats.Queries, n)
+	}
+}
+
+// startServerWith is startServer for a pre-built server (tests that
+// need the server handle itself).
+func startServerWith(t *testing.T, srv *server.Server) (string, context.CancelFunc, chan error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe(ctx, "127.0.0.1:0", ready) }()
+	select {
+	case addr := <-ready:
+		return addr.String(), cancel, done
+	case err := <-done:
+		cancel()
+		t.Fatalf("server did not start: %v", err)
+		return "", nil, nil
+	}
+}
+
+// TestTimeSeriesAndTraceEndpoints drives /timeseries and /debug/trace:
+// windowed series appear after traffic, and a traced query's span tree
+// exports as Chrome trace-event JSON addressable by its query ID.
+func TestTimeSeriesAndTraceEndpoints(t *testing.T) {
+	tb := dkbms.NewConcurrent(dkbms.NewMemory())
+	defer tb.Close()
+	if err := tb.Load(baseProgram); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(tb, server.Options{SampleInterval: time.Hour})
+	addr, cancel, done := startServerWith(t, srv)
+	defer func() { cancel(); <-done }()
+	hs := httptest.NewServer(srv.DebugHandler())
+	defer hs.Close()
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const qid = 0xbeef
+	res, err := c.Query("?- ancestor(c0, W).", wire.QueryOpts{Trace: true, QueryID: qid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil || res.QueryID != qid {
+		t.Fatalf("traced result: trace=%v id=%#x", res.Trace, res.QueryID)
+	}
+	srv.TimeSeries().SampleNow()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/timeseries?points=16")
+	if code != 200 {
+		t.Fatalf("/timeseries = %d %s", code, body)
+	}
+	var snap obs.TimeSeriesSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/timeseries not JSON: %v", err)
+	}
+	var found bool
+	for _, s := range snap.Series {
+		if s.Name == "query.count" && s.Last >= 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("/timeseries lacks query.count: %s", body)
+	}
+	if code, body := get("/timeseries?window=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("bad window = %d %s", code, body)
+	}
+
+	code, body = get("/debug/trace?id=" + obs.FormatQueryID(qid))
+	if code != 200 {
+		t.Fatalf("/debug/trace = %d %s", code, body)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/debug/trace not JSON: %v", err)
+	}
+	var names []string
+	for _, e := range doc.TraceEvents {
+		names = append(names, fmt.Sprint(e["name"]))
+	}
+	joined := strings.Join(names, " ")
+	if !strings.Contains(joined, "query") || !strings.Contains(joined, "process_name") {
+		t.Fatalf("/debug/trace events = %v", names)
+	}
+	if code, _ := get("/debug/trace?id=q00000000000000ff"); code != http.StatusNotFound {
+		t.Fatalf("unknown id = %d", code)
+	}
+	if code, _ := get("/debug/trace?id=nonsense!"); code != http.StatusBadRequest {
+		t.Fatalf("bad id = %d", code)
+	}
+}
+
+// TestSamplingDisabled: a negative sample interval runs no sampler
+// goroutine and /timeseries reports 404.
+func TestSamplingDisabled(t *testing.T) {
+	tb := dkbms.NewConcurrent(dkbms.NewMemory())
+	defer tb.Close()
+	srv := server.New(tb, server.Options{SampleInterval: -1})
+	if srv.TimeSeries() != nil {
+		t.Fatal("sampling not disabled")
+	}
+	hs := httptest.NewServer(srv.DebugHandler())
+	defer hs.Close()
+	resp, err := http.Get(hs.URL + "/timeseries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/timeseries = %d, want 404", resp.StatusCode)
+	}
 }

@@ -148,9 +148,17 @@ func (s *session) handle(t wire.MsgType, payload []byte) (wire.MsgType, []byte) 
 		if err != nil {
 			return errFrame(err)
 		}
+		// Adopt the client's query ID or mint one, so every execution is
+		// identifiable across the result echo, the structured log and the
+		// slow-query ring.
+		opts := m.Opts.ToOptions()
+		if opts.QueryID == 0 {
+			opts.QueryID = obs.NewQueryID()
+		}
+		s.srv.stats.queries.Inc()
 		start := time.Now()
-		res, err := s.srv.tb.QueryContext(s.ctx, m.Src, m.Opts.ToOptions())
-		s.recordSlow(m.Src, start, res, err)
+		res, err := s.srv.tb.QueryContext(s.ctx, m.Src, opts)
+		s.recordSlow(m.Src, start, res, err, opts.QueryID)
 		if err != nil {
 			return errFrame(err)
 		}
@@ -182,9 +190,14 @@ func (s *session) handle(t wire.MsgType, payload []byte) (wire.MsgType, []byte) 
 		if !ok {
 			return errFrame(fmt.Errorf("server: no prepared query %d in this session", m.ID))
 		}
+		qid := m.QueryID
+		if qid == 0 {
+			qid = obs.NewQueryID()
+		}
+		s.srv.stats.queries.Inc()
 		start := time.Now()
-		res, err := pq.cp.Run()
-		s.recordSlow(pq.src, start, res, err)
+		res, err := pq.cp.RunWithQueryID(qid)
+		s.recordSlow(pq.src, start, res, err, qid)
 		if err != nil {
 			return errFrame(err)
 		}
@@ -233,14 +246,16 @@ func (s *session) handle(t wire.MsgType, payload []byte) (wire.MsgType, []byte) 
 }
 
 // recordSlow enters one query execution into the server's slow-query
-// ring. Failed queries are retained too (with the error text); traces
-// ride along only when the query ran traced.
-func (s *session) recordSlow(src string, start time.Time, res *dkbms.QueryResult, err error) {
+// ring, keyed by the wire-propagated query ID. Failed queries are
+// retained too (with the error text); traces ride along only when the
+// query ran traced.
+func (s *session) recordSlow(src string, start time.Time, res *dkbms.QueryResult, err error, qid uint64) {
 	e := obs.SlowQuery{
 		Query:   src,
 		Start:   start,
 		Latency: time.Since(start),
 		Session: int64(s.id),
+		QueryID: qid,
 	}
 	if err != nil {
 		e.Err = err.Error()
@@ -252,6 +267,10 @@ func (s *session) recordSlow(src string, start time.Time, res *dkbms.QueryResult
 		e.Snapshot = res.Snapshot
 	}
 	s.srv.slow.Record(e)
+	if s.log.Enabled(obs.LevelDebug) {
+		s.log.Debug("query done", "query_id", obs.FormatQueryID(qid),
+			"ms", e.Latency, "cache", e.Cache, "err", e.Err)
+	}
 }
 
 func errFrame(err error) (wire.MsgType, []byte) {
@@ -265,5 +284,6 @@ func encodeResult(res *dkbms.QueryResult) []byte {
 		Optimized: res.Optimized,
 		Strategy:  res.Strategy.String(),
 		Trace:     res.Trace.Root(),
+		QueryID:   res.QueryID,
 	}.Encode()
 }

@@ -42,6 +42,10 @@ type counters struct {
 	// (exponential-bucket histogram; the exact ring above still backs
 	// the wire stats' percentiles). Nil-safe when no registry is wired.
 	lat *obs.Histogram
+	// queries counts QUERY+EXECP requests as a real registry counter —
+	// the time-series ring samples it, so /timeseries serves an exact
+	// windowed query rate. Nil-safe when no registry is wired.
+	queries *obs.Counter
 }
 
 // observe records one completed request.
@@ -114,5 +118,7 @@ func (c *counters) snapshot(generation uint64, plan dkbms.PlanCacheStats, pool s
 		ViewsRederives:    mv.Rederives,
 		ViewsDeltaTuples:  mv.DeltaTuples,
 		ViewsMaintainTime: mv.MaintainTime,
+
+		Queries: c.queries.Load(),
 	}
 }

@@ -45,6 +45,7 @@ func appendSlowQuery(buf []byte, e obs.SlowQuery) []byte {
 	buf = binary.AppendVarint(buf, e.Iterations)
 	buf = binary.AppendVarint(buf, e.Rows)
 	buf = binary.AppendVarint(buf, e.Session)
+	buf = binary.AppendUvarint(buf, e.QueryID)
 	buf = appendString(buf, e.Err)
 	if e.Trace != nil {
 		buf = append(buf, 1)
@@ -112,6 +113,9 @@ func readSlowQuery(buf []byte) (obs.SlowQuery, []byte, error) {
 		return e, nil, err
 	}
 	if e.Session, buf, err = readVarint(buf); err != nil {
+		return e, nil, err
+	}
+	if e.QueryID, buf, err = readUvarint(buf); err != nil {
 		return e, nil, err
 	}
 	if e.Err, buf, err = readString(buf); err != nil {

@@ -217,6 +217,11 @@ type QueryOpts struct {
 	Parallel   bool
 	// Trace requests the query's span tree in the RESULT frame.
 	Trace bool
+	// QueryID tags the request with a client-minted query ID (see
+	// obs.NewQueryID); the server stamps it into its log, trace and
+	// slow-query ring and echoes it in the RESULT frame. 0 (no ID) lets
+	// the server mint one — its echo tells the client what it was.
+	QueryID uint64
 }
 
 const (
@@ -225,6 +230,12 @@ const (
 	optAdaptive
 	optParallel
 	optTrace
+	// optQueryID marks a query-ID uvarint trailing the source string.
+	// Decode-tolerant in both directions: ID-less frames are
+	// byte-identical to the old encoding, and a server from before query
+	// IDs ignores the unknown bit and the trailing bytes (it just mints
+	// no echo).
+	optQueryID
 )
 
 // FromOptions converts root-API query options to their wire form. A
@@ -239,6 +250,7 @@ func FromOptions(o *dkbms.QueryOptions) QueryOpts {
 		Adaptive:   o.Adaptive,
 		Parallel:   o.Parallel,
 		Trace:      o.Trace,
+		QueryID:    o.QueryID,
 	}
 }
 
@@ -250,6 +262,7 @@ func (o QueryOpts) ToOptions() *dkbms.QueryOptions {
 		Adaptive:   o.Adaptive,
 		Parallel:   o.Parallel,
 		Trace:      o.Trace,
+		QueryID:    o.QueryID,
 	}
 }
 
@@ -269,6 +282,9 @@ func (o QueryOpts) encode() byte {
 	}
 	if o.Trace {
 		b |= optTrace
+	}
+	if o.QueryID != 0 {
+		b |= optQueryID
 	}
 	return b
 }
@@ -303,9 +319,14 @@ type Query struct {
 	Opts QueryOpts
 }
 
-// Encode renders the payload.
+// Encode renders the payload: the option byte, the source, then (when
+// the optQueryID bit is set) the query-ID uvarint.
 func (m Query) Encode() []byte {
-	return appendString([]byte{m.Opts.encode()}, m.Src)
+	buf := appendString([]byte{m.Opts.encode()}, m.Src)
+	if m.Opts.QueryID != 0 {
+		buf = binary.AppendUvarint(buf, m.Opts.QueryID)
+	}
+	return buf
 }
 
 // DecodeQuery parses a QUERY payload.
@@ -313,8 +334,17 @@ func DecodeQuery(p []byte) (Query, error) {
 	if len(p) < 1 {
 		return Query{}, fmt.Errorf("wire: empty QUERY payload")
 	}
-	src, _, err := readString(p[1:])
-	return Query{Src: src, Opts: decodeOpts(p[0])}, err
+	src, rest, err := readString(p[1:])
+	m := Query{Src: src, Opts: decodeOpts(p[0])}
+	if err != nil {
+		return m, err
+	}
+	if p[0]&optQueryID != 0 {
+		if m.Opts.QueryID, _, err = readUvarint(rest); err != nil {
+			return m, err
+		}
+	}
+	return m, nil
 }
 
 // Prepare is the PREPARE request: compile a query for repeated EXECP.
@@ -335,15 +365,36 @@ func DecodePrepare(p []byte) (Prepare, error) {
 }
 
 // ExecP is the EXECP request: run a prepared query by session-local id.
-type ExecP struct{ ID uint64 }
+type ExecP struct {
+	ID uint64
+	// QueryID tags this execution (0 = none; the server mints one).
+	// Trailing field: absent from old peers' payloads, decoded as zero.
+	QueryID uint64
+}
 
 // Encode renders the payload.
-func (m ExecP) Encode() []byte { return binary.AppendUvarint(nil, m.ID) }
+func (m ExecP) Encode() []byte {
+	buf := binary.AppendUvarint(nil, m.ID)
+	if m.QueryID != 0 {
+		buf = binary.AppendUvarint(buf, m.QueryID)
+	}
+	return buf
+}
 
-// DecodeExecP parses an EXECP payload.
+// DecodeExecP parses an EXECP payload. The trailing query ID is
+// optional: an old peer's payload ends at the statement id.
 func DecodeExecP(p []byte) (ExecP, error) {
-	id, _, err := readUvarint(p)
-	return ExecP{ID: id}, err
+	id, rest, err := readUvarint(p)
+	if err != nil {
+		return ExecP{}, err
+	}
+	m := ExecP{ID: id}
+	if len(rest) > 0 {
+		if m.QueryID, _, err = readUvarint(rest); err != nil {
+			return m, err
+		}
+	}
+	return m, nil
 }
 
 // Retract is the RETRACT request: delete facts matching a pattern atom.
@@ -496,16 +547,30 @@ type Result struct {
 	// Trace is the query's span tree, present only when the QUERY frame
 	// carried the Trace option bit.
 	Trace *obs.Span
+	// QueryID echoes the request's query ID (client-sent or
+	// server-minted), so the client can print the ID its query is
+	// filed under in the server's log and slow-query ring.
+	QueryID uint64
 }
+
+// Result payload flags.
+const (
+	resultOptimized = 1 << iota
+	resultTrace
+	resultQueryID
+)
 
 // Encode renders the payload.
 func (m Result) Encode() []byte {
 	var flags byte
 	if m.Optimized {
-		flags |= 1
+		flags |= resultOptimized
 	}
 	if m.Trace != nil {
-		flags |= 2
+		flags |= resultTrace
+	}
+	if m.QueryID != 0 {
+		flags |= resultQueryID
 	}
 	buf := []byte{flags}
 	buf = appendString(buf, m.Strategy)
@@ -519,6 +584,9 @@ func (m Result) Encode() []byte {
 		for _, v := range tu {
 			buf = appendValue(buf, v)
 		}
+	}
+	if m.QueryID != 0 {
+		buf = binary.AppendUvarint(buf, m.QueryID)
 	}
 	if m.Trace != nil {
 		buf = appendSpan(buf, m.Trace)
@@ -538,6 +606,7 @@ const (
 func appendSpan(buf []byte, s *obs.Span) []byte {
 	buf = appendString(buf, s.Name)
 	buf = binary.AppendVarint(buf, int64(s.Duration))
+	buf = binary.AppendVarint(buf, int64(s.Offset))
 	buf = binary.AppendUvarint(buf, uint64(len(s.Attrs)))
 	for _, a := range s.Attrs {
 		buf = appendString(buf, a.Key)
@@ -574,6 +643,11 @@ func readSpan(buf []byte, depth int, nodes *int) (*obs.Span, []byte, error) {
 		return nil, nil, err
 	}
 	s.Duration = time.Duration(dur)
+	var off int64
+	if off, buf, err = readVarint(buf); err != nil {
+		return nil, nil, err
+	}
+	s.Offset = time.Duration(off)
 	nattrs, buf, err := readUvarint(buf)
 	if err != nil {
 		return nil, nil, err
@@ -626,7 +700,7 @@ func DecodeResult(p []byte) (*Result, error) {
 	if len(p) < 1 {
 		return nil, fmt.Errorf("wire: empty RESULT payload")
 	}
-	m := &Result{Optimized: p[0]&1 != 0}
+	m := &Result{Optimized: p[0]&resultOptimized != 0}
 	var err error
 	buf := p[1:]
 	if m.Strategy, buf, err = readString(buf); err != nil {
@@ -670,7 +744,12 @@ func DecodeResult(p []byte) (*Result, error) {
 		}
 		m.Rows = append(m.Rows, tu)
 	}
-	if p[0]&2 != 0 {
+	if p[0]&resultQueryID != 0 {
+		if m.QueryID, buf, err = readUvarint(buf); err != nil {
+			return nil, err
+		}
+	}
+	if p[0]&resultTrace != 0 {
 		var nodes int
 		if m.Trace, _, err = readSpan(buf, 0, &nodes); err != nil {
 			return nil, err
@@ -742,6 +821,10 @@ type ServerStats struct {
 	ViewsRederives    int64
 	ViewsDeltaTuples  int64
 	ViewsMaintainTime time.Duration
+	// Queries counts QUERY+EXECP requests served (the telemetry ring's
+	// query.count counter). Trailing field: absent from pre-telemetry
+	// peers' payloads, decoded as zero.
+	Queries int64
 }
 
 // Encode renders the payload. The snapshot fields trail the original
@@ -769,6 +852,7 @@ func (m ServerStats) Encode() []byte {
 		m.ViewsDeltaTuples, int64(m.ViewsMaintainTime)} {
 		buf = binary.AppendVarint(buf, v)
 	}
+	buf = binary.AppendVarint(buf, m.Queries)
 	return buf
 }
 
@@ -822,6 +906,13 @@ func DecodeServerStats(p []byte) (ServerStats, error) {
 		if *f, buf, err = readVarint(buf); err != nil {
 			return ServerStats{}, err
 		}
+	}
+	if len(buf) == 0 {
+		// Pre-telemetry peer: query counter stays zero.
+		return m, nil
+	}
+	if m.Queries, buf, err = readVarint(buf); err != nil {
+		return ServerStats{}, err
 	}
 	return m, nil
 }

@@ -289,6 +289,7 @@ func TestServerStatsRoundTrip(t *testing.T) {
 		SchedWorkers: 4, SchedQueued: 2, SchedSubmitted: 999, SchedStolen: 31,
 		ViewsLive: 2, ViewsMaintained: 55, ViewsRederives: 4,
 		ViewsDeltaTuples: 310, ViewsMaintainTime: 9 * time.Millisecond,
+		Queries: 4242,
 	}
 	out, err := DecodeServerStats(in.Encode())
 	if err != nil {
@@ -307,16 +308,17 @@ func TestServerStatsOldPeer(t *testing.T) {
 		Requests: 7, Generation: 3,
 		SnapshotReaders: 1, ReclaimBacklog: 2, WriterStall: time.Millisecond,
 	}
-	// With the four sched and five view fields zero, Encode appends
-	// exactly nine single-byte varints; dropping suffixes reproduces the
-	// older peers' frames.
+	// With the four sched fields, five view fields and the query counter
+	// zero, Encode appends exactly ten single-byte varints; dropping
+	// suffixes reproduces the older peers' frames.
 	full := in.Encode()
 	for _, tc := range []struct {
 		name string
 		cut  int
 	}{
-		{"pre-scheduler", 9},
-		{"pre-matview", 5},
+		{"pre-scheduler", 10},
+		{"pre-matview", 6},
+		{"pre-telemetry", 1},
 	} {
 		out, err := DecodeServerStats(full[:len(full)-tc.cut])
 		if err != nil {
@@ -438,5 +440,85 @@ func TestDecodeSlowlogCorrupt(t *testing.T) {
 	buf = append(buf, 0xFF, 0xFF, 0x03)
 	if _, err := DecodeSlowlog(buf); err == nil {
 		t.Error("oversized entry count accepted")
+	}
+}
+
+// TestQueryIDRoundTrip drives the wire-propagated query ID through the
+// QUERY, EXECP and RESULT frames, and checks the ID-less encodings stay
+// byte-identical to the pre-telemetry layout (old peers decode them).
+func TestQueryIDRoundTrip(t *testing.T) {
+	const qid = 0xdeadbeefcafe
+
+	// QUERY: the ID rides behind the option bit.
+	q, err := DecodeQuery(Query{Src: "?- a(X).", Opts: QueryOpts{Naive: true, QueryID: qid}}.Encode())
+	if err != nil || q.Opts.QueryID != qid || !q.Opts.Naive || q.Src != "?- a(X)." {
+		t.Fatalf("query with id: %+v %v", q, err)
+	}
+	// Without an ID the frame carries no extra bytes or bits.
+	plain := Query{Src: "?- a(X)."}.Encode()
+	if plain[0] != 0 || len(plain) != 1+1+len("?- a(X).") {
+		t.Fatalf("ID-less QUERY grew: flags=%x len=%d", plain[0], len(plain))
+	}
+
+	// EXECP: the ID is a decode-tolerant trailing field.
+	e, err := DecodeExecP(ExecP{ID: 9, QueryID: qid}.Encode())
+	if err != nil || e.ID != 9 || e.QueryID != qid {
+		t.Fatalf("execp with id: %+v %v", e, err)
+	}
+	// An old peer's payload ends at the statement id.
+	old, err := DecodeExecP(ExecP{ID: 9}.Encode())
+	if err != nil || old.ID != 9 || old.QueryID != 0 {
+		t.Fatalf("old-peer execp: %+v %v", old, err)
+	}
+	if len(ExecP{ID: 9}.Encode()) != 1 {
+		t.Fatalf("ID-less EXECP grew: %d bytes", len(ExecP{ID: 9}.Encode()))
+	}
+
+	// RESULT: the server echoes the ID behind a flags bit.
+	r, err := DecodeResult(Result{Strategy: "semi-naive", QueryID: qid}.Encode())
+	if err != nil || r.QueryID != qid || r.Strategy != "semi-naive" {
+		t.Fatalf("result echo: %+v %v", r, err)
+	}
+	if p := (Result{Strategy: "naive"}).Encode(); p[0] != 0 {
+		t.Fatalf("ID-less RESULT sets flags %x", p[0])
+	}
+
+	// RESULT carrying both an ID and a trace keeps the field order.
+	tr := obs.NewTrace("query")
+	tr.Finish()
+	rt, err := DecodeResult(Result{Strategy: "naive", QueryID: qid, Trace: tr.Root()}.Encode())
+	if err != nil || rt.QueryID != qid || rt.Trace == nil || rt.Trace.Name != "query" {
+		t.Fatalf("result id+trace: %+v %v", rt, err)
+	}
+}
+
+// TestSpanOffsetRoundTrip checks the span start offsets survive the
+// wire (the Perfetto exporter places spans on the timeline with them).
+func TestSpanOffsetRoundTrip(t *testing.T) {
+	root := &obs.Span{Name: "query", Duration: 10 * time.Millisecond}
+	root.Children = []*obs.Span{
+		{Name: "compile", Duration: 2 * time.Millisecond},
+		{Name: "eval", Offset: 2 * time.Millisecond, Duration: 8 * time.Millisecond},
+	}
+	out, err := DecodeResult(Result{Strategy: "naive", Trace: root}.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Trace.Children[1].Offset; got != 2*time.Millisecond {
+		t.Fatalf("eval offset = %v", got)
+	}
+	if got := out.Trace.Children[0].Offset; got != 0 {
+		t.Fatalf("compile offset = %v", got)
+	}
+}
+
+// TestSlowlogQueryID checks the per-entry query ID survives the wire.
+func TestSlowlogQueryID(t *testing.T) {
+	in := Slowlog{Capacity: 8, Recorded: 1, Entries: []obs.SlowQuery{
+		{Query: "?- a(X).", Latency: time.Millisecond, QueryID: 0xabc},
+	}}
+	out, err := DecodeSlowlog(in.Encode())
+	if err != nil || len(out.Entries) != 1 || out.Entries[0].QueryID != 0xabc {
+		t.Fatalf("slowlog query id: %+v %v", out, err)
 	}
 }

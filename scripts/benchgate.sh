@@ -1,0 +1,13 @@
+#!/bin/sh
+# Performance-regression gate: re-runs the quick benchmark suite and
+# compares every latency cell against the committed baselines in
+# scripts/bench_baseline/ (fail at >2x slower and >1ms absolute, by
+# default). After an intentional perf change, refresh the baselines:
+#
+#   go run ./cmd/benchgate -update
+#
+# Extra arguments pass through to the gate, e.g.
+#   ./scripts/benchgate.sh -exp fig13 -tolerance 3
+set -e
+cd "$(dirname "$0")/.."
+exec go run ./cmd/benchgate "$@"

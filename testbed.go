@@ -310,6 +310,11 @@ type QueryOptions struct {
 	// QueryResult.Trace. Off by default; the off state costs only nil
 	// checks.
 	Trace bool
+	// QueryID tags the query for observability: it is stamped into the
+	// result, the span trace and (on the server) the structured log and
+	// slow-query ring, and travels over the wire so client and server
+	// agree on the ID. 0 (the default) mints a fresh ID per query.
+	QueryID uint64
 	// Maintenance selects how a ConcurrentTestbed keeps this query's
 	// memoized answer when commits touch tables it reads: re-derive
 	// from scratch, maintain incrementally through the commit's fact
@@ -345,6 +350,9 @@ type QueryResult struct {
 	// against when it went through a ConcurrentTestbed (0 on the plain
 	// Testbed path, which reads live state).
 	Snapshot uint64
+	// QueryID is the ID this query ran under (caller-supplied via
+	// QueryOptions.QueryID or minted). Format it with obs.FormatQueryID.
+	QueryID uint64
 }
 
 // Iterations returns the total LFP iteration count across the
@@ -388,15 +396,25 @@ func (tb *Testbed) RunQueryContext(ctx context.Context, q dlog.Query, opts *Quer
 	if opts == nil {
 		opts = &QueryOptions{}
 	}
+	qid := opts.QueryID
+	if qid == 0 {
+		qid = obs.NewQueryID()
+	}
 	var tr *obs.Trace
 	if opts.Trace {
 		tr = obs.NewTrace("query")
+		tr.Root().SetInt("query_id", int64(qid))
 	}
 	compiled, err := tb.compile(q, opts, tr)
 	if err != nil {
 		return nil, err
 	}
-	return tb.evaluate(ctx, compiled, opts, tr)
+	res, err := tb.evaluate(ctx, compiled, opts, tr)
+	if err != nil {
+		return nil, err
+	}
+	res.QueryID = qid
+	return res, nil
 }
 
 // Compile runs only the Knowledge Manager pipeline, returning the
@@ -503,6 +521,7 @@ func (tb *Testbed) evaluateKeep(ctx context.Context, d *db.DB, compiled *core.Co
 		Optimized: compiled.Optimized,
 		Strategy:  strategy,
 		Trace:     tr,
+		QueryID:   opts.QueryID,
 	}, res, nil
 }
 
